@@ -1,0 +1,167 @@
+// Integration tests of the public facade: everything a downstream user
+// touches, exercised end to end.
+package art9_test
+
+import (
+	"strings"
+	"testing"
+
+	art9 "repro"
+)
+
+func TestFacadeAssembleRun(t *testing.T) {
+	prog, err := art9.Assemble(`
+		LDI T1, 100
+		LDI T2, -58
+		ADD T1, T2
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, res, err := art9.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := state.Reg(1).Int(); got != 42 {
+		t.Errorf("T1 = %d, want 42", got)
+	}
+	if res.Cycles == 0 || res.Retired == 0 {
+		t.Error("no statistics collected")
+	}
+}
+
+func TestFacadeFunctionalMatchesPipeline(t *testing.T) {
+	prog, err := art9.Assemble(`
+		LDI T1, 1
+		LDI T2, 0
+	loop:	ADD T2, T1
+		ADDI T1, 1
+		MV T3, T1
+		COMP T3, T2
+		BEQ T3, -1, done
+		JAL T0, loop
+	done:	HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _, err := art9.Run(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, _, err := art9.RunFunctional(prog, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.TRF != s2.TRF {
+		t.Errorf("cores disagree: %v vs %v", s1.TRF, s2.TRF)
+	}
+}
+
+func TestFacadeWords(t *testing.T) {
+	w := art9.FromInt(-42)
+	if w.Int() != -42 {
+		t.Error("FromInt round trip failed")
+	}
+	p, err := art9.ParseWord("1T0")
+	if err != nil || p.Int() != 6 {
+		t.Errorf("ParseWord(1T0) = %d, %v", p.Int(), err)
+	}
+	if art9.MaxInt != 9841 || art9.MinInt != -9841 || art9.WordTrits != 9 {
+		t.Error("word-range constants wrong")
+	}
+}
+
+func TestFacadeEncodeDecode(t *testing.T) {
+	in := art9.Inst{Op: 7 /* ADD */, Ta: 1, Tb: 2}
+	w, err := art9.EncodeInst(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := art9.DecodeInst(w)
+	if err != nil || out != in {
+		t.Errorf("round trip: %v -> %v", in, out)
+	}
+}
+
+func TestFacadeDisassemble(t *testing.T) {
+	prog, err := art9.Assemble("ADD T1, T2\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dis := art9.Disassemble(prog.Words)
+	if !strings.Contains(dis, "ADD T1, T2") {
+		t.Errorf("disassembly missing instruction:\n%s", dis)
+	}
+}
+
+func TestFacadeCompile(t *testing.T) {
+	res, err := art9.Compile(`
+		li   a0, 21
+		add  a0, a0, a0
+		ebreak
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, _, err := art9.Run(res.Program, res.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Ternary.ReadBack(state, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("compiled result = %d, want 42", got)
+	}
+}
+
+func TestFacadeTechnologies(t *testing.T) {
+	for _, tech := range []*art9.Technology{art9.CNTFET32(), art9.StratixVEmulation()} {
+		an := art9.BuildNetlist(tech)
+		if an.Gates == 0 || an.FmaxMHz <= 0 {
+			t.Errorf("%s: degenerate analysis", tech.Name)
+		}
+	}
+}
+
+func TestFacadeBenchmarks(t *testing.T) {
+	ws := art9.Benchmarks()
+	if len(ws) != 4 {
+		t.Fatalf("suite has %d workloads, want 4", len(ws))
+	}
+	names := map[string]bool{}
+	for _, w := range ws {
+		names[w.Name] = true
+	}
+	for _, want := range []string{"bubble", "gemm", "sobel", "dhrystone"} {
+		if !names[want] {
+			t.Errorf("missing workload %s", want)
+		}
+	}
+	// Run the cheapest one through the public entry point.
+	o, err := art9.RunBenchmark(ws[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.ART9Cycles == 0 {
+		t.Error("no cycles measured")
+	}
+}
+
+func TestFacadeReproduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full suite in -short mode")
+	}
+	s, err := art9.ReproduceTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 5", "Table II", "Table III", "Table IV", "Table V", "DMIPS"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("tables output missing %q", want)
+		}
+	}
+}

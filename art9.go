@@ -1,0 +1,176 @@
+// Package art9 is the public API of the ART-9 reproduction: the design and
+// evaluation frameworks for the advanced RISC-based ternary processor of
+// Kam et al. (DATE 2022), implemented in pure Go.
+//
+// The package re-exports the supported surface of the internal packages:
+//
+//   - balanced ternary arithmetic (Trit, Word),
+//   - the ART-9 ISA, assembler and disassembler,
+//   - the software-level compiling framework (RV32 assembly → ternary
+//     assembly with instruction mapping, operand conversion / register
+//     renaming, and redundancy checking),
+//   - the hardware-level evaluation framework (functional and 5-stage
+//     pipelined cycle-accurate simulators, gate-level analyzer with the
+//     CNTFET and FPGA technology models, performance estimator),
+//   - the §V-A benchmark suite and the harness regenerating Fig. 5 and
+//     Tables II–V.
+//
+// Quick start:
+//
+//	prog, err := art9.Assemble("LDI T1, 42\nADDI T1, 1\nHALT")
+//	state, res, err := art9.Run(prog, nil)
+//	fmt.Println(state.Reg(1).Int(), res.Cycles)
+package art9
+
+import (
+	"repro/internal/asm"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/gate"
+	"repro/internal/isa"
+	"repro/internal/perf"
+	"repro/internal/sim"
+	"repro/internal/ternary"
+	"repro/internal/xlate"
+)
+
+// Ternary number system.
+type (
+	// Trit is a balanced ternary digit (−1, 0, +1).
+	Trit = ternary.Trit
+	// Word is the 9-trit ART-9 machine word.
+	Word = ternary.Word
+)
+
+// Word-range constants of the 9-trit architecture.
+const (
+	WordTrits = ternary.WordTrits
+	MaxInt    = ternary.MaxInt
+	MinInt    = ternary.MinInt
+)
+
+// FromInt converts an integer to a 9-trit word (wrapping modulo 3^9).
+func FromInt(v int) Word { return ternary.FromInt(v) }
+
+// ParseWord parses a balanced ternary literal such as "1T0".
+func ParseWord(s string) (Word, error) { return ternary.ParseWord(s) }
+
+// ISA surface.
+type (
+	// Inst is a decoded ART-9 instruction.
+	Inst = isa.Inst
+	// Op is an ART-9 opcode (24 instructions, Table I).
+	Op = isa.Op
+	// Reg is a ternary register index T0…T8.
+	Reg = isa.Reg
+)
+
+// EncodeInst encodes an instruction into its 9-trit word.
+func EncodeInst(i Inst) (Word, error) { return isa.Encode(i) }
+
+// DecodeInst decodes a 9-trit word into an instruction.
+func DecodeInst(w Word) (Inst, error) { return isa.Decode(w) }
+
+// Assembler.
+type (
+	// Program is an assembled ART-9 program.
+	Program = asm.Program
+)
+
+// Assemble assembles ART-9 assembly source.
+func Assemble(src string) (*Program, error) { return asm.Assemble(src) }
+
+// Disassemble renders an encoded TIM image as assembly text.
+func Disassemble(words []Word) string { return asm.Disassemble(words) }
+
+// Simulation.
+type (
+	// State is the architectural state of an ART-9 core.
+	State = sim.State
+	// RunResult carries cycle/instruction/stall counts.
+	RunResult = sim.Result
+	// SimConfig sizes a simulated machine.
+	SimConfig = sim.Config
+)
+
+// Run executes a program on the cycle-accurate 5-stage pipelined core with
+// optional TDM initialisation, returning the final state and statistics.
+func Run(p *Program, data map[int]Word) (*State, RunResult, error) {
+	pl := sim.NewPipeline(sim.Config{})
+	if err := pl.S.Load(p); err != nil {
+		return nil, RunResult{}, err
+	}
+	if data != nil {
+		if err := pl.S.TDM.SetAll(data); err != nil {
+			return nil, RunResult{}, err
+		}
+	}
+	res, err := pl.Run()
+	return pl.S, res, err
+}
+
+// RunFunctional executes a program on the single-cycle reference core.
+func RunFunctional(p *Program, data map[int]Word) (*State, RunResult, error) {
+	return core.RunFunctional(p, data, sim.Config{})
+}
+
+// Software-level compiling framework (§III-A).
+type (
+	// SoftwareFramework converts RV32 assembly into ART-9 assembly.
+	SoftwareFramework = core.SoftwareFramework
+	// CompileResult is its output bundle.
+	CompileResult = core.CompileResult
+	// TranslateOptions tune the instruction-mapping phase.
+	TranslateOptions = xlate.Options
+)
+
+// Compile translates RV32 assembly source with default options.
+func Compile(rvSource string) (*CompileResult, error) {
+	f := &SoftwareFramework{}
+	return f.Compile(rvSource)
+}
+
+// Hardware-level evaluation framework (§III-B).
+type (
+	// HardwareFramework evaluates a program against a technology.
+	HardwareFramework = core.HardwareFramework
+	// Evaluation is its combined output.
+	Evaluation = core.Evaluation
+	// Technology is a design-technology property description.
+	Technology = gate.Technology
+	// Analysis is a gate-level timing/power report.
+	Analysis = gate.Analysis
+	// Implementation is a Table IV/V style summary.
+	Implementation = perf.Implementation
+)
+
+// CNTFET32 returns the 32 nm CNTFET ternary technology model (Table IV).
+func CNTFET32() *Technology { return gate.CNTFET32() }
+
+// StratixVEmulation returns the binary-encoded FPGA model (Table V).
+func StratixVEmulation() *Technology { return gate.StratixVEmulation() }
+
+// BuildNetlist constructs the structural netlist of the pipelined ART-9
+// core and analyzes it for the given technology.
+func BuildNetlist(tech *Technology) *Analysis {
+	return gate.Analyze(gate.BuildART9(), tech)
+}
+
+// Benchmarks (§V-A).
+type (
+	// Workload is one benchmark program of the suite.
+	Workload = bench.Workload
+	// Outcome carries every per-benchmark metric.
+	Outcome = bench.Outcome
+)
+
+// Benchmarks returns the §V-A suite (bubble, GEMM, Sobel, Dhrystone).
+func Benchmarks() []Workload { return bench.Workloads }
+
+// RunBenchmark runs one workload on every core model with self-checking.
+func RunBenchmark(w Workload) (*Outcome, error) {
+	return bench.Run(w, xlate.Options{})
+}
+
+// ReproduceTables runs the whole suite and renders Fig. 5 and Tables II–V.
+func ReproduceTables() (string, error) { return bench.AllTables() }

@@ -1,0 +1,64 @@
+// Command art9-asm assembles ART-9 ternary assembly into a TIM image.
+//
+// Usage:
+//
+//	art9-asm [-o out.tim] [-list] prog.t9s
+//
+// The output format is one 9-trit word per line in T/0/1 notation (MST
+// first), loadable by art9-sim. With -list, an address/word/disassembly
+// listing is printed instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (default: stdout)")
+	list := flag.Bool("list", false, "print a listing instead of the image")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: art9-asm [-o out.tim] [-list] prog.t9s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	p, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	var b strings.Builder
+	if *list {
+		b.WriteString(asm.Disassemble(p.Words))
+		fmt.Fprintf(&b, "; %d instructions, %d ternary memory cells\n",
+			len(p.Text), p.TextCells())
+	} else {
+		for _, w := range p.Words {
+			b.WriteString(w.String())
+			b.WriteByte('\n')
+		}
+		for addr, w := range p.Data {
+			// Data section entries as directives for the simulator.
+			fmt.Fprintf(&b, ".tdm %d %s\n", addr, w)
+		}
+	}
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "art9-asm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,90 @@
+// Command art9-eval runs the hardware-level evaluation framework of the
+// paper (§III-B): cycle-accurate simulation of an ART-9 program plus
+// gate-level analysis of the core against a design-technology description,
+// combined by the performance estimator into implementation-aware metrics.
+//
+// Usage:
+//
+//	art9-eval [-tech cntfet|fpga] [-freq MHz] [-iters N] [-mem words] prog.t9s
+//	art9-eval -netlist [-tech cntfet|fpga]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/gate"
+)
+
+func main() {
+	techName := flag.String("tech", "cntfet", "technology: cntfet or fpga")
+	freq := flag.Float64("freq", 0, "operating frequency in MHz (0: fmax)")
+	iters := flag.Int("iters", 1, "benchmark iterations for per-iteration metrics")
+	memWords := flag.Int("mem", 0, "TIM/TDM words for the memory power model")
+	netlist := flag.Bool("netlist", false, "print the gate-level analysis only")
+	flag.Parse()
+
+	var tech *gate.Technology
+	switch *techName {
+	case "cntfet":
+		tech = gate.CNTFET32()
+	case "fpga":
+		tech = gate.StratixVEmulation()
+		if *freq == 0 {
+			*freq = 150
+		}
+		if *memWords == 0 {
+			*memWords = 256
+		}
+	default:
+		fatal(fmt.Errorf("unknown technology %q", *techName))
+	}
+
+	if *netlist {
+		an := gate.Analyze(gate.BuildART9(), tech)
+		fmt.Print(an.String())
+		return
+	}
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: art9-eval [-tech cntfet|fpga] prog.t9s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := asm.Assemble(string(src))
+	if err != nil {
+		fatal(err)
+	}
+	hw := &core.HardwareFramework{Tech: tech, FreqMHz: *freq, MemWords: *memWords}
+	ev, err := hw.Evaluate(prog, nil, *iters)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("technology        %s\n", ev.Impl.Tech)
+	fmt.Printf("ternary gates     %d\n", ev.Impl.Gates)
+	fmt.Printf("critical path     %.0f ps (fmax %.1f MHz)\n",
+		ev.Analysis.CriticalPathPs, ev.Analysis.FmaxMHz)
+	fmt.Printf("operating freq    %.1f MHz\n", ev.Impl.FreqMHz)
+	if ev.Impl.ALMs > 0 {
+		fmt.Printf("ALMs              %d\n", ev.Impl.ALMs)
+		fmt.Printf("registers         %d\n", ev.Impl.Registers)
+		fmt.Printf("RAM               %d bits\n", ev.Impl.RAMBits)
+	}
+	fmt.Printf("cycles            %d (%d retired, CPI %.3f)\n",
+		ev.Cycles.Cycles, ev.Cycles.Retired, ev.Cycles.CPI())
+	fmt.Printf("power             %.6g W\n", ev.Impl.PowerW)
+	fmt.Printf("DMIPS             %.3f\n", ev.Impl.DMIPS)
+	fmt.Printf("DMIPS/W           %.4g\n", ev.Impl.DMIPSPerW)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "art9-eval:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command art9-sim runs ART-9 programs on the cycle-accurate simulator.
+//
+// Usage:
+//
+//	art9-sim [-func] [-trace] [-regs] prog.t9s
+//	art9-sim -image prog.tim
+//
+// By default the source is assembled and run on the 5-stage pipelined
+// core; -func selects the functional reference core; -image loads an
+// encoded TIM image produced by art9-asm. The run statistics (cycles,
+// retired instructions, stalls) are printed on exit; -regs additionally
+// dumps the register file.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/sim"
+	"repro/internal/ternary"
+)
+
+func main() {
+	useFunc := flag.Bool("func", false, "use the functional reference core")
+	trace := flag.Bool("trace", false, "print a per-cycle pipeline trace")
+	regs := flag.Bool("regs", false, "dump the register file on exit")
+	image := flag.Bool("image", false, "input is an encoded TIM image")
+	maxSteps := flag.Int("max", 0, "step budget (0: default)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: art9-sim [-func] [-trace] [-regs] prog.t9s")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+
+	var prog *asm.Program
+	if *image {
+		prog, err = loadImage(string(src))
+	} else {
+		prog, err = asm.Assemble(string(src))
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	cfg := sim.Config{MaxSteps: *maxSteps}
+	var (
+		res   sim.Result
+		state *sim.State
+	)
+	if *useFunc {
+		f := sim.NewFunctional(cfg)
+		if err := f.S.Load(prog); err != nil {
+			fatal(err)
+		}
+		res, err = f.Run()
+		state = f.S
+	} else {
+		p := sim.NewPipeline(cfg)
+		if *trace {
+			p.Trace = func(cycle uint64, line string) {
+				fmt.Printf("%6d %s\n", cycle, line)
+			}
+		}
+		if err := p.S.Load(prog); err != nil {
+			fatal(err)
+		}
+		res, err = p.Run()
+		state = p.S
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("halted at PC %d\n", res.HaltPC)
+	fmt.Printf("cycles            %d\n", res.Cycles)
+	fmt.Printf("retired           %d (CPI %.3f)\n", res.Retired, res.CPI())
+	fmt.Printf("load-use stalls   %d\n", res.StallsLoad)
+	fmt.Printf("branch squashes   %d\n", res.StallsBranch)
+	fmt.Printf("branches          %d taken / %d not taken\n", res.Taken, res.NotTaken)
+	fmt.Printf("memory            %d loads / %d stores\n", res.Loads, res.Stores)
+	if *regs {
+		for r := 0; r < 9; r++ {
+			w := state.TRF[r]
+			fmt.Printf("T%d = %6d  (%v)\n", r, w.Int(), w)
+		}
+	}
+}
+
+// loadImage parses the art9-asm image format: one ternary word per line
+// plus optional ".tdm addr word" data lines.
+func loadImage(s string) (*asm.Program, error) {
+	p := &asm.Program{Data: map[int]ternary.Word{}, Symbols: map[string]int{}}
+	for ln, line := range strings.Split(s, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, ";") {
+			continue
+		}
+		if strings.HasPrefix(line, ".tdm") {
+			f := strings.Fields(line)
+			if len(f) != 3 {
+				return nil, fmt.Errorf("line %d: bad .tdm line", ln+1)
+			}
+			addr, err := strconv.Atoi(f[1])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			w, err := ternary.ParseWord(f[2])
+			if err != nil {
+				return nil, fmt.Errorf("line %d: %v", ln+1, err)
+			}
+			p.Data[addr] = w
+			continue
+		}
+		w, err := ternary.ParseWord(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %v", ln+1, err)
+		}
+		p.Words = append(p.Words, w)
+	}
+	return p, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "art9-sim:", err)
+	os.Exit(1)
+}

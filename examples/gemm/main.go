@@ -1,0 +1,41 @@
+// Gemm runs the paper's GEMM benchmark on every core model and prints the
+// Table III style comparison, showing the crossover the paper reports:
+// without a hardware multiplier the ART-9 core's advantage shrinks to
+// near-parity on multiply-bound kernels — the software multiply's
+// early-exit on small (two-trit) operands is what keeps it competitive.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	art9 "repro"
+)
+
+func main() {
+	var gemm, bubble art9.Workload
+	for _, w := range art9.Benchmarks() {
+		switch w.Name {
+		case "gemm":
+			gemm = w
+		case "bubble":
+			bubble = w
+		}
+	}
+
+	for _, w := range []art9.Workload{bubble, gemm} {
+		o, err := art9.RunBenchmark(w)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s — %s\n", w.Name, w.Description)
+		fmt.Printf("  checksum    %d (agrees on RV32, ART-9 functional, ART-9 pipelined)\n", o.Checksum)
+		fmt.Printf("  ART-9       %6d cycles\n", o.ART9Cycles)
+		fmt.Printf("  PicoRV32    %6d cycles  (%.2fx)\n",
+			o.PicoCycles, float64(o.PicoCycles)/float64(o.ART9Cycles))
+		fmt.Printf("  VexRiscv    %6d cycles\n\n", o.VexCycles)
+	}
+	fmt.Println("Table III shape: the bubble-sort advantage is large, the GEMM")
+	fmt.Println("advantage nearly vanishes — the ART-9 ISA has no multiplier")
+	fmt.Println("(Table II), so MUL maps to a trit-serial primitive sequence.")
+}

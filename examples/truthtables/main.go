@@ -1,0 +1,66 @@
+// Truthtables regenerates Fig. 1 of the paper: the truth tables of the
+// balanced ternary logic operations (AND, OR, XOR and the three
+// inverters STI, NTI, PTI).
+package main
+
+import (
+	"fmt"
+
+	art9 "repro"
+)
+
+func main() {
+	trits := []art9.Trit{-1, 0, 1}
+
+	fmt.Println("Fig. 1 — truth tables of ternary logic operations")
+	fmt.Println()
+
+	unary := []struct {
+		name string
+		op   func(art9.Trit) art9.Trit
+	}{
+		{"STI", art9.Trit.Sti},
+		{"NTI", art9.Trit.Nti},
+		{"PTI", art9.Trit.Pti},
+	}
+	fmt.Printf("%4s |", "x")
+	for _, u := range unary {
+		fmt.Printf(" %4s", u.name)
+	}
+	fmt.Println()
+	fmt.Println("-----+---------------")
+	for _, x := range trits {
+		fmt.Printf("%4s |", x)
+		for _, u := range unary {
+			fmt.Printf(" %4s", u.op(x))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+
+	binary := []struct {
+		name string
+		op   func(art9.Trit, art9.Trit) art9.Trit
+	}{
+		{"AND (min)", art9.Trit.And},
+		{"OR (max)", art9.Trit.Or},
+		{"XOR −(a·b)", art9.Trit.Xor},
+	}
+	for _, b := range binary {
+		fmt.Printf("%s\n", b.name)
+		fmt.Printf("%4s |", "a\\b")
+		for _, y := range trits {
+			fmt.Printf(" %4s", y)
+		}
+		fmt.Println()
+		fmt.Println("-----+---------------")
+		for _, x := range trits {
+			fmt.Printf("%4s |", x)
+			for _, y := range trits {
+				fmt.Printf(" %4s", b.op(x, y))
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,239 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/isa"
+	"repro/internal/ternary"
+)
+
+// Relaxation levels for label-target control transfers.
+const (
+	relaxShort = iota // single instruction, immediate reaches
+	relaxNear         // branch: inverted branch over a JAL
+	relaxFar          // absolute target via LDA + JALR
+)
+
+// sizeOf returns the number of TIM/TDM words a statement occupies at the
+// given relaxation level. It must be deterministic per (stmt, level) so the
+// fixed-point layout converges.
+func (a *assembler) sizeOf(st *statement, sec section, level int) (int, error) {
+	switch st.kind {
+	case stWord:
+		return len(st.values), nil
+	case stSpace:
+		return st.count, nil
+	case stOrg:
+		return 0, nil // handled specially in layout
+	}
+	m := st.mnemonic
+	switch m {
+	case "NOP", "HALT":
+		return 1, nil
+	case "LDI":
+		if len(st.args) != 2 {
+			return 0, fmt.Errorf("line %d: LDI wants Ta, value", st.line)
+		}
+		v, err := a.evalConst(st.args[1], st.line)
+		if err != nil {
+			return 0, err
+		}
+		_, lo := splitConst(v)
+		if lo == 0 {
+			return 1, nil
+		}
+		return 2, nil
+	case "LDA":
+		return 2, nil
+	case "BEQ", "BNE":
+		switch level {
+		case relaxShort:
+			return 1, nil
+		case relaxNear:
+			return 2, nil
+		default:
+			return 4, nil
+		}
+	case "JAL":
+		if level == relaxShort {
+			return 1, nil
+		}
+		return 3, nil
+	}
+	if _, ok := isa.OpByName[m]; ok {
+		return 1, nil
+	}
+	return 0, fmt.Errorf("line %d: unknown mnemonic %q", st.line, st.mnemonic)
+}
+
+// splitConst decomposes a 9-trit value into hi·3^5 + lo with lo in the
+// 5-trit balanced range, the LUI/LI pair of §IV-A.
+func splitConst(v int) (hi, lo int) {
+	w := ternary.FromInt(v)
+	lo = w.Field(0, 4)
+	hi = w.Field(5, 8)
+	return hi, lo
+}
+
+// layout assigns addresses to all statements, iterating branch relaxation
+// to a fixed point. Relaxation levels only ever increase, so the loop
+// terminates.
+func (a *assembler) layout() error {
+	// Build items once.
+	a.items = a.items[:0]
+	levels := make([]int, len(a.stmts))
+	for iter := 0; ; iter++ {
+		if iter > 2+len(a.stmts) {
+			return fmt.Errorf("asm: branch relaxation did not converge")
+		}
+		a.items = a.items[:0]
+		lc := map[section]int{}
+		a.labels = map[string]int{}
+		stmtAddr := make([]int, len(a.stmts)+1)
+		var layoutErrs errList
+		for i, st := range a.stmts {
+			sec := a.secOf[i]
+			stmtAddr[i] = lc[sec]
+			if st.kind == stOrg {
+				if st.count < lc[sec] {
+					layoutErrs = append(layoutErrs, fmt.Errorf("line %d: .org %d before current location %d", st.line, st.count, lc[sec]))
+					continue
+				}
+				it := &item{stmt: st, sec: sec, addr: lc[sec], size: st.count - lc[sec]}
+				a.items = append(a.items, it)
+				lc[sec] = st.count
+				continue
+			}
+			size, err := a.sizeOf(st, sec, levels[i])
+			if err != nil {
+				layoutErrs = append(layoutErrs, err)
+				continue
+			}
+			a.items = append(a.items, &item{stmt: st, sec: sec, addr: lc[sec], size: size, relaxed: levels[i]})
+			lc[sec] += size
+		}
+		if err := layoutErrs.or(); err != nil {
+			return err
+		}
+		stmtAddr[len(a.stmts)] = 0 // see below: EOF labels
+		// Bind labels: a label binds to the address of the next statement
+		// in its own section, or the section end if none follows.
+		for _, d := range a.labelDecls {
+			addr, found := lc[d.sec], false
+			for j := d.idx; j < len(a.stmts); j++ {
+				if a.secOf[j] == d.sec {
+					addr, found = stmtAddr[j], true
+					break
+				}
+			}
+			_ = found
+			if prev, dup := a.labels[d.name]; dup && prev != addr {
+				return fmt.Errorf("line %d: duplicate label %q", d.line, d.name)
+			}
+			a.labels[d.name] = addr
+		}
+		// Check reach of every label-target control transfer; bump levels.
+		changed := false
+		itemIdx := 0
+		for i, st := range a.stmts {
+			if a.secOf[i] == secData || st.kind != stInst {
+				itemIdx++
+				continue
+			}
+			it := a.items[itemIdx]
+			itemIdx++
+			switch st.mnemonic {
+			case "BEQ", "BNE":
+				if len(st.args) != 3 || !a.isSymbol(st.args[2]) {
+					continue // numeric offset: no relaxation
+				}
+				target, ok := a.labels[st.args[2]]
+				if !ok {
+					continue // undefined label reported at emit
+				}
+				need := neededBranchLevel(it.addr, target)
+				if need > levels[i] {
+					levels[i] = need
+					changed = true
+				}
+			case "JAL":
+				if len(st.args) != 2 || !a.isSymbol(st.args[1]) {
+					continue
+				}
+				target, ok := a.labels[st.args[1]]
+				if !ok {
+					continue
+				}
+				if levels[i] == relaxShort && !ternary.FitsTrits(target-it.addr, 5) {
+					levels[i] = relaxFar
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// neededBranchLevel picks the smallest relaxation level that reaches
+// target from a branch at addr.
+func neededBranchLevel(addr, target int) int {
+	if ternary.FitsTrits(target-addr, 4) {
+		return relaxShort
+	}
+	// Near form: the JAL sits at addr+1.
+	if ternary.FitsTrits(target-(addr+1), 5) {
+		return relaxNear
+	}
+	return relaxFar
+}
+
+// isSymbol reports whether the operand is a symbol reference rather than a
+// number or register.
+func (a *assembler) isSymbol(s string) bool {
+	if s == "" {
+		return false
+	}
+	if s[0] == '+' || s[0] == '-' || (s[0] >= '0' && s[0] <= '9') {
+		return false
+	}
+	if _, err := isa.ParseReg(s); err == nil {
+		return false
+	}
+	return isIdent(s)
+}
+
+// evalConst evaluates a parse-time constant: decimal, 0t trit literal, or a
+// previously defined .equ name.
+func (a *assembler) evalConst(s string, line int) (int, error) {
+	if v, ok := a.equ[s]; ok {
+		return v, nil
+	}
+	if strings.HasPrefix(s, "0t") || strings.HasPrefix(s, "-0t") {
+		neg := strings.HasPrefix(s, "-")
+		w, err := ternary.ParseWord(strings.TrimPrefix(s, "-"))
+		if err != nil {
+			return 0, fmt.Errorf("line %d: %v", line, err)
+		}
+		if neg {
+			return -w.Int(), nil
+		}
+		return w.Int(), nil
+	}
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		return 0, fmt.Errorf("line %d: cannot evaluate %q as a constant", line, s)
+	}
+	return v, nil
+}
+
+// evalValue evaluates an emit-time operand: constants plus labels.
+func (a *assembler) evalValue(s string, line int) (int, error) {
+	if v, ok := a.labels[s]; ok {
+		return v, nil
+	}
+	return a.evalConst(s, line)
+}

@@ -1,0 +1,324 @@
+package bench
+
+// The Dhrystone-class workload: a synthetic integer benchmark with the
+// operation mix of Dhrystone 2.1 ([23]; DESIGN.md §4, substitution 2) —
+// record assignment (unrolled word copies, the way -O2 compiles small
+// struct assignment), word-string comparison and copy, nested function
+// calls, array indexing, integer expressions with one multiply and one
+// divide per iteration, and a branchy state-machine fragment. 100
+// iterations; every iteration folds into the running checksum in a0.
+//
+// Per iteration the RV32 machine retires ≈460 instructions, matching the
+// dynamic weight of one Dhrystone loop on RV32 (the paper's Table II/III
+// cycle figures imply the same: 1866 PicoRV32 cycles at CPI ≈ 4).
+const dhrystoneSrc = `
+.equ RUNS, 100
+.data
+# Two 16-word records (Dhrystone's Rec_Type: discriminant, a pointer-like
+# word index, an integer block, and a 10-word string payload).
+rec1:	.word 1, 40, 2, 7, 0, 3, 8, 15, 23, 42, 77, 3, 9, 4, 6, 2
+.org 64
+rec2:	.space 64
+.org 128
+# Two 20-word character strings ("DHRYSTONE PROGRAM, 1" style, one char
+# per word), populated by the Proc_0-style initialisation code.
+str1:	.space 80
+.org 208
+str2:	.space 80
+.org 288
+strdst:	.space 80
+.org 368
+# Array fragment state (Arr_1_Glob flavour).
+arrg:	.word 3, 1, 4, 1, 5, 9, 2, 6, 5, 3
+.org 408
+glob:	.word 0, 0, 5
+.org 420
+tab1:	.space 80
+.org 500
+tab2:	.space 80
+.text
+	# ---- Proc_0 flavour: one-time initialisation, the way Dhrystone's
+	# main() populates its globals before the timed loop. Straight-line
+	# stores with small offsets and pointer bumps (compiled -O2 style).
+	la   s0, str1
+	li   t0, 68          # 'D'
+	sw   t0, 0(s0)
+	li   t0, 72          # 'H'
+	sw   t0, 4(s0)
+	li   t0, 82          # 'R'
+	sw   t0, 8(s0)
+	li   t0, 89          # 'Y'
+	sw   t0, 12(s0)
+	addi s0, s0, 16
+	li   t0, 83          # 'S'
+	sw   t0, 0(s0)
+	li   t0, 84          # 'T'
+	sw   t0, 4(s0)
+	li   t0, 79          # 'O'
+	sw   t0, 8(s0)
+	li   t0, 78          # 'N'
+	sw   t0, 12(s0)
+	addi s0, s0, 16
+	li   t0, 69          # 'E'
+	sw   t0, 0(s0)
+	li   t0, 32          # ' '
+	sw   t0, 4(s0)
+	li   t0, 80          # 'P'
+	sw   t0, 8(s0)
+	li   t0, 82          # 'R'
+	sw   t0, 12(s0)
+	addi s0, s0, 16
+	li   t0, 79          # 'O'
+	sw   t0, 0(s0)
+	li   t0, 71          # 'G'
+	sw   t0, 4(s0)
+	li   t0, 82          # 'R'
+	sw   t0, 8(s0)
+	li   t0, 65          # 'A'
+	sw   t0, 12(s0)
+	addi s0, s0, 16
+	li   t0, 77          # 'M'
+	sw   t0, 0(s0)
+	li   t0, 44          # ','
+	sw   t0, 4(s0)
+	li   t0, 32          # ' '
+	sw   t0, 8(s0)
+	li   t0, 49          # '1'
+	sw   t0, 12(s0)
+	# str2 := str1 with the last character changed (unrolled copy).
+	la   s0, str1
+	la   s1, str2
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	li   t1, 50          # '2': strings differ at the last word
+	sw   t1, 12(s1)
+	# Working tables: tab1[i] = i + 3, tab2[i] = tab1[i] copied.
+	la   s0, tab1
+	li   t0, 3
+	sw   t0, 0(s0)
+	li   t0, 4
+	sw   t0, 4(s0)
+	li   t0, 5
+	sw   t0, 8(s0)
+	li   t0, 6
+	sw   t0, 12(s0)
+	addi s0, s0, 16
+	li   t0, 7
+	sw   t0, 0(s0)
+	li   t0, 8
+	sw   t0, 4(s0)
+	li   t0, 9
+	sw   t0, 8(s0)
+	li   t0, 10
+	sw   t0, 12(s0)
+	la   s0, tab1
+	la   s1, tab2
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+
+	li   s5, 0           # iteration counter
+	li   a0, 0           # checksum
+main_loop:
+	# --- Proc_1/Proc_3 flavour: rec2 := rec1, a 16-word copy unrolled
+	# by four (struct assignment the way -O2 emits it for a loop-copied
+	# record), then a field update.
+	la   s0, rec1
+	la   s1, rec2
+	li   s2, 4
+reccopy:
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	lw   t1, 4(s0)
+	sw   t1, 4(s1)
+	lw   t0, 8(s0)
+	sw   t0, 8(s1)
+	lw   t1, 12(s0)
+	sw   t1, 12(s1)
+	addi s0, s0, 16
+	addi s1, s1, 16
+	addi s2, s2, -1
+	bgtz s2, reccopy
+	la   s1, rec2
+	lw   t0, 8(s1)       # rec2.kind++
+	addi t0, t0, 1
+	sw   t0, 8(s1)
+
+	# --- Func_2 flavour: compare the two 20-word strings; they differ
+	# at the last position.
+	la   s0, str1
+	la   s1, str2
+	li   s2, 20
+	li   s3, 0
+strcmp:
+	lw   t0, 0(s0)
+	lw   t1, 0(s1)
+	bne  t0, t1, strdiff
+	addi s0, s0, 4
+	addi s1, s1, 4
+	addi s2, s2, -1
+	bgtz s2, strcmp
+	j    strdone
+strdiff:
+	li   s3, 1
+strdone:
+	add  a0, a0, s3      # +1 per iteration
+
+	# --- Proc_6 flavour: copy the first string into strdst.
+	la   s0, str1
+	la   s1, strdst
+	li   s2, 20
+strcpy:
+	lw   t0, 0(s0)
+	sw   t0, 0(s1)
+	addi s0, s0, 4
+	addi s1, s1, 4
+	addi s2, s2, -1
+	bgtz s2, strcpy
+
+	# --- Proc_8 flavour: array sweep with computed indices.
+	la   s0, arrg
+	li   s2, 10
+	li   t2, 0
+arrsum:
+	lw   t0, 0(s0)
+	add  t2, t2, t0
+	addi s0, s0, 4
+	addi s2, s2, -1
+	bgtz s2, arrsum
+	la   s0, arrg
+	lw   t0, 28(s0)      # arrg[7]++
+	addi t0, t0, 1
+	sw   t0, 28(s0)
+	li   t1, 45
+	blt  t2, t1, arrok   # keep arrg[7] bounded across iterations
+	sw   zero, 28(s0)
+arrok:
+
+	# --- Proc_6/Proc_7 flavour: calls through small functions.
+	mv   a1, t2
+	call func_add3
+	call func_ident
+	call func_classify
+	add  a0, a0, a1
+
+	# --- Arithmetic kernel: one multiply, one divide (Int_1/2/3
+	# expressions), values kept in 9-trit range.
+	lw   t1, 16(s0)      # arrg[4]
+	addi t1, t1, 2
+	mul  t2, t1, t1      # ≤ 49
+	la   t4, glob
+	lw   t5, 8(t4)       # 5
+	div  t3, t2, t5
+	rem  t6, t2, t5
+	add  t3, t3, t6
+	add  a0, a0, t3
+
+	# --- Branchy state machine (Proc_4 flavour).
+	lw   t0, 0(t4)
+	beqz t0, st_a
+	li   t1, 2
+	beq  t0, t1, st_c
+	li   t0, 0
+	j    st_done
+st_a:
+	li   t0, 1
+	j    st_done
+st_c:
+	li   t0, 0
+st_done:
+	sw   t0, 0(t4)
+	add  a0, a0, t0
+
+	# --- keep the checksum inside the value contract: a0 ∈ [0, 999].
+	li   t1, 1000
+	blt  a0, t1, cksmall
+	sub  a0, a0, t1
+cksmall:
+
+	addi s5, s5, 1
+	li   t1, RUNS
+	blt  s5, t1, main_loop
+	ebreak
+
+func_add3:
+	addi a1, a1, 3
+	ret
+func_ident:
+	mv   t0, a1
+	mv   a1, t0
+	ret
+func_classify:
+	# Ch_1 flavour: classify a1 into small bands.
+	li   t0, 20
+	blt  a1, t0, cls_lo
+	li   t0, 60
+	blt  a1, t0, cls_mid
+	addi a1, a1, -7
+	ret
+cls_lo:
+	addi a1, a1, 2
+	ret
+cls_mid:
+	addi a1, a1, 1
+	ret
+`

@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/xlate"
+)
+
+func TestStrSearchCorrect(t *testing.T) {
+	o, err := Run(StrSearch, xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference in Go: same haystack, needle {9,3,9,9,3} at position 42
+	// (0-based) only; checksum accumulates pos+1 per match.
+	hay := []int{
+		3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3,
+		2, 3, 8, 4, 6, 2, 6, 4, 3, 3, 8, 3, 2, 7, 9, 5,
+		0, 2, 8, 8, 4, 1, 9, 7, 1, 6, 9, 3, 9, 9, 3, 7,
+		5, 1, 0, 5, 8, 2, 0, 9, 7, 4, 9, 4, 4, 5, 9, 2,
+	}
+	needle := []int{9, 3, 9, 9, 3}
+	want := 0
+	for i := 0; i < 60; i++ {
+		match := true
+		for j := range needle {
+			if hay[i+j] != needle[j] {
+				match = false
+				break
+			}
+		}
+		if match {
+			want += i + 1
+		}
+	}
+	if want == 0 {
+		t.Fatal("test data has no match; needle misplaced")
+	}
+	if o.Checksum != want {
+		t.Errorf("strsearch checksum = %d, want %d", o.Checksum, want)
+	}
+	// The extension is discoverable by name but not in the paper suite.
+	if _, ok := ByName("strsearch"); !ok {
+		t.Error("strsearch not addressable by name")
+	}
+	for _, w := range Workloads {
+		if w.Name == "strsearch" {
+			t.Error("extension leaked into the paper suite")
+		}
+	}
+}
+
+func TestStrSearchShapes(t *testing.T) {
+	o, err := Run(StrSearch, xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Branch-dense early-exit code: ART-9 still beats Pico, and the
+	// ternary image stays under the binary one.
+	if o.ART9Cycles >= o.PicoCycles {
+		t.Errorf("ART-9 %d not faster than Pico %d", o.ART9Cycles, o.PicoCycles)
+	}
+	if o.ARTTrits >= o.RVBits {
+		t.Errorf("ART %d trits not below RV32I %d bits", o.ARTTrits, o.RVBits)
+	}
+}

@@ -1,0 +1,156 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/rv32"
+	"repro/internal/sim"
+	"repro/internal/xlate"
+)
+
+// Outcome is the result of running one workload on every core model.
+type Outcome struct {
+	Workload Workload
+
+	// Static program sizes (Fig. 5 inputs).
+	RVInsts  int // RV32 instruction count
+	RVBits   int // RV32I instruction-memory bits
+	ARMBits  int // estimated ARMv6-M (Thumb-1) bits
+	ARTInsts int // translated ART-9 instruction count
+	ARTTrits int // ART-9 instruction-memory trits
+
+	// Checksums (must all agree).
+	Checksum int
+
+	// Cycle counts (Table III inputs).
+	ART9Cycles uint64 // pipelined ART-9
+	VexCycles  uint64 // VexRiscv-like model
+	PicoCycles uint64 // PicoRV32-like model
+
+	// ART-9 microarchitectural detail.
+	ARTRetired      uint64
+	ARTStallsLoad   uint64
+	ARTStallsBranch uint64
+	ARTLoads        uint64
+	ARTStores       uint64
+
+	// RV32 retired instructions (dynamic).
+	RVRetired uint64
+
+	// Diagnostics from the translator.
+	Diagnostics []string
+	// Removed is the redundancy-checking yield.
+	Removed int
+}
+
+// CyclesPerIteration returns the ART-9 cycles normalised by the
+// workload's iteration count.
+func (o *Outcome) CyclesPerIteration() float64 {
+	return float64(o.ART9Cycles) / float64(max(1, o.Workload.Iterations))
+}
+
+// Run executes the workload on the RV32 machine (feeding both baseline
+// cycle models), translates it with the software-level framework, runs
+// the result on the functional and pipelined ART-9 cores, verifies that
+// all checksums agree, and collects every metric.
+func Run(w Workload, opts xlate.Options) (*Outcome, error) {
+	rvProg, err := rv32.Assemble(w.Source)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: rv32 assemble: %w", w.Name, err)
+	}
+
+	m := rv32.NewMachine(1 << 16)
+	vex := rv32.NewVexRiscvModel()
+	pico := rv32.NewPicoRV32Model()
+	m.Observe(vex)
+	m.Observe(pico)
+	if err := m.Load(rvProg); err != nil {
+		return nil, err
+	}
+	if err := m.Run(); err != nil {
+		return nil, fmt.Errorf("bench %s: rv32 run: %w", w.Name, err)
+	}
+	ref := int(int32(m.Reg(10)))
+
+	out, err := xlate.Translate(rvProg, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: translate: %w", w.Name, err)
+	}
+	artProg, err := asm.Assemble(out.Asm)
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: art9 assemble: %w", w.Name, err)
+	}
+	data := xlate.DataImage(rvProg)
+
+	fn := sim.NewFunctional(sim.Config{})
+	if err := fn.S.Load(artProg); err != nil {
+		return nil, err
+	}
+	if err := fn.S.TDM.SetAll(data); err != nil {
+		return nil, err
+	}
+	if _, err := fn.Run(); err != nil {
+		return nil, fmt.Errorf("bench %s: art9 functional: %w", w.Name, err)
+	}
+	fchk, err := out.ReadBack(fn.S, 10)
+	if err != nil {
+		return nil, err
+	}
+	if fchk != ref {
+		return nil, fmt.Errorf("bench %s: functional checksum %d != rv32 %d", w.Name, fchk, ref)
+	}
+
+	pl := sim.NewPipeline(sim.Config{})
+	if err := pl.S.Load(artProg); err != nil {
+		return nil, err
+	}
+	if err := pl.S.TDM.SetAll(data); err != nil {
+		return nil, err
+	}
+	pres, err := pl.Run()
+	if err != nil {
+		return nil, fmt.Errorf("bench %s: art9 pipeline: %w", w.Name, err)
+	}
+	pchk, err := out.ReadBack(pl.S, 10)
+	if err != nil {
+		return nil, err
+	}
+	if pchk != ref {
+		return nil, fmt.Errorf("bench %s: pipelined checksum %d != rv32 %d", w.Name, pchk, ref)
+	}
+
+	return &Outcome{
+		Workload:        w,
+		RVInsts:         len(rvProg.Insts),
+		RVBits:          rvProg.TextBits(),
+		ARMBits:         rv32.EstimateProgram(rvProg),
+		ARTInsts:        len(artProg.Text),
+		ARTTrits:        artProg.TextCells(),
+		Checksum:        ref,
+		ART9Cycles:      pres.Cycles,
+		VexCycles:       vex.TotalCycles(),
+		PicoCycles:      pico.TotalCycles(),
+		ARTRetired:      pres.Retired,
+		ARTStallsLoad:   pres.StallsLoad,
+		ARTStallsBranch: pres.StallsBranch,
+		ARTLoads:        pres.Loads,
+		ARTStores:       pres.Stores,
+		RVRetired:       m.Retired,
+		Diagnostics:     out.Diagnostics,
+		Removed:         out.Removed,
+	}, nil
+}
+
+// RunAll runs the whole suite with default translation options.
+func RunAll() (map[string]*Outcome, error) {
+	res := map[string]*Outcome{}
+	for _, w := range Workloads {
+		o, err := Run(w, xlate.Options{})
+		if err != nil {
+			return nil, err
+		}
+		res[w.Name] = o
+	}
+	return res, nil
+}

@@ -1,0 +1,295 @@
+// Package bench carries the benchmark suite of §V-A of the paper — bubble
+// sort, general matrix multiplication (GEMM), Sobel filter, and the
+// Dhrystone-class workload — written in RV32 assembly (the input side of
+// the software-level compiling framework), plus the harness that runs each
+// program on every core model and regenerates Fig. 5 and Tables II–V.
+//
+// Every program ends by leaving an order-sensitive checksum in a0 and
+// halting; the harness verifies that the RV32 machine and the translated
+// ART-9 program (functional and pipelined) agree on it. All runtime values
+// honour the translator's 9-trit value contract.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Workload is one benchmark program.
+type Workload struct {
+	Name        string
+	Description string
+	Source      string // RV32 assembly
+	// Iterations is the outer-loop count for per-iteration metrics
+	// (only Dhrystone uses it; 1 otherwise).
+	Iterations int
+}
+
+// The suite of §V-A.
+var (
+	BubbleSort = Workload{
+		Name:        "bubble",
+		Description: "bubble sort of 22 words, worst-case (descending) input",
+		Source:      bubbleSrc,
+		Iterations:  1,
+	}
+	GEMM = Workload{
+		Name:        "gemm",
+		Description: "6×6 integer GEMM with small-magnitude operands ([22]-style)",
+		Source:      gemmSrc,
+		Iterations:  1,
+	}
+	Sobel = Workload{
+		Name:        "sobel",
+		Description: "3×3 Sobel gradient over a 16×16 image ([21])",
+		Source:      sobelSrc(),
+		Iterations:  1,
+	}
+	Dhrystone = Workload{
+		Name:        "dhrystone",
+		Description: "Dhrystone-class synthetic integer workload, 100 iterations ([23])",
+		Source:      dhrystoneSrc,
+		Iterations:  100,
+	}
+)
+
+// Workloads lists the suite in the paper's order.
+var Workloads = []Workload{BubbleSort, GEMM, Sobel, Dhrystone}
+
+// ByName returns the workload with the given name, searching the paper
+// suite first and then the extended workloads.
+func ByName(name string) (Workload, bool) {
+	for _, w := range Workloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	for _, w := range ExtendedWorkloads {
+		if w.Name == name {
+			return w, true
+		}
+	}
+	return Workload{}, false
+}
+
+const bubbleSrc = `
+# Bubble sort, N = 22, descending input (worst case: every compare swaps).
+.equ N, 22
+.data
+arr:	.word 221, 210, 205, 198, 187, 176, 165, 154, 143, 132, 121
+	.word 110, 99, 88, 77, 66, 55, 44, 33, 22, 11, 5
+.text
+	la   s0, arr
+	li   s1, 21          # outer: passes remaining (N-1)
+outer:
+	mv   s2, s0          # ptr
+	li   s3, 0           # j
+inner:
+	lw   t0, 0(s2)
+	lw   t1, 4(s2)
+	ble  t0, t1, noswap
+	sw   t1, 0(s2)
+	sw   t0, 4(s2)
+noswap:
+	addi s2, s2, 4
+	addi s3, s3, 1
+	blt  s3, s1, inner
+	addi s1, s1, -1
+	bgtz s1, outer
+
+	# Order-sensitive checksum: alternating sum of the array.
+	la   s0, arr
+	li   s1, N
+	li   a0, 0
+	li   t2, 0
+chk:
+	lw   t0, 0(s0)
+	bnez t2, odd
+	add  a0, a0, t0
+	li   t2, 1
+	j    next
+odd:
+	sub  a0, a0, t0
+	li   t2, 0
+next:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bgtz s1, chk
+	ebreak
+`
+
+const gemmSrc = `
+# GEMM: C = A×B, 6×6, row-major words, with B stored transposed (BT) so
+# the inner product walks both operands with unit stride — the layout a
+# DD-based quantum-simulation kernel uses ([22]). Operands are small
+# (two-trit) integers, the regime where the ART-9 software multiply's
+# early exit makes Table III report near-parity with the
+# hardware-multiplier PicoRV32.
+.equ N, 6
+.data
+A:	.word  2, -3,  4,  1, -2,  3
+	.word -1,  2,  3, -4,  2,  1
+	.word  3,  1, -2,  2,  4, -1
+	.word  2, -2,  1,  3, -3,  2
+	.word -4,  3,  2, -1,  2,  2
+	.word  1,  2, -3,  4,  1, -2
+.org 144
+BT:	.word  3,  2, -1,  4,  2, -3
+	.word -2,  1,  4, -3,  2,  1
+	.word  1, -3,  2,  2, -1,  4
+	.word  4,  2, -2,  1,  3, -2
+	.word -1,  3,  1,  2, -2,  4
+	.word  2, -2,  3, -4,  1,  2
+.org 288
+C:	.space 144
+.text
+	la   s5, A
+	la   s6, BT
+	la   s7, C
+	li   s0, 0           # i*24 (A/C row byte offset)
+iloop:
+	li   s1, 0           # j*24 (BT row byte offset)
+	li   s8, 0           # j*4 (C column byte offset)
+jloop:
+	li   a0, 0           # acc
+	add  s2, s5, s0      # &A[i][0]
+	add  s3, s6, s1      # &BT[j][0]
+	li   s4, N           # k
+kloop:
+	lw   t0, 0(s2)
+	lw   t1, 0(s3)
+	mul  t0, t0, t1
+	add  a0, a0, t0
+	addi s2, s2, 4
+	addi s3, s3, 4
+	addi s4, s4, -1
+	bgtz s4, kloop
+	add  t2, s7, s0      # &C[i][0]
+	add  t2, t2, s8
+	sw   a0, 0(t2)
+	addi s8, s8, 4
+	addi s1, s1, 24
+	li   t3, 144
+	blt  s1, t3, jloop
+	addi s0, s0, 24
+	li   t3, 144
+	blt  s0, t3, iloop
+
+	# Alternating-sum checksum over C.
+	la   s0, C
+	li   s1, 36
+	li   a0, 0
+	li   t2, 0
+chk:
+	lw   t0, 0(s0)
+	bnez t2, odd
+	add  a0, a0, t0
+	li   t2, 1
+	j    next
+odd:
+	sub  a0, a0, t0
+	li   t2, 0
+next:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bgtz s1, chk
+	ebreak
+`
+
+// sobelSrc builds the Sobel benchmark with the 16×16 test image emitted as
+// static data: img[r][c] = (r*3 + c*5) % 21 (the same formula the
+// reference implementation in the tests uses).
+func sobelSrc() string {
+	var img strings.Builder
+	for r := 0; r < 16; r++ {
+		img.WriteString("\t.word ")
+		for c := 0; c < 16; c++ {
+			if c > 0 {
+				img.WriteString(", ")
+			}
+			fmt.Fprintf(&img, "%d", (r*3+c*5)%21)
+		}
+		img.WriteByte('\n')
+	}
+	return `
+# Sobel 3×3 gradient: out[r][c] = |Gx| + |Gy| over the 14×14 interior of a
+# 16×16 image. Kernel weights are ±1/±2, so the filter maps entirely onto
+# adds/doublings — no multiplier on either core. Pointers advance
+# incrementally (s3 input, s4 output).
+.data
+img:
+` + img.String() + `
+.org 1024
+out:	.space 784
+.text
+	la   s3, img         # &img[r-1][c-1]
+	la   s4, out
+	li   s1, 14          # rows
+rloop:
+	li   s2, 14          # cols
+cloop:
+	# Row r-1: p00, p01, p02.
+	lw   t0, 0(s3)
+	lw   t1, 8(s3)
+	sub  a1, t1, t0      # gx = p02 - p00
+	add  a2, t0, t1      # gy_neg = p00 + p02
+	lw   t0, 4(s3)
+	add  a2, a2, t0
+	add  a2, a2, t0      # gy_neg += 2*p01
+	# Row r: p10, p12 (weight 2 in gx), through a row pointer.
+	addi t2, s3, 64
+	lw   t0, 0(t2)
+	lw   t1, 8(t2)
+	sub  t1, t1, t0
+	add  a1, a1, t1
+	add  a1, a1, t1      # gx += 2*(p12 - p10)
+	# Row r+1: p20, p21, p22.
+	addi t2, t2, 64
+	neg  a2, a2          # gy = -gy_neg so far
+	lw   t0, 0(t2)
+	lw   t1, 8(t2)
+	add  a2, a2, t0
+	add  a2, a2, t1      # gy += p20 + p22
+	sub  t1, t1, t0
+	add  a1, a1, t1      # gx += p22 - p20
+	lw   t0, 4(t2)
+	add  a2, a2, t0
+	add  a2, a2, t0      # gy += 2*p21
+	# |gx| + |gy|
+	bgez a1, gxok
+	neg  a1, a1
+gxok:
+	bgez a2, gyok
+	neg  a2, a2
+gyok:
+	add  a1, a1, a2
+	sw   a1, 0(s4)
+	addi s3, s3, 4
+	addi s4, s4, 4
+	addi s2, s2, -1
+	bgtz s2, cloop
+	addi s3, s3, 8       # skip the two border cells to the next row
+	addi s1, s1, -1
+	bgtz s1, rloop
+
+	# Alternating-sum checksum over out (196 words).
+	la   s0, out
+	li   s1, 196
+	li   a0, 0
+	li   t2, 0
+chk:
+	lw   t0, 0(s0)
+	bnez t2, odd
+	add  a0, a0, t0
+	li   t2, 1
+	j    next
+odd:
+	sub  a0, a0, t0
+	li   t2, 0
+next:
+	addi s0, s0, 4
+	addi s1, s1, -1
+	bgtz s1, chk
+	ebreak
+`
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/gate"
+	"repro/internal/perf"
+	"repro/internal/rv32"
+)
+
+// This file regenerates every table and figure of the paper's evaluation
+// (§V): Fig. 5 and Tables II–V, in the same row/column structure.
+
+// FPGA prototype memory configuration of Table V: two 256-word
+// binary-encoded ternary memories.
+const (
+	fpgaMemWords = 256
+	fpgaMemTrits = 2 * fpgaMemWords * 9
+	fpgaRAMBits  = fpgaMemTrits * 2
+	fpgaFreqMHz  = 150
+)
+
+// memAccess returns the measured TIM+TDM word-access rate of a run: one
+// instruction fetch per issue slot plus the data-access duty cycle — the
+// activity input of the memory power model.
+func memAccess(o *Outcome) float64 {
+	if o.ART9Cycles == 0 {
+		return 1
+	}
+	return (float64(o.ARTRetired) + float64(o.ARTLoads+o.ARTStores)) /
+		float64(o.ART9Cycles)
+}
+
+// Fig5Row is one benchmark group of Fig. 5.
+type Fig5Row struct {
+	Benchmark string
+	ARTTrits  int
+	RVBits    int
+	ARMBits   int
+}
+
+// Fig5 renders the memory-cell comparison of Fig. 5.
+func Fig5(all map[string]*Outcome) ([]Fig5Row, string) {
+	var rows []Fig5Row
+	var b strings.Builder
+	b.WriteString("Fig. 5 — memory cells for storing benchmark programs\n")
+	fmt.Fprintf(&b, "%-12s %14s %14s %14s %10s\n",
+		"benchmark", "ART-9 (trits)", "RV32I (bits)", "ARMv6-M (bits)", "vs RV32I")
+	for _, w := range Workloads {
+		o := all[w.Name]
+		rows = append(rows, Fig5Row{w.Name, o.ARTTrits, o.RVBits, o.ARMBits})
+		fmt.Fprintf(&b, "%-12s %14d %14d %14d %9.0f%%\n",
+			w.Name, o.ARTTrits, o.RVBits, o.ARMBits,
+			100*(1-float64(o.ARTTrits)/float64(o.RVBits)))
+	}
+	return rows, b.String()
+}
+
+// Table2 renders the Dhrystone comparison of Table II.
+func Table2(dhry *Outcome) ([]perf.CoreRow, string) {
+	iters := float64(dhry.Workload.Iterations)
+	rows := []perf.CoreRow{
+		{
+			Name: "ART-9 (this work)", ISA: "ART-9 ISA",
+			Instructions: 24, Stages: 5, Multiplier: false,
+			DMIPSPerMHz: perf.DMIPSPerMHz(float64(dhry.ART9Cycles) / iters),
+			MemoryCells: dhry.ARTTrits, CellUnit: "trits",
+		},
+		{
+			Name: "VexRiscv", ISA: "RV32I",
+			Instructions: rv32.NumRV32I, Stages: 5, Multiplier: true,
+			DMIPSPerMHz: perf.DMIPSPerMHz(float64(dhry.VexCycles) / iters),
+			MemoryCells: dhry.RVBits, CellUnit: "bits",
+		},
+		{
+			Name: "PicoRV32", ISA: "RV32IM",
+			Instructions: rv32.NumRV32IM, Stages: 1, Multiplier: true,
+			DMIPSPerMHz: perf.DMIPSPerMHz(float64(dhry.PicoCycles) / iters),
+			MemoryCells: dhry.RVBits, CellUnit: "bits",
+		},
+	}
+	var b strings.Builder
+	b.WriteString("Table II — simulation results of dhrystone benchmark\n")
+	fmt.Fprintf(&b, "%-20s %-10s %7s %7s %11s %12s %15s\n",
+		"core", "ISA", "#instr", "stages", "multiplier", "DMIPS/MHz", "memory cells")
+	for _, r := range rows {
+		mult := "X"
+		if r.Multiplier {
+			mult = "O"
+		}
+		fmt.Fprintf(&b, "%-20s %-10s %7d %7d %11s %12.2f %15s\n",
+			r.Name, r.ISA, r.Instructions, r.Stages, mult, r.DMIPSPerMHz, r.FormatCell())
+	}
+	return rows, b.String()
+}
+
+// Table3Row is one column of Table III.
+type Table3Row struct {
+	Benchmark  string
+	ART9Cycles uint64
+	PicoCycles uint64
+}
+
+// Table3 renders the processing-cycle comparison of Table III.
+func Table3(all map[string]*Outcome) ([]Table3Row, string) {
+	var rows []Table3Row
+	var b strings.Builder
+	b.WriteString("Table III — processing cycles for different test programs\n")
+	fmt.Fprintf(&b, "%-12s %12s %12s %8s\n", "benchmark", "ART-9", "PicoRV32", "speedup")
+	for _, w := range Workloads {
+		o := all[w.Name]
+		rows = append(rows, Table3Row{w.Name, o.ART9Cycles, o.PicoCycles})
+		fmt.Fprintf(&b, "%-12s %12d %12d %7.2fx\n",
+			w.Name, o.ART9Cycles, o.PicoCycles,
+			float64(o.PicoCycles)/float64(o.ART9Cycles))
+	}
+	return rows, b.String()
+}
+
+// Table4 renders the CNTFET implementation results of Table IV.
+func Table4(dhry *Outcome) (perf.Implementation, string) {
+	n := gate.BuildART9()
+	tech := gate.CNTFET32()
+	an := gate.Analyze(n, tech)
+	cyclesPerIter := float64(dhry.ART9Cycles) / float64(dhry.Workload.Iterations)
+	impl := perf.Estimate(an, tech, 0, cyclesPerIter, 0, memAccess(dhry), 0)
+	var b strings.Builder
+	b.WriteString("Table IV — implementation results using CNTFET ternary gates\n")
+	fmt.Fprintf(&b, "%-10s %12s %10s %12s\n", "voltage", "total gates", "power", "DMIPS/W")
+	fmt.Fprintf(&b, "%-10s %12d %9.1fuW %12.3g\n",
+		fmt.Sprintf("%.1fV", impl.VoltageV), impl.Gates, impl.PowerW*1e6, impl.DMIPSPerW)
+	fmt.Fprintf(&b, "(fmax %.1f MHz, %.2f DMIPS)\n", impl.FreqMHz, impl.DMIPS)
+	return impl, b.String()
+}
+
+// Table5 renders the FPGA implementation results of Table V.
+func Table5(dhry *Outcome) (perf.Implementation, string) {
+	n := gate.BuildART9()
+	tech := gate.StratixVEmulation()
+	an := gate.Analyze(n, tech)
+	cyclesPerIter := float64(dhry.ART9Cycles) / float64(dhry.Workload.Iterations)
+	impl := perf.Estimate(an, tech, fpgaFreqMHz, cyclesPerIter,
+		fpgaMemTrits, memAccess(dhry), fpgaRAMBits)
+	var b strings.Builder
+	b.WriteString("Table V — implementation results using FPGA-based ternary logics\n")
+	fmt.Fprintf(&b, "%-10s %10s %8s %10s %10s %8s %10s\n",
+		"voltage", "frequency", "ALMs", "registers", "RAM", "power", "DMIPS/W")
+	fmt.Fprintf(&b, "%-10s %7dMHz %8d %10d %6dbits %7.2fW %10.1f\n",
+		fmt.Sprintf("%.1fV", impl.VoltageV), int(impl.FreqMHz), impl.ALMs,
+		impl.Registers, impl.RAMBits, impl.PowerW, impl.DMIPSPerW)
+	return impl, b.String()
+}
+
+// AllTables runs the suite and renders every artifact.
+func AllTables() (string, error) {
+	all, err := RunAll()
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	_, s := Fig5(all)
+	b.WriteString(s + "\n")
+	_, s = Table2(all["dhrystone"])
+	b.WriteString(s + "\n")
+	_, s = Table3(all)
+	b.WriteString(s + "\n")
+	_, s = Table4(all["dhrystone"])
+	b.WriteString(s + "\n")
+	_, s = Table5(all["dhrystone"])
+	b.WriteString(s)
+	return b.String(), nil
+}

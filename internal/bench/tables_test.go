@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Tests of the table/figure renderers (E2–E6 of DESIGN.md): numbers and
+// formatting both matter — the CLI prints these verbatim.
+
+func suite(t *testing.T) map[string]*Outcome {
+	t.Helper()
+	all, err := RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return all
+}
+
+func TestFig5Rendering(t *testing.T) {
+	all := suite(t)
+	rows, text := Fig5(all)
+	if len(rows) != 4 {
+		t.Fatalf("Fig5 rows = %d, want 4", len(rows))
+	}
+	for _, r := range rows {
+		if r.ARTTrits <= 0 || r.RVBits <= 0 || r.ARMBits <= 0 {
+			t.Errorf("degenerate row %+v", r)
+		}
+	}
+	for _, want := range []string{"Fig. 5", "bubble", "gemm", "sobel", "dhrystone", "ART-9"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("Fig5 text missing %q", want)
+		}
+	}
+}
+
+func TestTable2Rendering(t *testing.T) {
+	all := suite(t)
+	rows, text := Table2(all["dhrystone"])
+	if len(rows) != 3 {
+		t.Fatalf("Table2 rows = %d, want 3", len(rows))
+	}
+	// Row identity and the Table II structural facts.
+	if rows[0].Instructions != 24 || rows[0].Stages != 5 || rows[0].Multiplier {
+		t.Errorf("ART-9 row wrong: %+v", rows[0])
+	}
+	if rows[1].Instructions != 40 || !rows[1].Multiplier {
+		t.Errorf("VexRiscv row wrong: %+v", rows[1])
+	}
+	if rows[2].Instructions != 48 || rows[2].Stages != 1 {
+		t.Errorf("PicoRV32 row wrong: %+v", rows[2])
+	}
+	// DMIPS/MHz ordering: Pico < ART-9 < Vex.
+	if !(rows[2].DMIPSPerMHz < rows[0].DMIPSPerMHz && rows[0].DMIPSPerMHz < rows[1].DMIPSPerMHz) {
+		t.Errorf("DMIPS/MHz ordering broken: %f %f %f",
+			rows[0].DMIPSPerMHz, rows[1].DMIPSPerMHz, rows[2].DMIPSPerMHz)
+	}
+	// Magnitudes within the paper's class (±40 %).
+	bands := []struct{ lo, hi float64 }{{0.30, 0.62}, {0.45, 0.90}, {0.22, 0.44}}
+	for i, r := range rows {
+		if r.DMIPSPerMHz < bands[i].lo || r.DMIPSPerMHz > bands[i].hi {
+			t.Errorf("%s DMIPS/MHz = %.3f outside band [%.2f, %.2f]",
+				r.Name, r.DMIPSPerMHz, bands[i].lo, bands[i].hi)
+		}
+	}
+	if !strings.Contains(text, "Table II") {
+		t.Error("Table2 header missing")
+	}
+}
+
+func TestTable3Rendering(t *testing.T) {
+	all := suite(t)
+	rows, text := Table3(all)
+	if len(rows) != 4 {
+		t.Fatalf("Table3 rows = %d, want 4", len(rows))
+	}
+	byName := map[string]Table3Row{}
+	for _, r := range rows {
+		byName[r.Benchmark] = r
+		if r.ART9Cycles >= r.PicoCycles {
+			t.Errorf("%s: ART-9 does not win (%d vs %d)", r.Benchmark, r.ART9Cycles, r.PicoCycles)
+		}
+	}
+	// GEMM's advantage must be the smallest of the suite (the paper's
+	// crossover: no multiplier).
+	gemmRatio := float64(byName["gemm"].PicoCycles) / float64(byName["gemm"].ART9Cycles)
+	for _, r := range rows {
+		if r.Benchmark == "gemm" {
+			continue
+		}
+		ratio := float64(r.PicoCycles) / float64(r.ART9Cycles)
+		if ratio <= gemmRatio {
+			t.Errorf("crossover lost: %s ratio %.2f ≤ gemm %.2f", r.Benchmark, ratio, gemmRatio)
+		}
+	}
+	if !strings.Contains(text, "Table III") {
+		t.Error("Table3 header missing")
+	}
+}
+
+func TestTable4Rendering(t *testing.T) {
+	all := suite(t)
+	impl, text := Table4(all["dhrystone"])
+	if impl.Gates < 489 || impl.Gates > 815 {
+		t.Errorf("gates = %d, want ≈652", impl.Gates)
+	}
+	if impl.PowerW < 30e-6 || impl.PowerW > 65e-6 {
+		t.Errorf("power = %.1f µW, want ≈42.7", impl.PowerW*1e6)
+	}
+	if impl.DMIPSPerW < 1.5e6 || impl.DMIPSPerW > 6e6 {
+		t.Errorf("DMIPS/W = %.3g, want ≈3.06e6 class", impl.DMIPSPerW)
+	}
+	if !strings.Contains(text, "Table IV") || !strings.Contains(text, "CNTFET") {
+		t.Error("Table4 text wrong")
+	}
+}
+
+func TestTable5Rendering(t *testing.T) {
+	all := suite(t)
+	impl, text := Table5(all["dhrystone"])
+	if impl.RAMBits != 9216 {
+		t.Errorf("RAM bits = %d, want exactly 9216", impl.RAMBits)
+	}
+	if impl.FreqMHz != 150 {
+		t.Errorf("frequency = %.0f, want 150", impl.FreqMHz)
+	}
+	if impl.PowerW < 0.85 || impl.PowerW > 1.35 {
+		t.Errorf("power = %.2f W, want ≈1.09", impl.PowerW)
+	}
+	if impl.DMIPSPerW < 35 || impl.DMIPSPerW > 110 {
+		t.Errorf("DMIPS/W = %.1f, want ≈57.8 class", impl.DMIPSPerW)
+	}
+	if impl.ALMs < 600 || impl.ALMs > 1000 {
+		t.Errorf("ALMs = %d, want ≈803", impl.ALMs)
+	}
+	if !strings.Contains(text, "Table V") {
+		t.Error("Table5 header missing")
+	}
+}
+
+func TestDMIPSPerWGapBetweenTechnologies(t *testing.T) {
+	// The paper's headline: CNTFET is orders of magnitude above the
+	// FPGA emulation. Require ≥ 4 orders.
+	all := suite(t)
+	cntfet, _ := Table4(all["dhrystone"])
+	fpga, _ := Table5(all["dhrystone"])
+	if cntfet.DMIPSPerW/fpga.DMIPSPerW < 1e4 {
+		t.Errorf("technology gap only %.3g×, want ≥1e4",
+			cntfet.DMIPSPerW/fpga.DMIPSPerW)
+	}
+}
+
+func TestAllTablesOneShot(t *testing.T) {
+	s, err := AllTables()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Fig. 5", "Table II", "Table III", "Table IV", "Table V"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("AllTables missing %q", want)
+		}
+	}
+}
+
+func TestOutcomeCyclesPerIteration(t *testing.T) {
+	o := &Outcome{Workload: Dhrystone, ART9Cycles: 134200}
+	if got := o.CyclesPerIteration(); got != 1342 {
+		t.Errorf("CyclesPerIteration = %f, want 1342", got)
+	}
+	o = &Outcome{Workload: BubbleSort, ART9Cycles: 100}
+	if got := o.CyclesPerIteration(); got != 100 {
+		t.Errorf("iterations=1 normalisation wrong: %f", got)
+	}
+}
+
+func TestTranslationDiagnosticsSurface(t *testing.T) {
+	// The harness must carry translator diagnostics through (the value
+	// contract is visible to users).
+	all := suite(t)
+	found := false
+	for _, o := range all {
+		if len(o.Diagnostics) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("no diagnostics surfaced across the whole suite (mul/div/boolean ops should produce them)")
+	}
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/gate"
+	"repro/internal/sim"
+)
+
+const tinyRV = `
+	li   a0, 6
+	li   a1, 7
+	mul  a2, a0, a1
+	ebreak
+`
+
+func TestSoftwareFrameworkCompile(t *testing.T) {
+	f := &SoftwareFramework{}
+	res, err := f.Compile(tinyRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Binary.Insts) == 0 || len(res.Program.Text) == 0 {
+		t.Fatal("empty compile result")
+	}
+	if !strings.Contains(res.Ternary.Asm, "HALT") {
+		t.Error("generated assembly lacks HALT")
+	}
+	// End-to-end value check through the functional core.
+	state, _, err := RunFunctional(res.Program, res.Data, sim.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := res.Ternary.ReadBack(state, 12) // a2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("6*7 = %d, want 42", got)
+	}
+}
+
+func TestSoftwareFrameworkBadInput(t *testing.T) {
+	f := &SoftwareFramework{}
+	if _, err := f.Compile("bogus instruction"); err == nil {
+		t.Error("bad RV32 source compiled")
+	}
+	if _, err := f.Compile("auipc a0, 1\nebreak"); err == nil {
+		t.Error("untranslatable source compiled")
+	}
+}
+
+func TestHardwareFrameworkCNTFET(t *testing.T) {
+	f := &SoftwareFramework{}
+	res, err := f.Compile(tinyRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := &HardwareFramework{} // defaults: CNTFET at fmax
+	ev, err := hw.Evaluate(res.Program, res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Cycles.Retired == 0 {
+		t.Error("no instructions retired")
+	}
+	if ev.Analysis.FmaxMHz <= 0 || ev.Impl.PowerW <= 0 || ev.Impl.DMIPSPerW <= 0 {
+		t.Errorf("degenerate evaluation: %+v", ev.Impl)
+	}
+	if ev.Impl.FreqMHz != ev.Analysis.FmaxMHz {
+		t.Error("default frequency is not fmax")
+	}
+}
+
+func TestHardwareFrameworkFPGA(t *testing.T) {
+	f := &SoftwareFramework{}
+	res, err := f.Compile(tinyRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := &HardwareFramework{
+		Tech:     gate.StratixVEmulation(),
+		FreqMHz:  150,
+		MemWords: 256,
+	}
+	ev, err := hw.Evaluate(res.Program, res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Impl.RAMBits != 9216 {
+		t.Errorf("RAM bits = %d, want 9216", ev.Impl.RAMBits)
+	}
+	if ev.Impl.ALMs == 0 || ev.Impl.Registers == 0 {
+		t.Error("FPGA resources missing")
+	}
+}
+
+func TestHardwareFrameworkIterationNormalisation(t *testing.T) {
+	f := &SoftwareFramework{}
+	res, err := f.Compile(tinyRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := &HardwareFramework{}
+	one, err := hw.Evaluate(res.Program, res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ten, err := hw.Evaluate(res.Program, res.Data, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ten "iterations" of the same cycles → 10× the DMIPS.
+	if ten.Impl.DMIPS < 9.9*one.Impl.DMIPS {
+		t.Errorf("iteration normalisation wrong: %f vs %f", ten.Impl.DMIPS, one.Impl.DMIPS)
+	}
+	// iterations < 1 clamps to 1.
+	clamped, err := hw.Evaluate(res.Program, res.Data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clamped.Impl.DMIPS != one.Impl.DMIPS {
+		t.Error("iterations=0 not clamped to 1")
+	}
+}
+
+func TestRunFunctionalNilData(t *testing.T) {
+	f := &SoftwareFramework{}
+	res, err := f.Compile("li a0, 5\nebreak")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RunFunctional(res.Program, nil, sim.Config{}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+package gate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Analysis is the gate-level analyzer's report for one (netlist,
+// technology) pair: the inputs the performance estimator combines with
+// cycle counts into Tables IV and V.
+type Analysis struct {
+	Tech      string
+	Gates     int // combinational standard ternary cells (Table IV)
+	FlopTrits int // one-trit storage elements
+	Histogram map[CellKind]int
+
+	CriticalPathPs float64
+	FmaxMHz        float64
+
+	LeakageW float64 // static power of the datapath cells
+	// DynCoeffWPerMHz is the dynamic power per MHz at the technology's
+	// activity factor; total power = Leakage + Dyn*MHz + memory terms.
+	DynCoeffWPerMHz float64
+
+	// FPGA-specific resources (zero for native technologies).
+	ALMs      int
+	Registers int // binary-encoded register bits (2 per flop trit)
+}
+
+// Analyze runs static timing and power analysis over the netlist.
+func Analyze(n *Netlist, tech *Technology) *Analysis {
+	a := &Analysis{
+		Tech:      tech.Name,
+		Gates:     n.GateCount(),
+		FlopTrits: n.FlopTrits(),
+		Histogram: n.Histogram(),
+	}
+
+	// Longest register-to-register (or input-to-register) path:
+	// arrival[i] is the worst-case arrival time at cell i's output.
+	// Flops and inputs start paths; a flop's D pin ends them.
+	arrival := make([]float64, len(n.Cells))
+	worstEnd := 0.0
+	for i, c := range n.Cells {
+		switch c.Kind {
+		case Input:
+			arrival[i] = 0
+		case TDFF:
+			// Path ends here: record fanin arrival + setup.
+			for _, f := range c.Fanin {
+				if end := arrival[f] + tech.SetupPs; end > worstEnd {
+					worstEnd = end
+				}
+			}
+			// And a new path starts at the flop output.
+			arrival[i] = tech.ClkQPs
+		default:
+			worst := 0.0
+			for _, f := range c.Fanin {
+				if arrival[f] > worst {
+					worst = arrival[f]
+				}
+			}
+			arrival[i] = worst + tech.props(c.Kind).DelayPs
+		}
+	}
+	// Combinational outputs that feed no flop still bound the cycle
+	// (they reach the memories' address pins): include them.
+	for i, c := range n.Cells {
+		if c.Kind != TDFF && c.Kind != Input {
+			if end := arrival[i] + tech.SetupPs; end > worstEnd {
+				worstEnd = end
+			}
+		}
+	}
+	a.CriticalPathPs = worstEnd
+	if worstEnd > 0 {
+		a.FmaxMHz = 1e6 / worstEnd // ps → MHz
+	}
+
+	// Power: leakage is frequency-independent; dynamic scales with f.
+	var leakNW, energyFJ float64
+	for _, c := range n.Cells {
+		p := tech.props(c.Kind)
+		leakNW += p.LeakNW
+		energyFJ += p.EnergyFJ
+	}
+	a.LeakageW = leakNW * 1e-9
+	// P_dyn = α · ΣE · f  → (fJ · MHz) = 1e-15 J · 1e6 /s = 1e-9 W.
+	a.DynCoeffWPerMHz = tech.Activity * energyFJ * 1e-9
+
+	// FPGA resources.
+	var alms float64
+	for _, c := range n.Cells {
+		alms += tech.props(c.Kind).ALMs
+	}
+	a.ALMs = int(math.Ceil(alms))
+	a.Registers = a.FlopTrits * 2
+
+	return a
+}
+
+// PowerW returns the total power at freqMHz: cell leakage + device static
+// + I/O + dynamic, plus memory power for the given memory size (trits) and
+// access rate (word accesses per cycle).
+func (a *Analysis) PowerW(tech *Technology, freqMHz float64, memTrits int, memAccessPerCycle float64) float64 {
+	p := a.LeakageW + tech.StaticW + tech.IOW + a.DynCoeffWPerMHz*freqMHz
+	p += float64(memTrits) * tech.MemLeakageNWPerTrit * 1e-9
+	p += memAccessPerCycle * tech.MemReadEnergyFJ * freqMHz * 1e-9
+	return p
+}
+
+// String renders a human-readable summary.
+func (a *Analysis) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "technology      %s\n", a.Tech)
+	fmt.Fprintf(&b, "ternary gates   %d\n", a.Gates)
+	fmt.Fprintf(&b, "flop trits      %d\n", a.FlopTrits)
+	fmt.Fprintf(&b, "critical path   %.0f ps (fmax %.1f MHz)\n", a.CriticalPathPs, a.FmaxMHz)
+	fmt.Fprintf(&b, "leakage         %.2f µW\n", a.LeakageW*1e6)
+	if a.ALMs > 0 {
+		fmt.Fprintf(&b, "ALMs            %d\n", a.ALMs)
+		fmt.Fprintf(&b, "registers       %d\n", a.Registers)
+	}
+	kinds := make([]CellKind, 0, len(a.Histogram))
+	for k := range a.Histogram {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool { return kinds[i] < kinds[j] })
+	for _, k := range kinds {
+		if k == Input {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-6s %4d\n", k, a.Histogram[k])
+	}
+	return b.String()
+}

@@ -1,0 +1,195 @@
+package gate
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNetlistBasics(t *testing.T) {
+	n := &Netlist{}
+	a := n.AddInput("a")
+	b := n.AddInput("b")
+	g := n.Add(TAND, "g", a, b)
+	f := n.Add(TDFF, "q", g)
+	if n.GateCount() != 1 {
+		t.Errorf("GateCount = %d, want 1 (inputs and flops excluded)", n.GateCount())
+	}
+	if n.FlopTrits() != 1 {
+		t.Errorf("FlopTrits = %d, want 1", n.FlopTrits())
+	}
+	if f != 3 || g != 2 {
+		t.Errorf("indices %d,%d unexpected", g, f)
+	}
+}
+
+func TestAddPanicsOnForwardRef(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("forward fanin reference did not panic")
+		}
+	}()
+	n := &Netlist{}
+	n.Add(TAND, "bad", 5)
+}
+
+func TestBuildART9Structure(t *testing.T) {
+	n := BuildART9()
+	gates := n.GateCount()
+	// Table IV reports 652 standard ternary gates for the datapath; our
+	// structural build must land in the same class (±25%).
+	if gates < 489 || gates > 815 {
+		t.Errorf("ART-9 gate count = %d, want ≈652 (±25%%)", gates)
+	}
+	// Register budget: TRF (81) + pipeline/PC registers; Table V's 339
+	// binary-encoded bits imply ≈170 flop trits.
+	flops := n.FlopTrits()
+	if flops < 140 || flops > 210 {
+		t.Errorf("flop trits = %d, want ≈170", flops)
+	}
+	// The TRF alone is 81 trits.
+	if flops < 81 {
+		t.Error("fewer flops than the TRF alone")
+	}
+	// Essential structures must exist.
+	h := n.Histogram()
+	if h[TFA] < 18 {
+		t.Errorf("only %d TFA cells; adder + PC/branch adders expected ≥ 27", h[TFA])
+	}
+	if h[TMUX] == 0 || h[TCMP] == 0 || h[TDEC] == 0 {
+		t.Error("missing mux/comparator/decoder structures")
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	a, b := BuildART9(), BuildART9()
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("nondeterministic build")
+	}
+	for i := range a.Cells {
+		if a.Cells[i].Kind != b.Cells[i].Kind || a.Cells[i].Name != b.Cells[i].Name {
+			t.Fatalf("cell %d differs between builds", i)
+		}
+	}
+}
+
+func TestAnalyzeCNTFET(t *testing.T) {
+	n := BuildART9()
+	an := Analyze(n, CNTFET32())
+	// Table IV context: the CNTFET core runs near 300 MHz (0.42
+	// DMIPS/MHz × ~311 MHz / 42.7 µW ≈ 3.06e6 DMIPS/W).
+	if an.FmaxMHz < 200 || an.FmaxMHz > 450 {
+		t.Errorf("CNTFET fmax = %.1f MHz, want ≈300", an.FmaxMHz)
+	}
+	// Datapath power at fmax should be tens of µW.
+	p := an.PowerW(CNTFET32(), an.FmaxMHz, 0, 0)
+	if p < 20e-6 || p > 80e-6 {
+		t.Errorf("CNTFET power = %.2f µW, want ≈42.7", p*1e6)
+	}
+	if an.CriticalPathPs <= 0 {
+		t.Error("no critical path found")
+	}
+}
+
+func TestAnalyzeFPGA(t *testing.T) {
+	n := BuildART9()
+	tech := StratixVEmulation()
+	an := Analyze(n, tech)
+	// Table V: 150 MHz operating point — fmax must comfortably exceed it.
+	if an.FmaxMHz < 150 {
+		t.Errorf("FPGA fmax = %.1f MHz, must support the 150 MHz operating point", an.FmaxMHz)
+	}
+	if an.FmaxMHz > 400 {
+		t.Errorf("FPGA fmax = %.1f MHz implausibly fast", an.FmaxMHz)
+	}
+	// Table V: 803 ALMs, 339 registers (same class).
+	if an.ALMs < 600 || an.ALMs > 1000 {
+		t.Errorf("ALMs = %d, want ≈803", an.ALMs)
+	}
+	if an.Registers < 280 || an.Registers > 420 {
+		t.Errorf("registers = %d, want ≈339", an.Registers)
+	}
+}
+
+func TestCriticalPathDominatedByAdder(t *testing.T) {
+	// The ripple adder must dominate the cycle: removing TFA delay
+	// should shorten the critical path substantially.
+	n := BuildART9()
+	tech := CNTFET32()
+	base := Analyze(n, tech).CriticalPathPs
+
+	fast := CNTFET32()
+	p := fast.Props[TFA]
+	p.DelayPs = 1
+	fast.Props[TFA] = p
+	quick := Analyze(n, fast).CriticalPathPs
+	if quick >= base {
+		t.Errorf("TFA speedup did not shorten critical path: %f vs %f", quick, base)
+	}
+	if base-quick < 0.3*base {
+		t.Errorf("adder contributes only %.0f of %.0f ps; ripple chain not modelled", base-quick, base)
+	}
+}
+
+func TestPowerScalesWithFrequency(t *testing.T) {
+	n := BuildART9()
+	tech := CNTFET32()
+	an := Analyze(n, tech)
+	p100 := an.PowerW(tech, 100, 0, 0)
+	p300 := an.PowerW(tech, 300, 0, 0)
+	if p300 <= p100 {
+		t.Error("power does not increase with frequency")
+	}
+	// Dynamic part must scale linearly.
+	dyn100 := p100 - an.LeakageW
+	dyn300 := p300 - an.LeakageW
+	if math.Abs(dyn300/dyn100-3) > 1e-9 {
+		t.Errorf("dynamic power ratio = %f, want 3", dyn300/dyn100)
+	}
+}
+
+func TestMemoryPowerAccounted(t *testing.T) {
+	n := BuildART9()
+	tech := StratixVEmulation()
+	an := Analyze(n, tech)
+	without := an.PowerW(tech, 150, 0, 0)
+	with := an.PowerW(tech, 150, 2*256*9, 1.2)
+	if with <= without {
+		t.Error("memory terms not included in power")
+	}
+}
+
+func TestHistogramComplete(t *testing.T) {
+	n := BuildART9()
+	h := n.Histogram()
+	total := 0
+	for _, c := range h {
+		total += c
+	}
+	if total != len(n.Cells) {
+		t.Errorf("histogram sums to %d, want %d", total, len(n.Cells))
+	}
+}
+
+func TestAnalysisString(t *testing.T) {
+	an := Analyze(BuildART9(), CNTFET32())
+	s := an.String()
+	for _, want := range []string{"ternary gates", "critical path", "TFA"} {
+		if !containsStr(s, want) {
+			t.Errorf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 ||
+		(len(s) > 0 && indexOf(s, sub) >= 0))
+}
+
+func indexOf(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}

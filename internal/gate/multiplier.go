@@ -1,0 +1,99 @@
+package gate
+
+import "fmt"
+
+// The paper's ART-9 deliberately ships without a hardware multiplier
+// (Table II) and synthesises MUL in software; its references include the
+// ternary multiplier of Kang et al. [10]. This file builds that multiplier
+// as a netlist extension so the evaluation framework can quantify the
+// design decision: what a hardware multiplier would cost the ternary core
+// in gates, cycle time and power (the BenchmarkAblationHWMultiplier
+// harness reports the resulting trade-off).
+
+// BuildTernaryMultiplier constructs a 9×9-trit array multiplier ([10]):
+// 81 partial-product cells (trit product = STI∘TXOR) reduced by a ripple
+// adder row per multiplier trit. Returns the netlist; the low 9 trits of
+// the product feed the result bus.
+func BuildTernaryMultiplier() *Netlist {
+	n := &Netlist{}
+	a := n.inputWord("mul_a")
+	b := n.inputWord("mul_b")
+	buildMultiplierInto(n, a, b)
+	return n
+}
+
+// buildMultiplierInto appends the multiplier structure to an existing
+// netlist and returns the product word (low 9 trits).
+func buildMultiplierInto(n *Netlist, a, b word) word {
+	// Row 0: partial products of b[0].
+	acc := make([]int, 9)
+	for i := 0; i < 9; i++ {
+		x := n.Add(TXOR, fmt.Sprintf("pp0_x[%d]", i), a[i], b[0])
+		acc[i] = n.Add(STI, fmt.Sprintf("pp0[%d]", i), x)
+	}
+	// Rows 1..8: partial products shifted left j positions, added into
+	// the running sum with a ripple adder (only the low 9 trits are
+	// architecturally visible, so each row adds 9−j full adders).
+	for j := 1; j < 9; j++ {
+		carry := -1
+		for i := j; i < 9; i++ {
+			x := n.Add(TXOR, fmt.Sprintf("pp%d_x[%d]", j, i), a[i-j], b[j])
+			pp := n.Add(STI, fmt.Sprintf("pp%d[%d]", j, i), x)
+			if carry < 0 {
+				s := n.Add(THA, fmt.Sprintf("mrow%d_ha[%d]", j, i), acc[i], pp)
+				acc[i], carry = s, s
+			} else {
+				s := n.Add(TFA, fmt.Sprintf("mrow%d_fa[%d]", j, i), acc[i], pp, carry)
+				acc[i], carry = s, s
+			}
+		}
+	}
+	var out word
+	copy(out[:], acc)
+	return out
+}
+
+// BuildART9WithMultiplier constructs the ART-9 core extended with the
+// hardware multiplier of [10] muxed into the EX result path — the design
+// point the paper decided against.
+func BuildART9WithMultiplier() *Netlist {
+	n := BuildART9()
+	// Operand buses for the multiplier: reuse the ID/EX operand
+	// registers by name lookup (the builder appended them in order).
+	var opA, opB word
+	foundA, foundB := 0, 0
+	for idx, c := range n.Cells {
+		if c.Kind == TDFF {
+			if k := matchIndexed(c.Name, "idex_a"); k >= 0 {
+				opA[k] = idx
+				foundA++
+			}
+			if k := matchIndexed(c.Name, "idex_b"); k >= 0 {
+				opB[k] = idx
+				foundB++
+			}
+		}
+	}
+	if foundA != 9 || foundB != 9 {
+		panic("gate: ID/EX operand registers not found")
+	}
+	prod := buildMultiplierInto(n, opA, opB)
+	// Mux the product into the writeback path.
+	sel := n.AddInput("mul_sel")
+	for i := 0; i < 9; i++ {
+		n.Add(TMUX, fmt.Sprintf("mul_res[%d]", i), sel, prod[i], prod[i], prod[i])
+	}
+	return n
+}
+
+// matchIndexed parses names of the form "prefix[k]" and returns k, or −1.
+func matchIndexed(name, prefix string) int {
+	var k int
+	if _, err := fmt.Sscanf(name, prefix+"[%d]", &k); err != nil {
+		return -1
+	}
+	if len(name) != len(prefix)+len(fmt.Sprintf("[%d]", k)) {
+		return -1
+	}
+	return k
+}

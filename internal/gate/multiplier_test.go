@@ -1,0 +1,74 @@
+package gate
+
+import "testing"
+
+func TestMultiplierStructure(t *testing.T) {
+	n := BuildTernaryMultiplier()
+	h := n.Histogram()
+	// Partial products for the architecturally visible low 9 trits:
+	// row 0 has 9, rows 1..8 have 9−j → 45 TXOR + 45 STI.
+	if h[TXOR] != 45 || h[STI] != 45 {
+		t.Errorf("partial products: %d TXOR, %d STI; want 45/45", h[TXOR], h[STI])
+	}
+	// Reduction: rows j=1..8 contribute (9−j) adders, the first of each
+	// row a half adder: Σ(9−j) = 36 total, 8 of them THA.
+	if h[THA] != 8 {
+		t.Errorf("half adders = %d, want 8", h[THA])
+	}
+	if h[TFA] != 28 {
+		t.Errorf("full adders = %d, want 28", h[TFA])
+	}
+	// The multiplier alone costs a fifth of the whole ART-9 datapath
+	// (574 gates) — the paper's reason to omit it.
+	if g := n.GateCount(); g < 100 || g > 200 {
+		t.Errorf("multiplier gate count = %d, want 100..200", g)
+	}
+}
+
+func TestART9WithMultiplierCosts(t *testing.T) {
+	base := Analyze(BuildART9(), CNTFET32())
+	ext := Analyze(BuildART9WithMultiplier(), CNTFET32())
+
+	// Gate count must grow by the multiplier's size (126 cells + the
+	// result mux).
+	if ext.Gates <= base.Gates+100 {
+		t.Errorf("extended core %d gates vs base %d; multiplier missing?",
+			ext.Gates, base.Gates)
+	}
+	// The array multiplier's carry path is longer than the TALU ripple
+	// adder: cycle time must degrade.
+	if ext.CriticalPathPs <= base.CriticalPathPs {
+		t.Errorf("critical path did not grow: %f vs %f",
+			ext.CriticalPathPs, base.CriticalPathPs)
+	}
+	// Power at the base core's fmax must grow too.
+	tech := CNTFET32()
+	if ext.PowerW(tech, base.FmaxMHz, 0, 0) <= base.PowerW(tech, base.FmaxMHz, 0, 0) {
+		t.Error("power did not grow with the multiplier")
+	}
+}
+
+func TestMultiplierDeterministic(t *testing.T) {
+	a, b := BuildART9WithMultiplier(), BuildART9WithMultiplier()
+	if len(a.Cells) != len(b.Cells) {
+		t.Fatal("nondeterministic extended build")
+	}
+}
+
+func TestMatchIndexed(t *testing.T) {
+	cases := []struct {
+		name, prefix string
+		want         int
+	}{
+		{"idex_a[3]", "idex_a", 3},
+		{"idex_a[0]", "idex_a", 0},
+		{"idex_ab[3]", "idex_a", -1},
+		{"idex_a", "idex_a", -1},
+		{"other[2]", "idex_a", -1},
+	}
+	for _, c := range cases {
+		if got := matchIndexed(c.name, c.prefix); got != c.want {
+			t.Errorf("matchIndexed(%q,%q) = %d, want %d", c.name, c.prefix, got, c.want)
+		}
+	}
+}

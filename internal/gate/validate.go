@@ -1,0 +1,108 @@
+package gate
+
+import "fmt"
+
+// Netlist validation and structural statistics: sanity checks a synthesis
+// flow would run before timing, used by the tests and available to tools.
+
+// Validate checks structural invariants: topological construction order
+// (guaranteed by Add, re-checked here), fanin arity per cell kind, and
+// that no combinational cell is dangling with zero fanin.
+func (n *Netlist) Validate() error {
+	for i, c := range n.Cells {
+		for _, f := range c.Fanin {
+			if f >= i {
+				return fmt.Errorf("gate: cell %d (%s) has non-topological fanin %d", i, c.Name, f)
+			}
+		}
+		lo, hi := fanInArity(c.Kind)
+		if len(c.Fanin) < lo || len(c.Fanin) > hi {
+			return fmt.Errorf("gate: cell %d (%s, %v) has %d fanins, want %d..%d",
+				i, c.Name, c.Kind, len(c.Fanin), lo, hi)
+		}
+	}
+	return nil
+}
+
+// fanInArity returns the legal fanin range per cell kind.
+func fanInArity(k CellKind) (lo, hi int) {
+	switch k {
+	case Input:
+		return 0, 0
+	case STI, NTI, PTI, TBUF, TDFF, TDEC:
+		return 1, 1
+	case TNAND, TNOR, TAND, TOR, TXOR, THA:
+		return 2, 2
+	case TCMP:
+		return 2, 3 // ripple comparator slices take an optional chain-in
+	case TFA:
+		return 3, 3
+	case TMUX:
+		return 4, 4 // select + three data legs
+	}
+	return 0, 4
+}
+
+// FanoutStats summarises how many consumers each cell drives.
+type FanoutStats struct {
+	Max     int
+	MaxCell string
+	Mean    float64
+	// Unused counts cells (excluding flops and primary inputs) whose
+	// output drives nothing — top-level outputs or genuinely dead logic.
+	Unused int
+}
+
+// Fanout computes driver statistics over the netlist.
+func (n *Netlist) Fanout() FanoutStats {
+	counts := make([]int, len(n.Cells))
+	for _, c := range n.Cells {
+		for _, f := range c.Fanin {
+			counts[f]++
+		}
+	}
+	var st FanoutStats
+	total, driven := 0, 0
+	for i, c := range n.Cells {
+		if c.Kind == Input {
+			continue
+		}
+		total += counts[i]
+		driven++
+		if counts[i] > st.Max {
+			st.Max, st.MaxCell = counts[i], c.Name
+		}
+		if counts[i] == 0 && c.Kind != TDFF {
+			st.Unused++
+		}
+	}
+	if driven > 0 {
+		st.Mean = float64(total) / float64(driven)
+	}
+	return st
+}
+
+// Depth returns the maximum combinational depth in cells (levels between
+// sequential boundaries), a technology-independent complexity measure.
+func (n *Netlist) Depth() int {
+	depth := make([]int, len(n.Cells))
+	max := 0
+	for i, c := range n.Cells {
+		switch c.Kind {
+		case Input, TDFF:
+			depth[i] = 0
+		default:
+			d := 0
+			for _, f := range c.Fanin {
+				if depth[f] > d {
+					d = depth[f]
+				}
+			}
+			depth[i] = d + 1
+			if depth[i] > max {
+				max = depth[i]
+			}
+		}
+	}
+	return max
+}

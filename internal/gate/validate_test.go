@@ -1,0 +1,78 @@
+package gate
+
+import "testing"
+
+func TestValidateART9(t *testing.T) {
+	for _, build := range []struct {
+		name string
+		n    *Netlist
+	}{
+		{"base", BuildART9()},
+		{"multiplier", BuildTernaryMultiplier()},
+		{"with-multiplier", BuildART9WithMultiplier()},
+	} {
+		if err := build.n.Validate(); err != nil {
+			t.Errorf("%s: %v", build.name, err)
+		}
+	}
+}
+
+func TestValidateCatchesBadArity(t *testing.T) {
+	n := &Netlist{}
+	a := n.AddInput("a")
+	n.Cells = append(n.Cells, Cell{Kind: TFA, Name: "bad", Fanin: []int{a}})
+	if err := n.Validate(); err == nil {
+		t.Error("TFA with one fanin validated")
+	}
+}
+
+func TestValidateCatchesNonTopological(t *testing.T) {
+	n := &Netlist{}
+	n.AddInput("a")
+	// Hand-build a forward reference (Add would panic, so bypass it).
+	n.Cells = append(n.Cells, Cell{Kind: STI, Name: "fwd", Fanin: []int{5}})
+	if err := n.Validate(); err == nil {
+		t.Error("forward fanin validated")
+	}
+}
+
+func TestFanoutStats(t *testing.T) {
+	n := BuildART9()
+	st := n.Fanout()
+	if st.Max <= 1 {
+		t.Errorf("max fanout = %d; the TRF write bus should fan out widely", st.Max)
+	}
+	if st.Mean <= 0 {
+		t.Error("mean fanout not computed")
+	}
+	// A handful of true outputs (PC mux, stall, WB drivers) drive no
+	// in-netlist consumer; anything beyond that class signals dead logic.
+	if st.Unused > 60 {
+		t.Errorf("%d unused cells — dead logic in the builder?", st.Unused)
+	}
+}
+
+func TestDepth(t *testing.T) {
+	n := BuildART9()
+	d := n.Depth()
+	// The ripple adder alone is 9 levels; muxing and decode add more.
+	if d < 10 || d > 40 {
+		t.Errorf("combinational depth = %d, want 10..40", d)
+	}
+	// Depth correlates with the analyzer's critical path.
+	an := Analyze(n, CNTFET32())
+	if an.CriticalPathPs < float64(d)*30 {
+		t.Errorf("critical path %.0f ps implausibly short for depth %d",
+			an.CriticalPathPs, d)
+	}
+}
+
+func TestMultiplierDepthAtLeastBase(t *testing.T) {
+	// The unweighted level count can tie the base datapath (both are
+	// long ripple structures); the *weighted* critical-path growth is
+	// asserted in TestART9WithMultiplierCosts. Here: never shallower.
+	base, ext := BuildART9().Depth(), BuildART9WithMultiplier().Depth()
+	if ext < base {
+		t.Errorf("multiplier shortened the netlist depth: %d vs %d", ext, base)
+	}
+}

@@ -1,0 +1,204 @@
+package isa
+
+import (
+	"fmt"
+
+	"repro/internal/ternary"
+)
+
+// Instruction encoding (DESIGN.md §3). Trits are numbered t8 (most
+// significant) … t0. The 2-trit major opcode lives in t8..t7; formats that
+// need all seven remaining trits for operands get a dedicated major code,
+// the R and I families add minor codes. All operand field widths of
+// Table I are preserved exactly.
+
+// Major opcode values (balanced value of the t8..t7 field, t7 is the low
+// trit of the field).
+const (
+	majR     = -4 // (t8,t7) = (−1,−1)
+	majI     = -1 // (−1, 0)
+	majLI    = 2  // (−1,+1)
+	majJAL   = -3 // ( 0,−1)
+	majJALR  = 0  // ( 0, 0)
+	majBEQ   = 3  // ( 0,+1)
+	majBNE   = -2 // (+1,−1)
+	majLOAD  = 1  // (+1, 0)
+	majSTORE = 4  // (+1,+1)
+)
+
+// R-type minor codes (t6..t4), balanced values −5…+6.
+var rMinor = map[Op]int{
+	MV: -5, PTI: -4, NTI: -3, STI: -2, AND: -1, OR: 0,
+	XOR: 1, ADD: 2, SUB: 3, SR: 4, SL: 5, COMP: 6,
+}
+
+var rMinorRev = func() map[int]Op {
+	m := make(map[int]Op, len(rMinor))
+	for op, v := range rMinor {
+		m[v] = op
+	}
+	return m
+}()
+
+// Encode encodes i into its 9-trit machine word. It returns an error if
+// any operand is out of range for its field.
+func Encode(i Inst) (ternary.Word, error) {
+	if err := i.Validate(); err != nil {
+		return ternary.Word{}, err
+	}
+	var w ternary.Word
+	switch i.Op {
+	case MV, PTI, NTI, STI, AND, OR, XOR, ADD, SUB, SR, SL, COMP:
+		w = w.SetField(7, 8, majR)
+		w = w.SetField(4, 6, rMinor[i.Op])
+		w = w.SetField(2, 3, regField(i.Ta))
+		w = w.SetField(0, 1, regField(i.Tb))
+	case LUI:
+		w = w.SetField(7, 8, majI)
+		w = w.SetField(6, 6, -1)
+		w = w.SetField(4, 5, regField(i.Ta))
+		w = w.SetField(0, 3, i.Imm)
+	case ANDI, ADDI, SRI, SLI:
+		w = w.SetField(7, 8, majI)
+		switch i.Op {
+		case ANDI:
+			w = w.SetField(6, 6, 0).SetField(5, 5, -1)
+		case ADDI:
+			w = w.SetField(6, 6, 0).SetField(5, 5, 0)
+		case SRI:
+			w = w.SetField(6, 6, 0).SetField(5, 5, 1)
+		case SLI:
+			w = w.SetField(6, 6, 1).SetField(5, 5, -1)
+		}
+		w = w.SetField(3, 4, regField(i.Ta))
+		if i.Op == SRI || i.Op == SLI {
+			w = w.SetField(0, 1, i.Imm) // imm[1:0], t2 stays 0
+		} else {
+			w = w.SetField(0, 2, i.Imm)
+		}
+	case LI, JAL:
+		if i.Op == LI {
+			w = w.SetField(7, 8, majLI)
+		} else {
+			w = w.SetField(7, 8, majJAL)
+		}
+		w = w.SetField(5, 6, regField(i.Ta))
+		w = w.SetField(0, 4, i.Imm)
+	case JALR, LOAD, STORE:
+		switch i.Op {
+		case JALR:
+			w = w.SetField(7, 8, majJALR)
+		case LOAD:
+			w = w.SetField(7, 8, majLOAD)
+		default:
+			w = w.SetField(7, 8, majSTORE)
+		}
+		w = w.SetField(5, 6, regField(i.Ta))
+		w = w.SetField(3, 4, regField(i.Tb))
+		w = w.SetField(0, 2, i.Imm)
+	case BEQ, BNE:
+		if i.Op == BEQ {
+			w = w.SetField(7, 8, majBEQ)
+		} else {
+			w = w.SetField(7, 8, majBNE)
+		}
+		w = w.SetField(6, 6, int(i.B))
+		w = w.SetField(4, 5, regField(i.Tb))
+		w = w.SetField(0, 3, i.Imm)
+	default:
+		return ternary.Word{}, fmt.Errorf("isa: cannot encode op %d", i.Op)
+	}
+	return w, nil
+}
+
+// MustEncode is Encode for known-valid instructions; it panics on error.
+// It backs the assembler's emit path after validation.
+func MustEncode(i Inst) ternary.Word {
+	w, err := Encode(i)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Decode decodes a 9-trit machine word into an instruction. Words that do
+// not correspond to any of the 24 instructions return an error (the
+// hardware raises an illegal-instruction condition).
+func Decode(w ternary.Word) (Inst, error) {
+	switch w.Field(7, 8) {
+	case majR:
+		op, ok := rMinorRev[w.Field(4, 6)]
+		if !ok {
+			return Inst{}, fmt.Errorf("isa: illegal R-type minor %d in %v", w.Field(4, 6), w)
+		}
+		return Inst{
+			Op: op,
+			Ta: regFromField(w.Field(2, 3)),
+			Tb: regFromField(w.Field(0, 1)),
+		}, nil
+	case majI:
+		switch w.Field(6, 6) {
+		case -1:
+			return Inst{Op: LUI, Ta: regFromField(w.Field(4, 5)), Imm: w.Field(0, 3)}, nil
+		case 0:
+			var op Op
+			switch w.Field(5, 5) {
+			case -1:
+				op = ANDI
+			case 0:
+				op = ADDI
+			default:
+				op = SRI
+			}
+			imm := w.Field(0, 2)
+			if op == SRI {
+				if w.Field(2, 2) != 0 {
+					return Inst{}, fmt.Errorf("isa: illegal SRI padding in %v", w)
+				}
+				imm = w.Field(0, 1)
+			}
+			return Inst{Op: op, Ta: regFromField(w.Field(3, 4)), Imm: imm}, nil
+		default: // t6 = +1
+			if w.Field(5, 5) != -1 {
+				return Inst{}, fmt.Errorf("isa: illegal I-type minor in %v", w)
+			}
+			if w.Field(2, 2) != 0 {
+				return Inst{}, fmt.Errorf("isa: illegal SLI padding in %v", w)
+			}
+			return Inst{Op: SLI, Ta: regFromField(w.Field(3, 4)), Imm: w.Field(0, 1)}, nil
+		}
+	case majLI:
+		return Inst{Op: LI, Ta: regFromField(w.Field(5, 6)), Imm: w.Field(0, 4)}, nil
+	case majJAL:
+		return Inst{Op: JAL, Ta: regFromField(w.Field(5, 6)), Imm: w.Field(0, 4)}, nil
+	case majJALR, majLOAD, majSTORE:
+		var op Op
+		switch w.Field(7, 8) {
+		case majJALR:
+			op = JALR
+		case majLOAD:
+			op = LOAD
+		default:
+			op = STORE
+		}
+		return Inst{
+			Op:  op,
+			Ta:  regFromField(w.Field(5, 6)),
+			Tb:  regFromField(w.Field(3, 4)),
+			Imm: w.Field(0, 2),
+		}, nil
+	case majBEQ, majBNE:
+		op := BEQ
+		if w.Field(7, 8) == majBNE {
+			op = BNE
+		}
+		return Inst{
+			Op:  op,
+			B:   ternary.Trit(w.Field(6, 6)),
+			Tb:  regFromField(w.Field(4, 5)),
+			Imm: w.Field(0, 3),
+		}, nil
+	}
+	// Unreachable: the 2-trit major covers all 9 values.
+	return Inst{}, fmt.Errorf("isa: undecodable word %v", w)
+}

@@ -1,0 +1,100 @@
+package perf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/gate"
+)
+
+func TestDMIPSPerMHzCrossCheck(t *testing.T) {
+	// E8 (DESIGN.md): the paper's Table II and Table III are mutually
+	// consistent at 100 Dhrystone iterations:
+	//   ART-9: 134,200 cycles / 100 iter → 0.42 DMIPS/MHz
+	//   PicoRV32: 186,607 / 100 → 0.31 DMIPS/MHz
+	cases := []struct {
+		cycles float64
+		want   float64
+		tol    float64
+	}{
+		{1342.00, 0.42, 0.01},
+		{1866.07, 0.31, 0.01},
+		{876, 0.65, 0.01},
+	}
+	for _, c := range cases {
+		got := DMIPSPerMHz(c.cycles)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("DMIPSPerMHz(%f) = %f, want %f±%f", c.cycles, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestDMIPSZeroSafe(t *testing.T) {
+	if DMIPSPerMHz(0) != 0 || DMIPSPerWatt(100, 1000, 0) != 0 {
+		t.Error("zero inputs must not divide by zero")
+	}
+}
+
+func TestDMIPSScalesLinearly(t *testing.T) {
+	if math.Abs(DMIPS(300, 1342)-3*DMIPS(100, 1342)) > 1e-9 {
+		t.Error("DMIPS not linear in frequency")
+	}
+}
+
+func TestTableIVReproduction(t *testing.T) {
+	// E5: CNTFET implementation at fmax with the paper's 1342
+	// cycles/iteration must land near Table IV: 652 gates-class,
+	// ≈42.7 µW, ≈3.06e6 DMIPS/W.
+	n := gate.BuildART9()
+	tech := gate.CNTFET32()
+	an := gate.Analyze(n, tech)
+	impl := Estimate(an, tech, 0, 1342, 0, 0, 0)
+	if impl.PowerW < 30e-6 || impl.PowerW > 60e-6 {
+		t.Errorf("CNTFET power = %.1f µW, want ≈42.7", impl.PowerW*1e6)
+	}
+	if impl.DMIPSPerW < 2e6 || impl.DMIPSPerW > 4.5e6 {
+		t.Errorf("CNTFET DMIPS/W = %.3g, want ≈3.06e6", impl.DMIPSPerW)
+	}
+	if impl.Gates < 489 || impl.Gates > 815 {
+		t.Errorf("gates = %d, want ≈652", impl.Gates)
+	}
+}
+
+func TestTableVReproduction(t *testing.T) {
+	// E6: FPGA implementation at 150 MHz with two 256-word memories:
+	// ≈1.09 W, ≈57.8 DMIPS/W, 9216 RAM bits.
+	n := gate.BuildART9()
+	tech := gate.StratixVEmulation()
+	an := gate.Analyze(n, tech)
+	memTrits := 2 * 256 * 9
+	impl := Estimate(an, tech, 150, 1342, memTrits, 1.2, memTrits*2)
+	if impl.RAMBits != 9216 {
+		t.Errorf("RAM bits = %d, want 9216", impl.RAMBits)
+	}
+	if impl.PowerW < 0.9 || impl.PowerW > 1.3 {
+		t.Errorf("FPGA power = %.2f W, want ≈1.09", impl.PowerW)
+	}
+	if impl.DMIPSPerW < 40 || impl.DMIPSPerW > 75 {
+		t.Errorf("FPGA DMIPS/W = %.1f, want ≈57.8", impl.DMIPSPerW)
+	}
+	if an.FmaxMHz < 150 {
+		t.Errorf("fmax %.1f < 150 MHz operating point", an.FmaxMHz)
+	}
+}
+
+func TestEstimateDefaultsToFmax(t *testing.T) {
+	n := gate.BuildART9()
+	tech := gate.CNTFET32()
+	an := gate.Analyze(n, tech)
+	impl := Estimate(an, tech, 0, 1342, 0, 0, 0)
+	if math.Abs(impl.FreqMHz-an.FmaxMHz) > 1e-9 {
+		t.Errorf("freq = %f, want fmax %f", impl.FreqMHz, an.FmaxMHz)
+	}
+}
+
+func TestFormatCell(t *testing.T) {
+	r := CoreRow{MemoryCells: 11600, CellUnit: "trits"}
+	if got := r.FormatCell(); got != "11.6K trits" {
+		t.Errorf("FormatCell = %q", got)
+	}
+}

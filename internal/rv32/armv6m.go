@@ -1,0 +1,107 @@
+package rv32
+
+// ARMv6-M (Thumb-1) code-size estimator for the Fig. 5 comparison. The
+// paper compiled the benchmarks for ARMv6-M with 16-bit instructions [18];
+// with no ARM toolchain available offline we estimate the Thumb-1
+// instruction count from the RV32 instruction stream (DESIGN.md §4,
+// substitution 4). The estimate is per-instruction:
+//
+//   - most ALU/load/store/branch instructions map 1:1 onto 16-bit Thumb
+//     encodings (Thumb's 2-operand ALU and the low-register forms cover the
+//     compiler patterns our suite uses);
+//   - wide immediates cost an extra instruction or a literal-pool entry
+//     (counted as 2 halfwords: one for the LDR literal, one for the pool);
+//   - 3-operand ALU ops with distinct destination need a preparatory MOV
+//     with some probability; we charge the deterministic worst case only
+//     when Rd differs from both sources;
+//   - RV32 SLT/SLTU-style compare-into-register sequences cost CMP + two
+//     conditional paths, charged as 3 halfwords (Thumb-1 has no CSEL);
+//   - multiplies map to MULS (1); divides call a runtime routine, charged
+//     as the BL pair (2) — the library body is shared and not charged per
+//     site, matching how code-size tables are usually quoted.
+type ARMv6MEstimator struct {
+	Halfwords int
+}
+
+// Add accounts one RV32 instruction.
+func (e *ARMv6MEstimator) Add(in Inst) {
+	switch {
+	case in.Op == LUI || in.Op == AUIPC:
+		// 32-bit constant: LDR literal + pool share ≈ 2 halfwords; but a
+		// LUI followed by ADDI (the li expansion) is a single pool load,
+		// handled by the caller via EstimateProgram's pairing.
+		e.Halfwords += 2
+	case in.Op == JAL:
+		e.Halfwords++ // B or BL
+	case in.Op == JALR:
+		e.Halfwords++ // BX/BLX
+	case in.Op.IsBranch():
+		// Thumb-1: CMP + Bcc. Comparisons against zero fold into the
+		// flag-setting ALU op.
+		if in.Rs2 == 0 || in.Rs1 == 0 {
+			e.Halfwords++
+		} else {
+			e.Halfwords += 2
+		}
+	case in.Op.IsLoad() || in.Op.IsStore():
+		e.Halfwords++ // LDR/STR with immediate offset
+	case in.Op == SLT || in.Op == SLTU || in.Op == SLTI || in.Op == SLTIU:
+		e.Halfwords += 3 // CMP; MOV #0/#1 on two paths
+	case in.Op == DIV || in.Op == DIVU || in.Op == REM || in.Op == REMU:
+		e.Halfwords += 2 // BL __aeabi_idiv
+	case in.Op == MUL || in.Op == MULH || in.Op == MULHSU || in.Op == MULHU:
+		e.Halfwords++ // MULS
+	case in.Op == FENCE || in.Op == ECALL || in.Op == EBREAK:
+		e.Halfwords++ // DMB/SVC/BKPT
+	case in.Op.Fmt() == FmtI:
+		// Immediate ALU: Thumb-1 immediates are 8-bit unsigned on MOVS/
+		// ADDS/SUBS/CMP; wider or logical immediates need a literal.
+		if immFitsThumb(in) {
+			e.Halfwords++
+		} else {
+			e.Halfwords += 2
+		}
+	default: // FmtR ALU
+		// Thumb-1 ALU is two-operand: charge a MOV when the destination
+		// differs from both sources (the compiler usually avoids this).
+		if in.Rd != in.Rs1 && in.Rd != in.Rs2 {
+			e.Halfwords += 2
+		} else {
+			e.Halfwords++
+		}
+	}
+}
+
+func immFitsThumb(in Inst) bool {
+	switch in.Op {
+	case ADDI:
+		return in.Imm >= -255 && in.Imm <= 255 // ADDS/SUBS #imm8
+	case SLLI, SRLI, SRAI:
+		return true // LSLS/LSRS/ASRS #imm5
+	case ANDI, ORI, XORI:
+		// Thumb-1 has no immediate forms: MOVS r, #imm + op ≈ 2.
+		return false
+	}
+	return false
+}
+
+// EstimateProgram returns the estimated ARMv6-M instruction-memory size in
+// bits for an assembled RV32 program. It folds li-style LUI+ADDI pairs
+// into a single literal-pool load before accounting.
+func EstimateProgram(p *Program) int {
+	var e ARMv6MEstimator
+	for i := 0; i < len(p.Insts); i++ {
+		in := p.Insts[i]
+		if in.Op == LUI && i+1 < len(p.Insts) {
+			next := p.Insts[i+1]
+			if next.Op == ADDI && next.Rd == in.Rd && next.Rs1 == in.Rd {
+				// One LDR literal + pool entry for the whole constant.
+				e.Halfwords += 3 // LDR(1) + 32-bit pool (2)
+				i++
+				continue
+			}
+		}
+		e.Add(in)
+	}
+	return e.Halfwords * 16
+}

@@ -1,0 +1,291 @@
+package rv32
+
+import "fmt"
+
+// 32-bit RISC-V machine encoding (The RISC-V Instruction Set Manual,
+// Volume I [15]). Fig. 5 only needs instruction *counts* × 32 bits, but the
+// full encoder/decoder keeps the substrate honest and testable, and the
+// software-level framework's front end decodes real words.
+
+type encInfo struct {
+	opcode uint32 // 7-bit major opcode
+	funct3 uint32
+	funct7 uint32
+}
+
+var encTable = map[Op]encInfo{
+	LUI:    {0b0110111, 0, 0},
+	AUIPC:  {0b0010111, 0, 0},
+	JAL:    {0b1101111, 0, 0},
+	JALR:   {0b1100111, 0b000, 0},
+	BEQ:    {0b1100011, 0b000, 0},
+	BNE:    {0b1100011, 0b001, 0},
+	BLT:    {0b1100011, 0b100, 0},
+	BGE:    {0b1100011, 0b101, 0},
+	BLTU:   {0b1100011, 0b110, 0},
+	BGEU:   {0b1100011, 0b111, 0},
+	LB:     {0b0000011, 0b000, 0},
+	LH:     {0b0000011, 0b001, 0},
+	LW:     {0b0000011, 0b010, 0},
+	LBU:    {0b0000011, 0b100, 0},
+	LHU:    {0b0000011, 0b101, 0},
+	SB:     {0b0100011, 0b000, 0},
+	SH:     {0b0100011, 0b001, 0},
+	SW:     {0b0100011, 0b010, 0},
+	ADDI:   {0b0010011, 0b000, 0},
+	SLTI:   {0b0010011, 0b010, 0},
+	SLTIU:  {0b0010011, 0b011, 0},
+	XORI:   {0b0010011, 0b100, 0},
+	ORI:    {0b0010011, 0b110, 0},
+	ANDI:   {0b0010011, 0b111, 0},
+	SLLI:   {0b0010011, 0b001, 0b0000000},
+	SRLI:   {0b0010011, 0b101, 0b0000000},
+	SRAI:   {0b0010011, 0b101, 0b0100000},
+	ADD:    {0b0110011, 0b000, 0b0000000},
+	SUB:    {0b0110011, 0b000, 0b0100000},
+	SLL:    {0b0110011, 0b001, 0b0000000},
+	SLT:    {0b0110011, 0b010, 0b0000000},
+	SLTU:   {0b0110011, 0b011, 0b0000000},
+	XOR:    {0b0110011, 0b100, 0b0000000},
+	SRL:    {0b0110011, 0b101, 0b0000000},
+	SRA:    {0b0110011, 0b101, 0b0100000},
+	OR:     {0b0110011, 0b110, 0b0000000},
+	AND:    {0b0110011, 0b111, 0b0000000},
+	FENCE:  {0b0001111, 0b000, 0},
+	ECALL:  {0b1110011, 0b000, 0},
+	EBREAK: {0b1110011, 0b000, 0},
+	MUL:    {0b0110011, 0b000, 0b0000001},
+	MULH:   {0b0110011, 0b001, 0b0000001},
+	MULHSU: {0b0110011, 0b010, 0b0000001},
+	MULHU:  {0b0110011, 0b011, 0b0000001},
+	DIV:    {0b0110011, 0b100, 0b0000001},
+	DIVU:   {0b0110011, 0b101, 0b0000001},
+	REM:    {0b0110011, 0b110, 0b0000001},
+	REMU:   {0b0110011, 0b111, 0b0000001},
+}
+
+func fitsSigned(v int32, bits int) bool {
+	max := int32(1)<<(bits-1) - 1
+	return v >= -max-1 && v <= max
+}
+
+// Encode produces the 32-bit machine word for i.
+func Encode(i Inst) (uint32, error) {
+	e, ok := encTable[i.Op]
+	if !ok {
+		return 0, fmt.Errorf("rv32: cannot encode %v", i.Op)
+	}
+	if i.Rd >= NumRegs || i.Rs1 >= NumRegs || i.Rs2 >= NumRegs {
+		return 0, fmt.Errorf("rv32: bad register in %v", i)
+	}
+	rd, rs1, rs2 := uint32(i.Rd), uint32(i.Rs1), uint32(i.Rs2)
+	imm := uint32(i.Imm)
+	switch i.Op.Fmt() {
+	case FmtR:
+		return e.funct7<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | e.opcode, nil
+	case FmtI:
+		if i.Op == SLLI || i.Op == SRLI || i.Op == SRAI {
+			if i.Imm < 0 || i.Imm > 31 {
+				return 0, fmt.Errorf("rv32: shift amount %d out of range", i.Imm)
+			}
+			return e.funct7<<25 | imm<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | e.opcode, nil
+		}
+		if !fitsSigned(i.Imm, 12) {
+			return 0, fmt.Errorf("rv32: imm %d exceeds 12 bits in %v", i.Imm, i)
+		}
+		return (imm&0xfff)<<20 | rs1<<15 | e.funct3<<12 | rd<<7 | e.opcode, nil
+	case FmtS:
+		if !fitsSigned(i.Imm, 12) {
+			return 0, fmt.Errorf("rv32: imm %d exceeds 12 bits in %v", i.Imm, i)
+		}
+		return (imm>>5&0x7f)<<25 | rs2<<20 | rs1<<15 | e.funct3<<12 | (imm&0x1f)<<7 | e.opcode, nil
+	case FmtB:
+		if !fitsSigned(i.Imm, 13) || i.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: branch offset %d invalid", i.Imm)
+		}
+		return (imm>>12&1)<<31 | (imm>>5&0x3f)<<25 | rs2<<20 | rs1<<15 |
+			e.funct3<<12 | (imm>>1&0xf)<<8 | (imm>>11&1)<<7 | e.opcode, nil
+	case FmtU:
+		if i.Imm < 0 || i.Imm > 0xfffff {
+			return 0, fmt.Errorf("rv32: U-imm %d exceeds 20 bits", i.Imm)
+		}
+		return imm<<12 | rd<<7 | e.opcode, nil
+	case FmtJ:
+		if !fitsSigned(i.Imm, 21) || i.Imm&1 != 0 {
+			return 0, fmt.Errorf("rv32: jump offset %d invalid", i.Imm)
+		}
+		return (imm>>20&1)<<31 | (imm>>1&0x3ff)<<21 | (imm>>11&1)<<20 |
+			(imm>>12&0xff)<<12 | rd<<7 | e.opcode, nil
+	default: // FmtSys
+		switch i.Op {
+		case ECALL:
+			return 0x00000073, nil
+		case EBREAK:
+			return 0x00100073, nil
+		default: // FENCE
+			return 0x0ff0000f, nil
+		}
+	}
+}
+
+func signExtend(v uint32, bits int) int32 {
+	shift := 32 - bits
+	return int32(v<<shift) >> shift
+}
+
+// Decode decodes a 32-bit machine word.
+func Decode(w uint32) (Inst, error) {
+	opcode := w & 0x7f
+	rd := Reg(w >> 7 & 0x1f)
+	funct3 := w >> 12 & 0x7
+	rs1 := Reg(w >> 15 & 0x1f)
+	rs2 := Reg(w >> 20 & 0x1f)
+	funct7 := w >> 25 & 0x7f
+
+	switch opcode {
+	case 0b0110111:
+		return Inst{Op: LUI, Rd: rd, Imm: int32(w >> 12)}, nil
+	case 0b0010111:
+		return Inst{Op: AUIPC, Rd: rd, Imm: int32(w >> 12)}, nil
+	case 0b1101111:
+		imm := (w>>31&1)<<20 | (w>>12&0xff)<<12 | (w>>20&1)<<11 | (w>>21&0x3ff)<<1
+		return Inst{Op: JAL, Rd: rd, Imm: signExtend(imm, 21)}, nil
+	case 0b1100111:
+		return Inst{Op: JALR, Rd: rd, Rs1: rs1, Imm: signExtend(w>>20, 12)}, nil
+	case 0b1100011:
+		var op Op
+		switch funct3 {
+		case 0b000:
+			op = BEQ
+		case 0b001:
+			op = BNE
+		case 0b100:
+			op = BLT
+		case 0b101:
+			op = BGE
+		case 0b110:
+			op = BLTU
+		case 0b111:
+			op = BGEU
+		default:
+			return Inst{}, fmt.Errorf("rv32: illegal branch funct3 %b", funct3)
+		}
+		imm := (w>>31&1)<<12 | (w>>7&1)<<11 | (w>>25&0x3f)<<5 | (w>>8&0xf)<<1
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 13)}, nil
+	case 0b0000011:
+		var op Op
+		switch funct3 {
+		case 0b000:
+			op = LB
+		case 0b001:
+			op = LH
+		case 0b010:
+			op = LW
+		case 0b100:
+			op = LBU
+		case 0b101:
+			op = LHU
+		default:
+			return Inst{}, fmt.Errorf("rv32: illegal load funct3 %b", funct3)
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: signExtend(w>>20, 12)}, nil
+	case 0b0100011:
+		var op Op
+		switch funct3 {
+		case 0b000:
+			op = SB
+		case 0b001:
+			op = SH
+		case 0b010:
+			op = SW
+		default:
+			return Inst{}, fmt.Errorf("rv32: illegal store funct3 %b", funct3)
+		}
+		imm := (w>>25&0x7f)<<5 | w>>7&0x1f
+		return Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: signExtend(imm, 12)}, nil
+	case 0b0010011:
+		var op Op
+		switch funct3 {
+		case 0b000:
+			op = ADDI
+		case 0b010:
+			op = SLTI
+		case 0b011:
+			op = SLTIU
+		case 0b100:
+			op = XORI
+		case 0b110:
+			op = ORI
+		case 0b111:
+			op = ANDI
+		case 0b001:
+			op = SLLI
+		case 0b101:
+			if funct7 == 0b0100000 {
+				op = SRAI
+			} else {
+				op = SRLI
+			}
+		}
+		if op == SLLI || op == SRLI || op == SRAI {
+			return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: int32(rs2)}, nil
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Imm: signExtend(w>>20, 12)}, nil
+	case 0b0110011:
+		key := funct7<<3 | funct3
+		var op Op
+		found := true
+		switch key {
+		case 0b0000000<<3 | 0b000:
+			op = ADD
+		case 0b0100000<<3 | 0b000:
+			op = SUB
+		case 0b0000000<<3 | 0b001:
+			op = SLL
+		case 0b0000000<<3 | 0b010:
+			op = SLT
+		case 0b0000000<<3 | 0b011:
+			op = SLTU
+		case 0b0000000<<3 | 0b100:
+			op = XOR
+		case 0b0000000<<3 | 0b101:
+			op = SRL
+		case 0b0100000<<3 | 0b101:
+			op = SRA
+		case 0b0000000<<3 | 0b110:
+			op = OR
+		case 0b0000000<<3 | 0b111:
+			op = AND
+		case 0b0000001<<3 | 0b000:
+			op = MUL
+		case 0b0000001<<3 | 0b001:
+			op = MULH
+		case 0b0000001<<3 | 0b010:
+			op = MULHSU
+		case 0b0000001<<3 | 0b011:
+			op = MULHU
+		case 0b0000001<<3 | 0b100:
+			op = DIV
+		case 0b0000001<<3 | 0b101:
+			op = DIVU
+		case 0b0000001<<3 | 0b110:
+			op = REM
+		case 0b0000001<<3 | 0b111:
+			op = REMU
+		default:
+			found = false
+		}
+		if !found {
+			return Inst{}, fmt.Errorf("rv32: illegal R-type funct %b/%b", funct7, funct3)
+		}
+		return Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}, nil
+	case 0b0001111:
+		return Inst{Op: FENCE}, nil
+	case 0b1110011:
+		if w>>20&1 == 1 {
+			return Inst{Op: EBREAK}, nil
+		}
+		return Inst{Op: ECALL}, nil
+	}
+	return Inst{}, fmt.Errorf("rv32: illegal opcode %07b", opcode)
+}

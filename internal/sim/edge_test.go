@@ -1,0 +1,242 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/ternary"
+)
+
+// Edge cases and failure injection for both cores.
+
+func TestSmallTIMRejectsLargeProgram(t *testing.T) {
+	var b strings.Builder
+	for i := 0; i < 300; i++ {
+		b.WriteString("NOP\n")
+	}
+	b.WriteString("HALT\n")
+	p, err := asm.Assemble(b.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFunctional(Config{TIMWords: 256})
+	if err := f.S.Load(p); err == nil {
+		t.Error("301-word program loaded into a 256-word TIM")
+	}
+}
+
+func TestFPGASizedMachineRuns(t *testing.T) {
+	// The Table V prototype: 256-word TIM and TDM.
+	p, err := asm.Assemble(`
+		LDI T1, 5
+		LDI T2, 120
+		STORE T1, T2, 0
+		LOAD T3, T2, 0
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(Config{TIMWords: 256, TDMWords: 256})
+	if err := pl.S.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if pl.S.Reg(3).Int() != 5 {
+		t.Error("small machine computed wrong value")
+	}
+}
+
+func TestTDMOutOfSpaceFaults(t *testing.T) {
+	// Address 1000 on a 256-word TDM.
+	p, err := asm.Assemble(`
+		LDI T1, 1000
+		STORE T1, T1, 0
+		HALT
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, core := range []string{"functional", "pipeline"} {
+		var runErr error
+		switch core {
+		case "functional":
+			f := NewFunctional(Config{TDMWords: 256})
+			if err := f.S.Load(p); err != nil {
+				t.Fatal(err)
+			}
+			_, runErr = f.Run()
+		default:
+			pl := NewPipeline(Config{TDMWords: 256})
+			if err := pl.S.Load(p); err != nil {
+				t.Fatal(err)
+			}
+			_, runErr = pl.Run()
+		}
+		if runErr == nil {
+			t.Errorf("%s: out-of-space TDM access did not fault", core)
+		}
+	}
+}
+
+func TestPipelineIllegalInstructionFaults(t *testing.T) {
+	pl := NewPipeline(Config{})
+	w := ternary.Word{}.SetField(7, 8, -4).SetField(4, 6, 13) // bad R minor
+	if err := pl.S.TIM.LoadImage([]ternary.Word{w}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(); err == nil {
+		t.Error("pipeline executed an illegal instruction")
+	}
+}
+
+func TestPipelineNoHalt(t *testing.T) {
+	p, err := asm.Assemble("loop: ADDI T1, 1\nJAL T0, loop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(Config{MaxSteps: 500})
+	if err := pl.S.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(); err == nil {
+		t.Error("runaway program terminated")
+	}
+}
+
+func TestShiftByRegisterAllAmounts(t *testing.T) {
+	// SR/SL take the 2-trit field of Tb modulo 9 (all nine distances).
+	for amt := -4; amt <= 4; amt++ {
+		src := fmt.Sprintf(`
+			LDI T1, 1
+			LDI T2, %d
+			SL T1, T2
+			HALT
+		`, amt)
+		f, _ := runFunc(t, src)
+		n := ternary.ShiftAmount(amt)
+		want := ternary.ShiftLeft(ternary.FromInt(1), n).Int()
+		if got := f.S.Reg(1).Int(); got != want {
+			t.Errorf("SL by field %d: got %d, want %d", amt, got, want)
+		}
+	}
+}
+
+func TestLIPreservesNegativeUpperTrits(t *testing.T) {
+	f, _ := runFunc(t, `
+		LUI T1, -40      ; upper trits all negative
+		LI  T1, 121      ; low five set positive
+		HALT
+	`)
+	want := -40*243 + 121
+	if got := f.S.Reg(1).Int(); got != want {
+		t.Errorf("LUI(-40)+LI(121) = %d, want %d", got, want)
+	}
+}
+
+func TestJALRNegativeOffset(t *testing.T) {
+	f, _ := runFunc(t, `
+		LDA T1, mark
+		ADDI T1, 2       ; point past the target
+		JALR T2, T1, -2  ; land exactly on mark
+		HALT
+	mark:
+		LDI T3, 99
+		HALT
+	`)
+	if got := f.S.Reg(3).Int(); got != 99 {
+		t.Errorf("JALR with negative offset: T3 = %d, want 99", got)
+	}
+}
+
+func TestPipelineTraceHook(t *testing.T) {
+	p, err := asm.Assemble("LDI T1, 1\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl := NewPipeline(Config{})
+	var lines []string
+	pl.Trace = func(cycle uint64, line string) { lines = append(lines, line) }
+	if err := pl.S.Load(p); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pl.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) == 0 {
+		t.Fatal("trace hook never called")
+	}
+	joined := strings.Join(lines, "\n")
+	for _, want := range []string{"IF:", "ID:", "EX:", "WB:"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("trace missing %s column", want)
+		}
+	}
+}
+
+func TestStoreLoadForwardThroughMemory(t *testing.T) {
+	// STORE immediately followed by LOAD of the same address: the
+	// pipeline's MEM-stage ordering must make the value visible.
+	pl, _ := runPipe(t, `
+		LDI T1, 50
+		LDI T2, 77
+		STORE T2, T1, 0
+		LOAD T3, T1, 0
+		HALT
+	`)
+	if got := pl.S.Reg(3).Int(); got != 77 {
+		t.Errorf("store→load through TDM = %d, want 77", got)
+	}
+}
+
+func TestBranchNotTakenNoPenalty(t *testing.T) {
+	// A never-taken branch must cost exactly one cycle.
+	_, res := runPipe(t, `
+		LDI T1, 1
+		BEQ T1, 0, away   ; LST(T1)=1 ≠ 0: not taken
+		ADDI T2, 1
+	away:
+		HALT
+	`)
+	if res.StallsBranch != 0 {
+		t.Errorf("not-taken branch squashed %d slots", res.StallsBranch)
+	}
+	if res.NotTaken != 1 {
+		t.Errorf("not-taken count = %d", res.NotTaken)
+	}
+}
+
+func TestWAWThroughPipeline(t *testing.T) {
+	// Two writes to the same register in flight simultaneously must
+	// retire in order.
+	pl, _ := runPipe(t, `
+		LDI T1, 1
+		ADDI T1, 1        ; T1 = 2
+		LDI T2, 10
+		MV T1, T2         ; T1 = 10 (younger write wins)
+		HALT
+	`)
+	if got := pl.S.Reg(1).Int(); got != 10 {
+		t.Errorf("WAW order broken: T1 = %d, want 10", got)
+	}
+}
+
+func TestCategoriesCounted(t *testing.T) {
+	_, res := runFunc(t, `
+		ADD T1, T2        ; R
+		ADDI T1, 1        ; I
+		BEQ T1, 0, 2      ; B (not taken: LST=1? T1=1 → LST 1 ≠ 0)
+		STORE T1, T0, 5   ; M
+		LOAD T2, T0, 5    ; M
+		HALT
+	`)
+	if res.ByCategory[isa.CatR] != 1 || res.ByCategory[isa.CatI] != 1 ||
+		res.ByCategory[isa.CatB] != 1 || res.ByCategory[isa.CatM] != 2 {
+		t.Errorf("category counts = %v", res.ByCategory)
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/isa"
+)
+
+func TestOpMix(t *testing.T) {
+	_, res := runPipe(t, `
+		LDI T1, 1
+		ADD T1, T1
+		ADD T1, T1
+		STORE T1, T0, 5
+		LOAD T2, T0, 5
+		HALT
+	`)
+	mix := res.OpMix()
+	// LDI 1 expands to LUI+LI (2), plus 2 ADD, 1 STORE, 1 LOAD = 6
+	// retired (halt excluded from ByOp).
+	if res.ByOp[isa.ADD] != 2 {
+		t.Errorf("ADD count = %d, want 2", res.ByOp[isa.ADD])
+	}
+	if res.ByOp[isa.LOAD] != 1 || res.ByOp[isa.STORE] != 1 {
+		t.Errorf("mem counts = %d/%d", res.ByOp[isa.LOAD], res.ByOp[isa.STORE])
+	}
+	// Fractions sum to ≤ 1 (the halt retires but is not op-counted).
+	sum := 0.0
+	for _, f := range mix {
+		sum += f
+	}
+	if sum > 1.0+1e-9 {
+		t.Errorf("mix fractions sum to %f > 1", sum)
+	}
+	if math.Abs(mix[isa.ADD]-2.0/float64(res.Retired)) > 1e-9 {
+		t.Errorf("ADD fraction = %f", mix[isa.ADD])
+	}
+}
+
+func TestOpMixMatchesBetweenCores(t *testing.T) {
+	src := `
+		LDI T1, 0
+		LDI T2, 1
+		LDI T3, 9
+	loop:	ADD T1, T2
+		ADDI T2, 1
+		MV T4, T2
+		COMP T4, T3
+		BNE T4, 1, loop
+		HALT
+	`
+	_, fres := runFunc(t, src)
+	_, pres := runPipe(t, src)
+	if fres.ByOp != pres.ByOp {
+		t.Errorf("op histograms differ between cores:\nfunc: %v\npipe: %v",
+			fres.ByOp, pres.ByOp)
+	}
+}
+
+func TestOpMixEmpty(t *testing.T) {
+	var r Result
+	if len(r.OpMix()) != 0 {
+		t.Error("empty result produced a mix")
+	}
+}

@@ -1,0 +1,237 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/isa"
+	"repro/internal/ternary"
+)
+
+// Pipeline is the cycle-accurate 5-stage pipelined ART-9 core of §IV-B and
+// Fig. 4 of the paper: IF → ID → EX → MEM → WB with
+//
+//   - a hazard detection unit (HDU) in ID comparing adjacent instructions,
+//   - full forwarding into the operand read (EX results same-cycle for the
+//     ID-stage branch-condition/target datapath, MEM and WB results via the
+//     forwarding multiplexers), so ALU-use hazards never stall,
+//   - branch-target calculation and condition checking in ID, redirecting
+//     the PC directly, so a taken control transfer squashes exactly the one
+//     slot behind it,
+//   - stalls inserted only for load-use hazards and taken transfers,
+//     matching the paper's "we only observe the hardware-inserted stall
+//     cycles when there exist load-use data hazards and taken branches".
+//
+// The model executes real values through the stage latches; tests verify
+// that its final architectural state equals the functional core's.
+type Pipeline struct {
+	S   *State
+	cfg Config
+
+	// Trace, if non-nil, receives a one-line description of every cycle.
+	Trace func(cycle uint64, line string)
+}
+
+// NewPipeline builds a pipelined core over a fresh state.
+func NewPipeline(cfg Config) *Pipeline {
+	return &Pipeline{S: NewState(cfg), cfg: cfg.withDefaults()}
+}
+
+// latchIFID carries a fetched instruction into decode.
+type latchIFID struct {
+	valid bool
+	pc    ternary.Word
+	inst  isa.Inst
+}
+
+// latchIDEX carries a decoded instruction with resolved operands.
+type latchIDEX struct {
+	valid  bool
+	pc     ternary.Word
+	inst   isa.Inst
+	ta, tb ternary.Word // forwarded operand values
+	halt   bool         // this instruction is the halt transfer
+}
+
+// latchEXMEM carries the computed effect.
+type latchEXMEM struct {
+	valid bool
+	inst  isa.Inst
+	eff   effect
+	halt  bool
+}
+
+// latchMEMWB carries the writeback value.
+type latchMEMWB struct {
+	valid bool
+	inst  isa.Inst
+	eff   effect // val filled for loads
+	halt  bool
+}
+
+// Run executes the loaded program cycle by cycle until the halt
+// instruction leaves writeback.
+func (p *Pipeline) Run() (Result, error) {
+	var (
+		res   Result
+		ifid  latchIFID
+		idex  latchIDEX
+		exmem latchEXMEM
+		memwb latchMEMWB
+
+		fetchPC   = p.S.PC
+		stopFetch bool // halt observed in ID: stop issuing new work
+	)
+
+	for cycle := 0; cycle < p.cfg.MaxSteps; cycle++ {
+		res.Cycles++
+
+		// ---- WB: retire memwb (first half of cycle: write TRF).
+		if memwb.valid {
+			e := memwb.eff
+			if memwb.halt {
+				// The halt idiom has no architectural effect beyond
+				// parking the PC at its own address.
+				res.Retired++
+				p.S.PC = e.nextPC
+				res.HaltPC = e.nextPC.UIndex()
+				return res, nil
+			}
+			if e.writesReg {
+				p.S.TRF[e.reg] = e.val
+			}
+			res.Retired++
+			res.ByCategory[memwb.inst.Op.Category()]++
+			res.ByOp[memwb.inst.Op]++
+			if e.branch {
+				if e.taken {
+					res.Taken++
+				} else {
+					res.NotTaken++
+				}
+			} else if e.taken {
+				res.Jumps++
+			}
+		}
+		memwb = latchMEMWB{}
+
+		// ---- MEM: TDM access for exmem.
+		if exmem.valid {
+			e := exmem.eff
+			if e.isLoad {
+				v, err := p.S.TDM.ReadWord(e.addr)
+				if err != nil {
+					return res, fmt.Errorf("sim: MEM: %w", err)
+				}
+				e.val = v
+				res.Loads++
+			}
+			if e.isStore {
+				if err := p.S.TDM.WriteWord(e.addr, e.store); err != nil {
+					return res, fmt.Errorf("sim: MEM: %w", err)
+				}
+				res.Stores++
+			}
+			memwb = latchMEMWB{valid: true, inst: exmem.inst, eff: e, halt: exmem.halt}
+		}
+		exmem = latchEXMEM{}
+
+		// ---- EX: compute the effect with the operands resolved in ID.
+		if idex.valid {
+			e := evaluate(idex.inst, idex.pc, idex.ta, idex.tb)
+			exmem = latchEXMEM{valid: true, inst: idex.inst, eff: e, halt: idex.halt}
+		}
+		idex = latchIDEX{}
+
+		// ---- ID: hazard detection, forwarding, branch resolution.
+		redirect := false
+		var redirectPC ternary.Word
+		stalled := false
+		if ifid.valid {
+			in := ifid.inst
+			// Load-use hazard: the instruction now entering EX (exmem
+			// was just filled from idex — but that is this cycle's EX;
+			// the HDU compares ID against the instruction in EX).
+			if exmem.valid && exmem.eff.isLoad && exmem.eff.writesReg {
+				r := exmem.eff.reg
+				if (in.Op.ReadsTa() && in.Ta == r) || (in.Op.ReadsTb() && in.Tb == r) {
+					stalled = true
+					res.StallsLoad++
+				}
+			}
+			if !stalled {
+				ta := p.forward(in.Ta, exmem, memwb)
+				tb := p.forward(in.Tb, exmem, memwb)
+				e := evaluate(in, ifid.pc, ta, tb)
+				halt := e.isHalt(ifid.pc)
+				idex = latchIDEX{valid: true, pc: ifid.pc, inst: in, ta: ta, tb: tb, halt: halt}
+				if halt {
+					stopFetch = true
+				} else if e.taken {
+					redirect = true
+					redirectPC = e.nextPC
+					res.StallsBranch++
+				}
+			}
+		}
+
+		// ---- IF: fetch into ifid unless stalled or draining.
+		if stalled {
+			// ifid retained; the bubble naturally flows from idex being
+			// empty next cycle.
+		} else if redirect {
+			ifid = latchIFID{} // squash the wrong-path fetch
+			fetchPC = redirectPC
+		} else if stopFetch {
+			ifid = latchIFID{}
+		} else {
+			w, err := p.S.TIM.Read(fetchPC.UIndex())
+			if err != nil {
+				return res, fmt.Errorf("sim: IF at PC=%d: %w", fetchPC.Int(), err)
+			}
+			in, err := isa.Decode(w)
+			if err != nil {
+				return res, fmt.Errorf("sim: IF at PC=%d: %w", fetchPC.Int(), err)
+			}
+			ifid = latchIFID{valid: true, pc: fetchPC, inst: in}
+			fetchPC = ternary.Inc(fetchPC)
+		}
+
+		if p.Trace != nil {
+			p.Trace(res.Cycles, p.traceLine(ifid, idex, exmem, memwb, stalled, redirect))
+		}
+	}
+	return res, ErrNoHalt{p.cfg.MaxSteps}
+}
+
+// forward resolves the value of register r as seen by the instruction in
+// ID: the newest in-flight producer wins (EX this cycle, then MEM, then
+// WB); otherwise the register file. The load-use stall rule guarantees
+// that an EX-stage LOAD is never selected here.
+func (p *Pipeline) forward(r isa.Reg, exmem latchEXMEM, memwb latchMEMWB) ternary.Word {
+	if exmem.valid && exmem.eff.writesReg && exmem.eff.reg == r && !exmem.eff.isLoad {
+		return exmem.eff.val
+	}
+	if memwb.valid && memwb.eff.writesReg && memwb.eff.reg == r {
+		return memwb.eff.val
+	}
+	return p.S.TRF[r]
+}
+
+func (p *Pipeline) traceLine(ifid latchIFID, idex latchIDEX, exmem latchEXMEM, memwb latchMEMWB, stalled, redirect bool) string {
+	stage := func(valid bool, in isa.Inst) string {
+		if !valid {
+			return "-"
+		}
+		return in.String()
+	}
+	flags := ""
+	if stalled {
+		flags += " [stall]"
+	}
+	if redirect {
+		flags += " [redirect]"
+	}
+	return fmt.Sprintf("IF:%-18s ID:%-18s EX:%-18s WB:%-18s%s",
+		stage(ifid.valid, ifid.inst), stage(idex.valid, idex.inst),
+		stage(exmem.valid, exmem.inst), stage(memwb.valid, memwb.inst), flags)
+}

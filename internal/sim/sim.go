@@ -1,0 +1,234 @@
+// Package sim is the cycle-accurate simulator of the hardware-level
+// evaluation framework (§III-B, Fig. 3 of the paper). It provides two
+// models of the ART-9 core:
+//
+//   - a functional reference core (Functional) that retires one
+//     instruction per step with the architectural semantics of Table I, and
+//   - the 5-stage pipelined core of §IV-B (Pipeline) with the hazard
+//     detection unit, forwarding multiplexers and ID-stage branch
+//     resolution, whose only stall sources are load-use hazards and taken
+//     control transfers — exactly the behaviour the paper reports.
+//
+// Both consume the assembler's output and produce run results (cycle and
+// instruction counts, stall accounting, final architectural state) that
+// the performance estimator (internal/perf) turns into DMIPS figures.
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/isa"
+	"repro/internal/ternary"
+	"repro/internal/tmem"
+)
+
+// DefaultMemWords is the default TIM/TDM size: the full 9-trit address
+// space. The FPGA prototype of Table V uses 256-word memories instead.
+const DefaultMemWords = tmem.MaxWords
+
+// Config sizes a machine.
+type Config struct {
+	TIMWords int // instruction memory words; 0 → DefaultMemWords
+	TDMWords int // data memory words; 0 → DefaultMemWords
+	MaxSteps int // cycle/step budget before ErrNoHalt; 0 → 100M
+}
+
+func (c Config) withDefaults() Config {
+	if c.TIMWords == 0 {
+		c.TIMWords = DefaultMemWords
+	}
+	if c.TDMWords == 0 {
+		c.TDMWords = DefaultMemWords
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 100_000_000
+	}
+	return c
+}
+
+// State is the architectural state of an ART-9 core: the program counter,
+// the nine-entry ternary register file, and the two memories.
+type State struct {
+	PC  ternary.Word
+	TRF [isa.NumRegs]ternary.Word
+	TIM *tmem.Memory
+	TDM *tmem.Memory
+}
+
+// NewState builds a zeroed machine with the given configuration.
+func NewState(cfg Config) *State {
+	cfg = cfg.withDefaults()
+	return &State{
+		TIM: tmem.New("TIM", cfg.TIMWords),
+		TDM: tmem.New("TDM", cfg.TDMWords),
+	}
+}
+
+// Load initialises TIM and TDM from an assembled program and resets PC.
+func (s *State) Load(p *asm.Program) error {
+	if err := s.TIM.LoadImage(p.Words); err != nil {
+		return err
+	}
+	if err := s.TDM.SetAll(p.Data); err != nil {
+		return err
+	}
+	s.PC = ternary.Word{}
+	return nil
+}
+
+// Reg returns TRF[r].
+func (s *State) Reg(r isa.Reg) ternary.Word { return s.TRF[r] }
+
+// SetReg sets TRF[r].
+func (s *State) SetReg(r isa.Reg, w ternary.Word) { s.TRF[r] = w }
+
+// Result summarises a run.
+type Result struct {
+	Cycles       uint64 // total clock cycles (functional: == Retired)
+	Retired      uint64 // architecturally completed instructions
+	StallsLoad   uint64 // load-use stall cycles inserted by the HDU
+	StallsBranch uint64 // squashed fetch slots after taken transfers
+	Taken        uint64 // taken conditional branches
+	NotTaken     uint64 // not-taken conditional branches
+	Jumps        uint64 // JAL/JALR retired (excluding the halt)
+	Loads        uint64
+	Stores       uint64
+	ByCategory   [4]uint64          // retired instructions per Table I category
+	ByOp         [isa.NumOps]uint64 // retired instructions per opcode
+	HaltPC       int                // address of the halt instruction
+}
+
+// OpMix returns the per-opcode dynamic instruction mix as fractions of
+// retired instructions — the switching-activity profile of the datapath.
+func (r Result) OpMix() map[isa.Op]float64 {
+	m := make(map[isa.Op]float64)
+	if r.Retired == 0 {
+		return m
+	}
+	for op, n := range r.ByOp {
+		if n > 0 {
+			m[isa.Op(op)] = float64(n) / float64(r.Retired)
+		}
+	}
+	return m
+}
+
+// CPI returns cycles per retired instruction.
+func (r Result) CPI() float64 {
+	if r.Retired == 0 {
+		return 0
+	}
+	return float64(r.Cycles) / float64(r.Retired)
+}
+
+// ErrNoHalt is returned when the step budget is exhausted.
+type ErrNoHalt struct{ Steps int }
+
+func (e ErrNoHalt) Error() string {
+	return fmt.Sprintf("sim: no halt within %d steps (runaway program?)", e.Steps)
+}
+
+// effect is the architectural outcome of one instruction: the full Table I
+// semantics evaluated against a read-only view of the state. Memory reads
+// are performed by the caller so both cores share it.
+type effect struct {
+	writesReg bool
+	reg       isa.Reg
+	val       ternary.Word // value to write (for LOAD: filled by caller)
+
+	isLoad  bool
+	isStore bool
+	addr    ternary.Word // memory address for LOAD/STORE
+	store   ternary.Word // value to store
+
+	nextPC ternary.Word
+	taken  bool // control transfer redirected away from PC+1
+	branch bool // conditional branch (for taken/not-taken stats)
+}
+
+// evaluate computes the effect of in executed at pc with register read
+// values ta and tb (already forwarded by the caller as appropriate).
+func evaluate(in isa.Inst, pc, ta, tb ternary.Word) effect {
+	seq := ternary.Inc(pc)
+	e := effect{nextPC: seq}
+	switch in.Op {
+	case isa.MV:
+		e.writesReg, e.reg, e.val = true, in.Ta, tb
+	case isa.PTI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Pti(tb)
+	case isa.NTI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Nti(tb)
+	case isa.STI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Sti(tb)
+	case isa.AND:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.And(ta, tb)
+	case isa.OR:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Or(ta, tb)
+	case isa.XOR:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Xor(ta, tb)
+	case isa.ADD:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.AddWord(ta, tb)
+	case isa.SUB:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.SubWord(ta, tb)
+	case isa.SR:
+		n := ternary.ShiftAmount(tb.Field(0, 1))
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftRight(ta, n)
+	case isa.SL:
+		n := ternary.ShiftAmount(tb.Field(0, 1))
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftLeft(ta, n)
+	case isa.COMP:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.CompWord(ta, tb)
+	case isa.ANDI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.And(ta, ternary.FromInt(in.Imm))
+	case isa.ADDI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.AddWord(ta, ternary.FromInt(in.Imm))
+	case isa.SRI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftRight(ta, ternary.ShiftAmount(in.Imm))
+	case isa.SLI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftLeft(ta, ternary.ShiftAmount(in.Imm))
+	case isa.LUI:
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Word{}.SetField(5, 8, in.Imm)
+	case isa.LI:
+		v := ta // keep TRF[Ta][8:5]
+		low := ternary.Word{}.SetField(0, 4, in.Imm)
+		for k := 0; k < 5; k++ {
+			v[k] = low[k]
+		}
+		e.writesReg, e.reg, e.val = true, in.Ta, v
+	case isa.BEQ, isa.BNE:
+		e.branch = true
+		cond := tb[0] == in.B
+		if in.Op == isa.BNE {
+			cond = !cond
+		}
+		if cond {
+			e.nextPC = ternary.AddWord(pc, ternary.FromInt(in.Imm))
+			e.taken = true
+		}
+	case isa.JAL:
+		e.writesReg, e.reg, e.val = true, in.Ta, seq
+		e.nextPC = ternary.AddWord(pc, ternary.FromInt(in.Imm))
+		e.taken = true
+	case isa.JALR:
+		e.writesReg, e.reg, e.val = true, in.Ta, seq
+		e.nextPC = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+		e.taken = true
+	case isa.LOAD:
+		e.isLoad = true
+		e.writesReg, e.reg = true, in.Ta
+		e.addr = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+	case isa.STORE:
+		e.isStore = true
+		e.addr = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+		e.store = ta
+	}
+	return e
+}
+
+// isHalt reports whether the effect is a jump to the instruction's own
+// address — the HALT idiom the assembler emits (JAL x, 0 or an absolute
+// JALR to self).
+func (e effect) isHalt(pc ternary.Word) bool {
+	return e.taken && e.nextPC == pc
+}

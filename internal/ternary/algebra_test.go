@@ -1,0 +1,153 @@
+package ternary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Algebraic property suite over 9-trit words: the laws the TALU datapath
+// silently relies on.
+
+type pairArg struct{ A, B int16 }
+type tripleArg struct{ A, B, C int16 }
+
+func TestMulDistributesOverAdd(t *testing.T) {
+	f := func(p tripleArg) bool {
+		// Keep products in range so wrap-around does not mask errors…
+		a, b, c := int(p.A)%60, int(p.B)%60, int(p.C)%60
+		lhs := Mul(FromInt(a), AddWord(FromInt(b), FromInt(c)))
+		rhs := AddWord(Mul(FromInt(a), FromInt(b)), Mul(FromInt(a), FromInt(c)))
+		return lhs == rhs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMulAssociativeModuloWrap(t *testing.T) {
+	// …but even under wrap, multiplication is associative modulo 3^9
+	// (the ring structure survives truncation).
+	f := func(p tripleArg) bool {
+		a, b, c := FromInt(int(p.A)), FromInt(int(p.B)), FromInt(int(p.C))
+		return Mul(Mul(a, b), c) == Mul(a, Mul(b, c))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftComposition(t *testing.T) {
+	f := func(v int16, a, b uint8) bool {
+		n, m := int(a%5), int(b%5)
+		w := FromInt(int(v))
+		return ShiftLeft(ShiftLeft(w, n), m) == ShiftLeft(w, n+m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestShiftRightLeftInverseOnMultiples(t *testing.T) {
+	// For values divisible by 3^n, right shift undoes left shift and
+	// vice versa.
+	f := func(v int16, a uint8) bool {
+		n := int(a % 5)
+		w := ShiftLeft(FromInt(int(v)%100), n) // low trits now zero
+		return ShiftLeft(ShiftRight(w, n), n) == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLogicLattice(t *testing.T) {
+	// (Word, And, Or) is a distributive lattice.
+	f := func(p tripleArg) bool {
+		a, b, c := FromInt(int(p.A)), FromInt(int(p.B)), FromInt(int(p.C))
+		if And(a, b) != And(b, a) || Or(a, b) != Or(b, a) {
+			return false
+		}
+		if And(a, And(b, c)) != And(And(a, b), c) {
+			return false
+		}
+		if Or(a, Or(b, c)) != Or(Or(a, b), c) {
+			return false
+		}
+		// Absorption.
+		if And(a, Or(a, b)) != a || Or(a, And(a, b)) != a {
+			return false
+		}
+		// Distributivity.
+		return And(a, Or(b, c)) == Or(And(a, b), And(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestXorProperties(t *testing.T) {
+	f := func(p pairArg) bool {
+		a, b := FromInt(int(p.A)), FromInt(int(p.B))
+		// Commutative; Xor(a, -a) restricted per-trit: -(t·-t) = t².
+		if Xor(a, b) != Xor(b, a) {
+			return false
+		}
+		// Xor with zero annihilates (0 absorbs through the product).
+		return Xor(a, Word{}) == Word{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompIsTotalOrder(t *testing.T) {
+	f := func(p tripleArg) bool {
+		a, b, c := wrap(int(p.A)), wrap(int(p.B)), wrap(int(p.C))
+		wa, wb, wc := FromInt(a), FromInt(b), FromInt(c)
+		// Antisymmetry.
+		if Cmp(wa, wb) != -Cmp(wb, wa) {
+			return false
+		}
+		// Transitivity of <.
+		if Cmp(wa, wb) == Neg && Cmp(wb, wc) == Neg && Cmp(wa, wc) != Neg {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDeMorganOnWords(t *testing.T) {
+	f := func(p pairArg) bool {
+		a, b := FromInt(int(p.A)), FromInt(int(p.B))
+		return Sti(And(a, b)) == Or(Sti(a), Sti(b)) &&
+			Sti(Or(a, b)) == And(Sti(a), Sti(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfAdderComposesToFullAdder(t *testing.T) {
+	// The gate-level identity behind the THA/TFA cells: a full adder is
+	// two half adders plus a carry merge (carries never both non-zero
+	// with the same sign overflowing).
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		for _, b := range []Trit{Neg, Zero, Pos} {
+			for _, c := range []Trit{Neg, Zero, Pos} {
+				s1, c1 := HalfAdd(a, b)
+				s2, c2 := HalfAdd(s1, c)
+				sum, carry := FullAdd(a, b, c)
+				mergedCarry, overflow := HalfAdd(c1, c2)
+				if overflow != Zero {
+					t.Fatalf("carry merge overflowed for %v %v %v", a, b, c)
+				}
+				if s2 != sum || mergedCarry != carry {
+					t.Fatalf("HA∘HA ≠ FA for %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package ternary
+
+// Arithmetic on 9-trit balanced words (§II-B of the paper). All operations
+// are implemented trit-serially, the way the TALU's ripple structure
+// computes them, so the simulator exercises the same digit-level behaviour
+// as the gate-level netlist in internal/gate. Results wrap modulo 3^9.
+
+// Add returns a+b and the carry out of the most significant trit position.
+// A nonzero carry indicates balanced overflow (the true sum falls outside
+// [MinInt, MaxInt]).
+func Add(a, b Word) (sum Word, carry Trit) {
+	c := Zero
+	for i := 0; i < WordTrits; i++ {
+		sum[i], c = FullAdd(a[i], b[i], c)
+	}
+	return sum, c
+}
+
+// AddWord returns a+b, discarding the carry (the datapath behaviour of the
+// ADD instruction).
+func AddWord(a, b Word) Word {
+	s, _ := Add(a, b)
+	return s
+}
+
+// Neg returns −a. In balanced ternary negation is a trit-wise STI — the
+// "conversion-based negation property" ([8], [14]) that makes subtraction
+// share the adder.
+func NegWord(a Word) Word {
+	for i := range a {
+		a[i] = -a[i]
+	}
+	return a
+}
+
+// Sub returns a−b and the carry out, computed as a + STI(b) exactly like
+// the SUB instruction's datapath.
+func Sub(a, b Word) (diff Word, carry Trit) {
+	return Add(a, NegWord(b))
+}
+
+// SubWord returns a−b, discarding the carry.
+func SubWord(a, b Word) Word {
+	d, _ := Sub(a, b)
+	return d
+}
+
+// Cmp compares the balanced values of a and b and returns the sign of a−b
+// as a trit. This is the compare() function of the COMP instruction
+// (Table I): +1 if a>b, 0 if a=b, −1 if a<b.
+func Cmp(a, b Word) Trit {
+	for i := WordTrits - 1; i >= 0; i-- {
+		if a[i] != b[i] {
+			// In balanced representation the most significant
+			// differing trit decides the order directly.
+			return a[i].Cmp(b[i])
+		}
+	}
+	return Zero
+}
+
+// CompWord materialises the COMP result word: sign(a−b) in the least
+// significant trit, all other trits zero.
+func CompWord(a, b Word) Word {
+	var w Word
+	w[0] = Cmp(a, b)
+	return w
+}
+
+// ShiftAmount maps a k-trit balanced subfield value to a shift distance in
+// [0, 9): the unsigned reading (§II-A) of the field modulo the word width.
+// SR/SL take the 2-trit field TRF[Tb][1:0], range [−4, 4] → 0..8.
+func ShiftAmount(v int) int {
+	a := v % WordTrits
+	if a < 0 {
+		a += WordTrits
+	}
+	return a
+}
+
+// ShiftLeft shifts a left by n trit positions, filling with zeros
+// (multiplication by 3^n modulo 3^9).
+func ShiftLeft(a Word, n int) Word {
+	if n <= 0 {
+		return a
+	}
+	if n >= WordTrits {
+		return Word{}
+	}
+	var w Word
+	for i := WordTrits - 1; i >= n; i-- {
+		w[i] = a[i-n]
+	}
+	return w
+}
+
+// ShiftRight shifts a right by n trit positions, filling with zeros.
+// For balanced words this is division by 3^n with round-to-nearest
+// (ties toward zero), the natural ternary arithmetic shift: there is no
+// separate "arithmetic" variant because balanced words carry their sign in
+// the digits themselves.
+func ShiftRight(a Word, n int) Word {
+	if n <= 0 {
+		return a
+	}
+	if n >= WordTrits {
+		return Word{}
+	}
+	var w Word
+	for i := 0; i < WordTrits-n; i++ {
+		w[i] = a[i+n]
+	}
+	return w
+}
+
+// Mul returns the low 9 trits of a×b. The ART-9 core has no multiply
+// instruction (Table II: multiplier ✗); this helper backs the software
+// multiply primitive emitted by the compiling framework and the reference
+// ternary multiplier of [10] in the gate-level library.
+func Mul(a, b Word) Word {
+	var acc Word
+	for i := 0; i < WordTrits; i++ {
+		switch b[i] {
+		case Pos:
+			acc = AddWord(acc, ShiftLeft(a, i))
+		case Neg:
+			acc = SubWord(acc, ShiftLeft(a, i))
+		}
+	}
+	return acc
+}
+
+// DivMod returns the quotient and remainder of the balanced values of a
+// and b with truncation toward zero (matching RISC-V DIV/REM semantics so
+// translated programs agree). It panics on division by zero, as the
+// software-divide primitive traps that case before reaching here.
+func DivMod(a, b Word) (q, r Word) {
+	bv := b.Int()
+	if bv == 0 {
+		panic("ternary: division by zero")
+	}
+	av := a.Int()
+	qv := av / bv
+	rv := av % bv
+	return FromInt(qv), FromInt(rv)
+}
+
+// AbsWord returns |a| (wrapping at the balanced boundary like NegWord).
+func AbsWord(a Word) Word {
+	if a.Sign() == Neg {
+		return NegWord(a)
+	}
+	return a
+}
+
+// MinWord and MaxWord return the smaller/larger of a, b by balanced value.
+func MinWord(a, b Word) Word {
+	if Cmp(a, b) == Pos {
+		return b
+	}
+	return a
+}
+
+func MaxWord(a, b Word) Word {
+	if Cmp(a, b) == Neg {
+		return b
+	}
+	return a
+}
+
+// Inc returns a+1; Dec returns a−1. These are the PC-increment datapaths.
+func Inc(a Word) Word { return AddWord(a, FromInt(1)) }
+func Dec(a Word) Word { return SubWord(a, FromInt(1)) }

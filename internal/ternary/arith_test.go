@@ -1,0 +1,279 @@
+package ternary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// wrap reduces an integer into the balanced 9-trit range the way the
+// datapath wraps.
+func wrap(v int) int {
+	v %= WordStates
+	if v > MaxInt {
+		v -= WordStates
+	} else if v < MinInt {
+		v += WordStates
+	}
+	return v
+}
+
+func TestAddMatchesIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 2000; i++ {
+		a := rng.Intn(WordStates) - MaxInt
+		b := rng.Intn(WordStates) - MaxInt
+		got := AddWord(FromInt(a), FromInt(b)).Int()
+		if want := wrap(a + b); got != want {
+			t.Fatalf("Add(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestAddCarryFlagsOverflow(t *testing.T) {
+	_, c := Add(FromInt(MaxInt), FromInt(1))
+	if c != Pos {
+		t.Errorf("MaxInt+1 carry = %v, want +1", c)
+	}
+	_, c = Add(FromInt(MinInt), FromInt(-1))
+	if c != Neg {
+		t.Errorf("MinInt-1 carry = %v, want -1", c)
+	}
+	_, c = Add(FromInt(100), FromInt(-100))
+	if c != Zero {
+		t.Errorf("100-100 carry = %v, want 0", c)
+	}
+}
+
+func TestSubNegProperties(t *testing.T) {
+	type pair struct{ A, B int16 }
+	f := func(p pair) bool {
+		a, b := int(p.A), int(p.B)
+		wa, wb := FromInt(a), FromInt(b)
+		if SubWord(wa, wb).Int() != wrap(a-b) {
+			return false
+		}
+		if NegWord(wa).Int() != wrap(-a) {
+			return false
+		}
+		// a − b == a + (−b)
+		return SubWord(wa, wb) == AddWord(wa, NegWord(wb))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRingLaws(t *testing.T) {
+	type triple struct{ A, B, C int16 }
+	f := func(p triple) bool {
+		a, b, c := FromInt(int(p.A)), FromInt(int(p.B)), FromInt(int(p.C))
+		// Commutativity and associativity of addition.
+		if AddWord(a, b) != AddWord(b, a) {
+			return false
+		}
+		if AddWord(AddWord(a, b), c) != AddWord(a, AddWord(b, c)) {
+			return false
+		}
+		// Identity and inverse.
+		if AddWord(a, Word{}) != a {
+			return false
+		}
+		return AddWord(a, NegWord(a)) == Word{}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNegIsTritwiseSti(t *testing.T) {
+	f := func(v int16) bool {
+		w := FromInt(int(v))
+		return NegWord(w) == Sti(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCmp(t *testing.T) {
+	cases := []struct {
+		a, b int
+		want Trit
+	}{
+		{0, 0, Zero}, {1, 0, Pos}, {0, 1, Neg},
+		{MaxInt, MinInt, Pos}, {MinInt, MaxInt, Neg},
+		{-5, -5, Zero}, {-5, -6, Pos}, {100, 250, Neg},
+	}
+	for _, c := range cases {
+		if got := Cmp(FromInt(c.a), FromInt(c.b)); got != c.want {
+			t.Errorf("Cmp(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestCmpMatchesIntegerOrder(t *testing.T) {
+	type pair struct{ A, B int16 }
+	f := func(p pair) bool {
+		a, b := wrap(int(p.A)), wrap(int(p.B))
+		return Cmp(FromInt(a), FromInt(b)) == SignTrit(a-b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompWord(t *testing.T) {
+	w := CompWord(FromInt(7), FromInt(3))
+	if w[0] != Pos {
+		t.Errorf("CompWord LST = %v, want +1", w[0])
+	}
+	for i := 1; i < WordTrits; i++ {
+		if w[i] != Zero {
+			t.Errorf("CompWord trit %d = %v, want 0", i, w[i])
+		}
+	}
+	if CompWord(FromInt(3), FromInt(3))[0] != Zero {
+		t.Error("CompWord equal inputs LST != 0")
+	}
+	if CompWord(FromInt(-9), FromInt(3))[0] != Neg {
+		t.Error("CompWord less-than LST != -1")
+	}
+}
+
+func TestShiftLeftIsMulByPow3(t *testing.T) {
+	for n := 0; n <= 9; n++ {
+		for _, v := range []int{0, 1, -1, 5, -13, 100, 9841} {
+			got := ShiftLeft(FromInt(v), n).Int()
+			want := wrap(v * pow3(min(n, 9)))
+			if n >= 9 {
+				want = 0
+			}
+			if got != want {
+				t.Errorf("ShiftLeft(%d,%d) = %d, want %d", v, n, got, want)
+			}
+		}
+	}
+}
+
+func TestShiftRightDropsTrits(t *testing.T) {
+	// Shifting right n then examining reconstruction: w = sr(w,n)*3^n + low.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		v := rng.Intn(WordStates) - MaxInt
+		n := rng.Intn(10)
+		w := FromInt(v)
+		hi := ShiftRight(w, n).Int()
+		low := 0
+		for k := 0; k < min(n, 9); k++ {
+			low += int(w[k]) * pow3(k)
+		}
+		if n >= 9 && hi != 0 {
+			t.Fatalf("ShiftRight(%d,%d) = %d, want 0", v, n, hi)
+		}
+		if n < 9 && hi*pow3(n)+low != v {
+			t.Fatalf("ShiftRight(%d,%d): %d*3^%d+%d != %d", v, n, hi, n, low, v)
+		}
+	}
+}
+
+func TestShiftAmount(t *testing.T) {
+	cases := map[int]int{0: 0, 1: 1, 4: 4, -1: 8, -4: 5, 8: 8, 9: 0, -9: 0}
+	for in, want := range cases {
+		if got := ShiftAmount(in); got != want {
+			t.Errorf("ShiftAmount(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestMulMatchesIntegers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 2000; i++ {
+		a := rng.Intn(199) - 99
+		b := rng.Intn(199) - 99
+		got := Mul(FromInt(a), FromInt(b)).Int()
+		if want := wrap(a * b); got != want {
+			t.Fatalf("Mul(%d,%d) = %d, want %d", a, b, got, want)
+		}
+	}
+}
+
+func TestMulProperties(t *testing.T) {
+	type pair struct{ A, B int8 }
+	f := func(p pair) bool {
+		a, b := FromInt(int(p.A)), FromInt(int(p.B))
+		if Mul(a, b) != Mul(b, a) {
+			return false
+		}
+		if Mul(a, FromInt(1)) != a {
+			return false
+		}
+		if Mul(a, FromInt(-1)) != NegWord(a) {
+			return false
+		}
+		return Mul(a, Word{}) == (Word{})
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivMod(t *testing.T) {
+	cases := []struct{ a, b, q, r int }{
+		{7, 2, 3, 1}, {-7, 2, -3, -1}, {7, -2, -3, 1}, {-7, -2, 3, -1},
+		{9841, 3, 3280, 1}, {0, 5, 0, 0}, {4, 5, 0, 4},
+	}
+	for _, c := range cases {
+		q, r := DivMod(FromInt(c.a), FromInt(c.b))
+		if q.Int() != c.q || r.Int() != c.r {
+			t.Errorf("DivMod(%d,%d) = %d,%d; want %d,%d",
+				c.a, c.b, q.Int(), r.Int(), c.q, c.r)
+		}
+	}
+}
+
+func TestDivModInvariant(t *testing.T) {
+	type pair struct{ A, B int16 }
+	f := func(p pair) bool {
+		a, b := int(p.A), int(p.B)
+		if b == 0 {
+			return true
+		}
+		a, b = wrap(a), wrap(b)
+		if b == 0 {
+			return true
+		}
+		q, r := DivMod(FromInt(a), FromInt(b))
+		return q.Int()*b+r.Int() == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("DivMod by zero did not panic")
+		}
+	}()
+	DivMod(FromInt(1), Word{})
+}
+
+func TestAbsMinMaxIncDec(t *testing.T) {
+	if AbsWord(FromInt(-7)).Int() != 7 || AbsWord(FromInt(7)).Int() != 7 {
+		t.Error("AbsWord wrong")
+	}
+	if MinWord(FromInt(3), FromInt(-3)).Int() != -3 {
+		t.Error("MinWord wrong")
+	}
+	if MaxWord(FromInt(3), FromInt(-3)).Int() != 3 {
+		t.Error("MaxWord wrong")
+	}
+	if Inc(FromInt(41)).Int() != 42 || Dec(FromInt(43)).Int() != 42 {
+		t.Error("Inc/Dec wrong")
+	}
+	if Inc(FromInt(MaxInt)).Int() != MinInt {
+		t.Error("Inc(MaxInt) did not wrap to MinInt")
+	}
+}

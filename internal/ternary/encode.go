@@ -1,0 +1,67 @@
+package ternary
+
+import "fmt"
+
+// Binary-encoded ternary (Frieder & Luk [27]): the FPGA verification
+// platform of §V-B emulates every ternary signal with two binary wires.
+// Encoding: 0 → 00, +1 → 01, −1 → 11; the code 10 is unused and rejected on
+// decode. A 9-trit word therefore occupies 18 bits, which is where the
+// "9,216 RAM bits" of Table V come from (2 memories × 256 words × 18 bits).
+
+// BitsPerTrit is the binary-encoded width of one trit.
+const BitsPerTrit = 2
+
+// WordBits is the binary-encoded width of a 9-trit word.
+const WordBits = WordTrits * BitsPerTrit
+
+// EncodeTrit returns the 2-bit binary encoding of t.
+func EncodeTrit(t Trit) uint8 {
+	switch t {
+	case Pos:
+		return 0b01
+	case Neg:
+		return 0b11
+	}
+	return 0b00
+}
+
+// DecodeTrit decodes a 2-bit binary-encoded trit. The unused code 10
+// returns an error, modelling the invalid-state detection of the emulation
+// wrapper.
+func DecodeTrit(b uint8) (Trit, error) {
+	switch b & 0b11 {
+	case 0b00:
+		return Zero, nil
+	case 0b01:
+		return Pos, nil
+	case 0b11:
+		return Neg, nil
+	}
+	return 0, fmt.Errorf("ternary: invalid binary-encoded trit 0b10")
+}
+
+// EncodeWord packs w into an 18-bit binary-encoded value, trit 0 in the low
+// bits.
+func EncodeWord(w Word) uint32 {
+	var v uint32
+	for i := WordTrits - 1; i >= 0; i-- {
+		v = v<<BitsPerTrit | uint32(EncodeTrit(w[i]))
+	}
+	return v
+}
+
+// DecodeWord unpacks an 18-bit binary-encoded word produced by EncodeWord.
+func DecodeWord(v uint32) (Word, error) {
+	var w Word
+	for i := 0; i < WordTrits; i++ {
+		t, err := DecodeTrit(uint8(v >> (BitsPerTrit * i)))
+		if err != nil {
+			return Word{}, fmt.Errorf("trit %d: %v", i, err)
+		}
+		w[i] = t
+	}
+	if v>>WordBits != 0 {
+		return Word{}, fmt.Errorf("ternary: binary-encoded word has bits above %d", WordBits)
+	}
+	return w, nil
+}

@@ -1,0 +1,63 @@
+package ternary
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEncodeTritValues(t *testing.T) {
+	cases := map[Trit]uint8{Zero: 0b00, Pos: 0b01, Neg: 0b11}
+	for tr, want := range cases {
+		if got := EncodeTrit(tr); got != want {
+			t.Errorf("EncodeTrit(%v) = %02b, want %02b", tr, got, want)
+		}
+	}
+}
+
+func TestDecodeTritRejectsInvalid(t *testing.T) {
+	if _, err := DecodeTrit(0b10); err == nil {
+		t.Error("DecodeTrit(0b10) succeeded, want error")
+	}
+	for _, b := range []uint8{0b00, 0b01, 0b11} {
+		if _, err := DecodeTrit(b); err != nil {
+			t.Errorf("DecodeTrit(%02b): %v", b, err)
+		}
+	}
+}
+
+func TestEncodeWordRoundTrip(t *testing.T) {
+	f := func(v int16) bool {
+		w := FromInt(int(v))
+		got, err := DecodeWord(EncodeWord(w))
+		return err == nil && got == w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeWordWidth(t *testing.T) {
+	// Any encoded word must fit in 18 bits — the Table V RAM accounting
+	// depends on it.
+	for _, v := range []int{0, 1, -1, MaxInt, MinInt} {
+		if e := EncodeWord(FromInt(v)); e>>WordBits != 0 {
+			t.Errorf("EncodeWord(%d) = %b exceeds %d bits", v, e, WordBits)
+		}
+	}
+}
+
+func TestDecodeWordRejectsBadTrit(t *testing.T) {
+	// Plant the invalid 10 code at trit 4.
+	v := EncodeWord(FromInt(123))
+	v |= 0b10 << (BitsPerTrit * 4)
+	v &^= 0b01 << (BitsPerTrit * 4)
+	if _, err := DecodeWord(v); err == nil {
+		t.Error("DecodeWord with invalid trit code succeeded")
+	}
+}
+
+func TestDecodeWordRejectsHighBits(t *testing.T) {
+	if _, err := DecodeWord(1 << WordBits); err == nil {
+		t.Error("DecodeWord with bits above 18 succeeded")
+	}
+}

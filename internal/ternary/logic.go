@@ -1,0 +1,78 @@
+package ternary
+
+// Word-wide logic operations (Fig. 1 of the paper applied trit-wise), the
+// datapaths of the AND/OR/XOR/STI/NTI/PTI instructions.
+
+// And returns the trit-wise minimum of a and b.
+func And(a, b Word) Word {
+	var w Word
+	for i := range w {
+		w[i] = a[i].And(b[i])
+	}
+	return w
+}
+
+// Or returns the trit-wise maximum of a and b.
+func Or(a, b Word) Word {
+	var w Word
+	for i := range w {
+		w[i] = a[i].Or(b[i])
+	}
+	return w
+}
+
+// Xor returns the trit-wise balanced exclusive-or −(a·b).
+func Xor(a, b Word) Word {
+	var w Word
+	for i := range w {
+		w[i] = a[i].Xor(b[i])
+	}
+	return w
+}
+
+// Sti applies the standard ternary inverter trit-wise (identical to NegWord;
+// kept as the logic-unit view of the same cell).
+func Sti(a Word) Word {
+	for i := range a {
+		a[i] = a[i].Sti()
+	}
+	return a
+}
+
+// Nti applies the negative ternary inverter trit-wise.
+func Nti(a Word) Word {
+	for i := range a {
+		a[i] = a[i].Nti()
+	}
+	return a
+}
+
+// Pti applies the positive ternary inverter trit-wise.
+func Pti(a Word) Word {
+	for i := range a {
+		a[i] = a[i].Pti()
+	}
+	return a
+}
+
+// TruthTable renders the 3×3 truth table of a binary trit operation with
+// rows/columns ordered −1, 0, +1, for regenerating Fig. 1.
+func TruthTable(op func(Trit, Trit) Trit) [3][3]Trit {
+	var tt [3][3]Trit
+	for i, a := range [...]Trit{Neg, Zero, Pos} {
+		for j, b := range [...]Trit{Neg, Zero, Pos} {
+			tt[i][j] = op(a, b)
+		}
+	}
+	return tt
+}
+
+// UnaryTruthTable renders the 3-entry truth table of a unary trit
+// operation ordered −1, 0, +1.
+func UnaryTruthTable(op func(Trit) Trit) [3]Trit {
+	var tt [3]Trit
+	for i, a := range [...]Trit{Neg, Zero, Pos} {
+		tt[i] = op(a)
+	}
+	return tt
+}

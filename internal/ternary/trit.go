@@ -1,0 +1,151 @@
+// Package ternary implements the balanced ternary number system used by the
+// ART-9 processor: trits, 9-trit words, the logic operations of Fig. 1 of the
+// paper (STI/NTI/PTI, AND, OR, XOR) and the arithmetic operations of §II-B
+// (addition, subtraction, negation, comparison, shifts, multiplication and
+// division), plus parsing, formatting and the binary-encoded ternary form
+// used by the FPGA emulation path (Frieder & Luk [27]).
+//
+// A balanced trit takes a value from {−1, 0, +1}; an n-trit word X encodes
+// the integer Σ x_k·3^k. The same word read "unsigned" is that value taken
+// modulo 3^n, which is how TIM/TDM addresses and register indices are
+// interpreted.
+package ternary
+
+import "fmt"
+
+// Trit is a single balanced ternary digit: −1, 0 or +1.
+//
+// The zero value is the trit 0, so Trit (and aggregates of it) are useful
+// without initialization.
+type Trit int8
+
+// The three trit values.
+const (
+	Neg  Trit = -1
+	Zero Trit = 0
+	Pos  Trit = +1
+)
+
+// Valid reports whether t is one of −1, 0, +1.
+func (t Trit) Valid() bool { return t >= Neg && t <= Pos }
+
+// String renders the trit in the conventional balanced notation:
+// "T" for −1, "0" for 0, "1" for +1.
+func (t Trit) String() string {
+	switch t {
+	case Neg:
+		return "T"
+	case Zero:
+		return "0"
+	case Pos:
+		return "1"
+	}
+	return fmt.Sprintf("Trit(%d)", int8(t))
+}
+
+// TritFromRune parses a single balanced-trit character. It accepts the
+// canonical 'T'/'0'/'1' plus the common variants 't', '-' and '+'.
+func TritFromRune(r rune) (Trit, error) {
+	switch r {
+	case 'T', 't', '-':
+		return Neg, nil
+	case '0':
+		return Zero, nil
+	case '1', '+':
+		return Pos, nil
+	}
+	return 0, fmt.Errorf("ternary: invalid trit character %q", r)
+}
+
+// Sti is the standard ternary inverter: x ↦ −x.
+// Truth table (Fig. 1): −1↦+1, 0↦0, +1↦−1.
+func (t Trit) Sti() Trit { return -t }
+
+// Nti is the negative ternary inverter.
+// Truth table (Fig. 1): −1↦+1, 0↦−1, +1↦−1.
+func (t Trit) Nti() Trit {
+	if t == Neg {
+		return Pos
+	}
+	return Neg
+}
+
+// Pti is the positive ternary inverter.
+// Truth table (Fig. 1): −1↦+1, 0↦+1, +1↦−1.
+func (t Trit) Pti() Trit {
+	if t == Pos {
+		return Neg
+	}
+	return Pos
+}
+
+// And is the balanced ternary conjunction: min(a, b) (Fig. 1).
+func (t Trit) And(u Trit) Trit {
+	if t < u {
+		return t
+	}
+	return u
+}
+
+// Or is the balanced ternary disjunction: max(a, b) (Fig. 1).
+func (t Trit) Or(u Trit) Trit {
+	if t > u {
+		return t
+	}
+	return u
+}
+
+// Xor is the balanced ternary exclusive-or −(a·b): the unique odd extension
+// of binary XOR under the mapping false↦−1, true↦+1 (Fig. 1 family; see
+// DESIGN.md §3). Any operand 0 yields 0.
+func (t Trit) Xor(u Trit) Trit { return -(t * u) }
+
+// Mul is the trit product, the building block of the ternary multiplier
+// ([10], §II-B). It equals −Xor.
+func (t Trit) Mul(u Trit) Trit { return t * u }
+
+// Cmp returns the sign of t−u as a trit: +1 if t>u, 0 if equal, −1 if t<u.
+func (t Trit) Cmp(u Trit) Trit {
+	switch {
+	case t > u:
+		return Pos
+	case t < u:
+		return Neg
+	}
+	return Zero
+}
+
+// HalfAdd adds two trits returning the balanced sum trit and carry trit,
+// exactly as a ternary half adder cell computes them ([9], §II-B).
+func HalfAdd(a, b Trit) (sum, carry Trit) {
+	return splitBalanced(int(a) + int(b))
+}
+
+// FullAdd adds three trits (two operands plus carry-in) returning the
+// balanced sum and carry, as a ternary full adder cell ([9], §II-B).
+// The carry of a balanced full adder is always in {−1, 0, +1}.
+func FullAdd(a, b, cin Trit) (sum, carry Trit) {
+	return splitBalanced(int(a) + int(b) + int(cin))
+}
+
+// splitBalanced decomposes s ∈ [−3, 3] into sum + 3·carry with both balanced.
+func splitBalanced(s int) (sum, carry Trit) {
+	switch {
+	case s > 1:
+		return Trit(s - 3), Pos
+	case s < -1:
+		return Trit(s + 3), Neg
+	}
+	return Trit(s), Zero
+}
+
+// SignTrit returns the sign of an integer as a trit.
+func SignTrit(v int) Trit {
+	switch {
+	case v > 0:
+		return Pos
+	case v < 0:
+		return Neg
+	}
+	return Zero
+}

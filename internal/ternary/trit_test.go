@@ -1,0 +1,186 @@
+package ternary
+
+import "testing"
+
+func TestTritString(t *testing.T) {
+	cases := []struct {
+		tr   Trit
+		want string
+	}{{Neg, "T"}, {Zero, "0"}, {Pos, "1"}}
+	for _, c := range cases {
+		if got := c.tr.String(); got != c.want {
+			t.Errorf("Trit(%d).String() = %q, want %q", c.tr, got, c.want)
+		}
+	}
+}
+
+func TestTritFromRune(t *testing.T) {
+	ok := map[rune]Trit{'T': Neg, 't': Neg, '-': Neg, '0': Zero, '1': Pos, '+': Pos}
+	for r, want := range ok {
+		got, err := TritFromRune(r)
+		if err != nil || got != want {
+			t.Errorf("TritFromRune(%q) = %v, %v; want %v, nil", r, got, err, want)
+		}
+	}
+	for _, r := range "2axZ " {
+		if _, err := TritFromRune(r); err == nil {
+			t.Errorf("TritFromRune(%q) succeeded, want error", r)
+		}
+	}
+}
+
+func TestTritValid(t *testing.T) {
+	for _, tr := range []Trit{Neg, Zero, Pos} {
+		if !tr.Valid() {
+			t.Errorf("Trit(%d).Valid() = false", tr)
+		}
+	}
+	for _, tr := range []Trit{-2, 2, 5, -7} {
+		if tr.Valid() {
+			t.Errorf("Trit(%d).Valid() = true", tr)
+		}
+	}
+}
+
+// TestTruthTablesFig1 pins the exact truth tables of Fig. 1 of the paper.
+func TestTruthTablesFig1(t *testing.T) {
+	// Unary inverters, inputs ordered −1, 0, +1.
+	unary := []struct {
+		name string
+		op   func(Trit) Trit
+		want [3]Trit
+	}{
+		{"STI", Trit.Sti, [3]Trit{Pos, Zero, Neg}},
+		{"NTI", Trit.Nti, [3]Trit{Pos, Neg, Neg}},
+		{"PTI", Trit.Pti, [3]Trit{Pos, Pos, Neg}},
+	}
+	for _, u := range unary {
+		if got := UnaryTruthTable(u.op); got != u.want {
+			t.Errorf("%s truth table = %v, want %v", u.name, got, u.want)
+		}
+	}
+
+	binary := []struct {
+		name string
+		op   func(Trit, Trit) Trit
+		want [3][3]Trit
+	}{
+		{"AND", Trit.And, [3][3]Trit{
+			{Neg, Neg, Neg},
+			{Neg, Zero, Zero},
+			{Neg, Zero, Pos},
+		}},
+		{"OR", Trit.Or, [3][3]Trit{
+			{Neg, Zero, Pos},
+			{Zero, Zero, Pos},
+			{Pos, Pos, Pos},
+		}},
+		{"XOR", Trit.Xor, [3][3]Trit{
+			{Neg, Zero, Pos},
+			{Zero, Zero, Zero},
+			{Pos, Zero, Neg},
+		}},
+	}
+	for _, b := range binary {
+		if got := TruthTable(b.op); got != b.want {
+			t.Errorf("%s truth table = %v, want %v", b.name, got, b.want)
+		}
+	}
+}
+
+func TestXorRestrictsToBinaryXor(t *testing.T) {
+	// Under false↦−1, true↦+1, Xor must match binary XOR.
+	toTrit := func(b bool) Trit {
+		if b {
+			return Pos
+		}
+		return Neg
+	}
+	for _, a := range []bool{false, true} {
+		for _, b := range []bool{false, true} {
+			want := toTrit(a != b)
+			if got := toTrit(a).Xor(toTrit(b)); got != want {
+				t.Errorf("Xor(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestHalfAdd(t *testing.T) {
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		for _, b := range []Trit{Neg, Zero, Pos} {
+			sum, carry := HalfAdd(a, b)
+			if got := int(sum) + 3*int(carry); got != int(a)+int(b) {
+				t.Errorf("HalfAdd(%v,%v) = %v,%v: reconstructs %d, want %d",
+					a, b, sum, carry, got, int(a)+int(b))
+			}
+			if !sum.Valid() || !carry.Valid() {
+				t.Errorf("HalfAdd(%v,%v) produced invalid trits %v,%v", a, b, sum, carry)
+			}
+		}
+	}
+}
+
+func TestFullAdd(t *testing.T) {
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		for _, b := range []Trit{Neg, Zero, Pos} {
+			for _, c := range []Trit{Neg, Zero, Pos} {
+				sum, carry := FullAdd(a, b, c)
+				if got := int(sum) + 3*int(carry); got != int(a)+int(b)+int(c) {
+					t.Errorf("FullAdd(%v,%v,%v): got %d, want %d",
+						a, b, c, got, int(a)+int(b)+int(c))
+				}
+				if !sum.Valid() || !carry.Valid() {
+					t.Errorf("FullAdd(%v,%v,%v) invalid trits", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestTritCmp(t *testing.T) {
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		for _, b := range []Trit{Neg, Zero, Pos} {
+			want := SignTrit(int(a) - int(b))
+			if got := a.Cmp(b); got != want {
+				t.Errorf("Cmp(%v,%v) = %v, want %v", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestSignTrit(t *testing.T) {
+	cases := map[int]Trit{-100: Neg, -1: Neg, 0: Zero, 1: Pos, 9841: Pos}
+	for v, want := range cases {
+		if got := SignTrit(v); got != want {
+			t.Errorf("SignTrit(%d) = %v, want %v", v, got, want)
+		}
+	}
+}
+
+// De Morgan duality via STI: STI(AND(a,b)) == OR(STI(a),STI(b)) for min/max.
+func TestDeMorgan(t *testing.T) {
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		for _, b := range []Trit{Neg, Zero, Pos} {
+			if a.And(b).Sti() != a.Sti().Or(b.Sti()) {
+				t.Errorf("De Morgan AND failed for %v,%v", a, b)
+			}
+			if a.Or(b).Sti() != a.Sti().And(b.Sti()) {
+				t.Errorf("De Morgan OR failed for %v,%v", a, b)
+			}
+		}
+	}
+}
+
+// Inverter composition identities: STI∘STI = id, NTI and PTI are related by
+// NTI(x) = STI(PTI(STI(x))).
+func TestInverterIdentities(t *testing.T) {
+	for _, a := range []Trit{Neg, Zero, Pos} {
+		if a.Sti().Sti() != a {
+			t.Errorf("STI(STI(%v)) != %v", a, a)
+		}
+		if a.Sti().Pti().Sti() != a.Nti() {
+			t.Errorf("STI∘PTI∘STI(%v) != NTI(%v)", a, a)
+		}
+	}
+}

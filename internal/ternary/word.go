@@ -1,0 +1,217 @@
+package ternary
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Architectural widths of the ART-9 core (§IV-A of the paper).
+const (
+	// WordTrits is the trit width of an ART-9 machine word; instructions
+	// and data share this width so TIM and TDM have a regular structure.
+	WordTrits = 9
+
+	// WordStates is the number of distinct 9-trit words, 3^9.
+	WordStates = 19683
+
+	// MaxInt and MinInt bound the balanced interpretation of a word:
+	// ±(3^9 − 1)/2.
+	MaxInt = (WordStates - 1) / 2
+	MinInt = -MaxInt
+)
+
+// Word is a 9-trit balanced ternary machine word. Index 0 is the least
+// significant trit (LST), index 8 the most significant. The zero value is
+// the word representing 0.
+type Word [WordTrits]Trit
+
+// FromInt returns the word encoding v. Values outside [MinInt, MaxInt] wrap
+// modulo 3^9, mirroring how a fixed-width ternary datapath overflows.
+func FromInt(v int) Word {
+	v %= WordStates
+	if v > MaxInt {
+		v -= WordStates
+	} else if v < MinInt {
+		v += WordStates
+	}
+	var w Word
+	for i := 0; i < WordTrits; i++ {
+		w[i], v = nextTrit(v)
+	}
+	return w
+}
+
+// nextTrit splits v into d + 3·v' with d balanced, returning (d, v').
+func nextTrit(v int) (Trit, int) {
+	m := v % 3
+	if m < 0 {
+		m += 3
+	}
+	switch m {
+	case 1:
+		return Pos, (v - 1) / 3
+	case 2:
+		return Neg, (v + 1) / 3
+	}
+	return Zero, v / 3
+}
+
+// Int returns the balanced (signed) integer value of w, in [MinInt, MaxInt].
+func (w Word) Int() int {
+	v, p := 0, 1
+	for i := 0; i < WordTrits; i++ {
+		v += int(w[i]) * p
+		p *= 3
+	}
+	return v
+}
+
+// UIndex returns the unsigned interpretation of w used for addressing TIM
+// and TDM (§II-A): the balanced value taken modulo 3^9 into [0, 3^9).
+func (w Word) UIndex() int {
+	v := w.Int()
+	if v < 0 {
+		v += WordStates
+	}
+	return v
+}
+
+// Valid reports whether every trit of w is a legal balanced trit. Words
+// built via FromInt or trit-wise operations are always valid; Valid guards
+// data arriving from external encodings.
+func (w Word) Valid() bool {
+	for _, t := range w {
+		if !t.Valid() {
+			return false
+		}
+	}
+	return true
+}
+
+// IsZero reports whether w encodes 0.
+func (w Word) IsZero() bool { return w == Word{} }
+
+// Sign returns the sign of the balanced value of w as a trit: the most
+// significant nonzero trit.
+func (w Word) Sign() Trit {
+	for i := WordTrits - 1; i >= 0; i-- {
+		if w[i] != Zero {
+			return w[i]
+		}
+	}
+	return Zero
+}
+
+// Trit returns the trit at position i (0 = LST). It panics if i is out of
+// range, matching slice semantics.
+func (w Word) Trit(i int) Trit { return w[i] }
+
+// WithTrit returns a copy of w with trit i replaced by t.
+func (w Word) WithTrit(i int, t Trit) Word {
+	w[i] = t
+	return w
+}
+
+// Field extracts the balanced value of the trit subfield w[lo..hi]
+// (inclusive), as used by the instruction decoder: e.g. a 2-trit register
+// field yields a value in [−4, +4]. It panics if the range is invalid.
+func (w Word) Field(lo, hi int) int {
+	if lo < 0 || hi >= WordTrits || lo > hi {
+		panic(fmt.Sprintf("ternary: invalid field [%d..%d]", lo, hi))
+	}
+	v, p := 0, 1
+	for i := lo; i <= hi; i++ {
+		v += int(w[i]) * p
+		p *= 3
+	}
+	return v
+}
+
+// SetField returns a copy of w with the subfield [lo..hi] set to the
+// balanced encoding of v. It panics if v does not fit in the field, so the
+// instruction encoder surfaces out-of-range operands early.
+func (w Word) SetField(lo, hi, v int) Word {
+	if lo < 0 || hi >= WordTrits || lo > hi {
+		panic(fmt.Sprintf("ternary: invalid field [%d..%d]", lo, hi))
+	}
+	n := hi - lo + 1
+	if !FitsTrits(v, n) {
+		panic(fmt.Sprintf("ternary: value %d does not fit in %d trits", v, n))
+	}
+	for i := lo; i <= hi; i++ {
+		w[i], v = nextTrit(v)
+	}
+	return w
+}
+
+// FitsTrits reports whether v is representable in n balanced trits,
+// i.e. |v| ≤ (3^n − 1)/2.
+func FitsTrits(v, n int) bool {
+	max := (pow3(n) - 1) / 2
+	return v >= -max && v <= max
+}
+
+// MaxForTrits returns the largest magnitude representable in n balanced
+// trits, (3^n − 1)/2.
+func MaxForTrits(n int) int { return (pow3(n) - 1) / 2 }
+
+func pow3(n int) int {
+	p := 1
+	for ; n > 0; n-- {
+		p *= 3
+	}
+	return p
+}
+
+// String renders w most-significant trit first in T/0/1 notation, e.g. the
+// word for −5 is "0000000T1".
+func (w Word) String() string {
+	var b strings.Builder
+	for i := WordTrits - 1; i >= 0; i-- {
+		b.WriteString(w[i].String())
+	}
+	return b.String()
+}
+
+// ParseWord parses a word in the notation emitted by String: exactly 9
+// trit characters, most significant first, optionally prefixed with "0t".
+// Shorter strings are sign-extended with zeros.
+func ParseWord(s string) (Word, error) {
+	s = strings.TrimPrefix(s, "0t")
+	if len(s) == 0 || len(s) > WordTrits {
+		return Word{}, fmt.Errorf("ternary: word literal %q must have 1..%d trits", s, WordTrits)
+	}
+	var w Word
+	runes := []rune(s)
+	if len(runes) > WordTrits {
+		return Word{}, fmt.Errorf("ternary: word literal %q must have 1..%d trits", s, WordTrits)
+	}
+	for i, r := range runes {
+		t, err := TritFromRune(r)
+		if err != nil {
+			return Word{}, fmt.Errorf("ternary: word literal %q: %v", s, err)
+		}
+		w[len(runes)-1-i] = t
+	}
+	return w, nil
+}
+
+// Trits returns the trits of w as a slice, LST first. The slice is a copy;
+// mutating it does not affect w.
+func (w Word) Trits() []Trit {
+	s := make([]Trit, WordTrits)
+	copy(s, w[:])
+	return s
+}
+
+// CountNonZero returns the number of nonzero trits, a proxy for switching
+// activity used by the power model.
+func (w Word) CountNonZero() int {
+	n := 0
+	for _, t := range w {
+		if t != Zero {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package ternary
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromIntRoundTrip(t *testing.T) {
+	for v := MinInt; v <= MaxInt; v += 97 {
+		if got := FromInt(v).Int(); got != v {
+			t.Fatalf("FromInt(%d).Int() = %d", v, got)
+		}
+	}
+	// Boundaries.
+	for _, v := range []int{MinInt, -1, 0, 1, MaxInt} {
+		if got := FromInt(v).Int(); got != v {
+			t.Errorf("FromInt(%d).Int() = %d", v, got)
+		}
+	}
+}
+
+func TestFromIntWraps(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{MaxInt + 1, MinInt},
+		{MinInt - 1, MaxInt},
+		{WordStates, 0},
+		{-WordStates, 0},
+		{WordStates + 5, 5},
+		{2*WordStates + 7, 7},
+		{-(WordStates + 5), -5},
+	}
+	for _, c := range cases {
+		if got := FromInt(c.in).Int(); got != c.want {
+			t.Errorf("FromInt(%d).Int() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestFromIntPropertyRoundTrip(t *testing.T) {
+	f := func(v int16) bool {
+		x := int(v) % (MaxInt + 1) // always in balanced range
+		return FromInt(x).Int() == x
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUIndex(t *testing.T) {
+	cases := []struct{ v, want int }{
+		{0, 0}, {1, 1}, {-1, WordStates - 1},
+		{MaxInt, MaxInt}, {MinInt, MaxInt + 1},
+	}
+	for _, c := range cases {
+		if got := FromInt(c.v).UIndex(); got != c.want {
+			t.Errorf("FromInt(%d).UIndex() = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestUIndexCongruentMod3n(t *testing.T) {
+	f := func(v int16) bool {
+		x := int(v)
+		u := FromInt(x).UIndex()
+		d := (u - x) % WordStates
+		return u >= 0 && u < WordStates && d == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWordStringParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		w := FromInt(rng.Intn(WordStates) - MaxInt)
+		got, err := ParseWord(w.String())
+		if err != nil {
+			t.Fatalf("ParseWord(%q): %v", w.String(), err)
+		}
+		if got != w {
+			t.Fatalf("round trip %q: got %v", w.String(), got)
+		}
+	}
+}
+
+func TestParseWordForms(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"1", 1, true},
+		{"T", -1, true},
+		{"1T", 2, true},
+		{"0t1T", 2, true},
+		{"+-", 2, true},
+		{"111111111", MaxInt, true},
+		{"TTTTTTTTT", MinInt, true},
+		{"", 0, false},
+		{"1111111111", 0, false}, // 10 trits
+		{"12T", 0, false},
+	}
+	for _, c := range cases {
+		w, err := ParseWord(c.in)
+		if c.ok != (err == nil) {
+			t.Errorf("ParseWord(%q) err = %v, want ok=%v", c.in, err, c.ok)
+			continue
+		}
+		if c.ok && w.Int() != c.want {
+			t.Errorf("ParseWord(%q) = %d, want %d", c.in, w.Int(), c.want)
+		}
+	}
+}
+
+func TestSign(t *testing.T) {
+	cases := map[int]Trit{0: Zero, 5: Pos, -5: Neg, MaxInt: Pos, MinInt: Neg, 1: Pos, -1: Neg}
+	for v, want := range cases {
+		if got := FromInt(v).Sign(); got != want {
+			t.Errorf("FromInt(%d).Sign() = %v, want %v", v, got, want)
+		}
+	}
+}
+
+func TestFieldSetField(t *testing.T) {
+	w := FromInt(0)
+	w = w.SetField(2, 3, -4) // 2-trit register-style field
+	if got := w.Field(2, 3); got != -4 {
+		t.Errorf("Field(2,3) = %d, want -4", got)
+	}
+	// Neighbouring trits untouched.
+	if w[0] != Zero || w[1] != Zero || w[4] != Zero {
+		t.Errorf("SetField disturbed neighbours: %v", w)
+	}
+	// Full range of a 2-trit field.
+	for v := -4; v <= 4; v++ {
+		u := Word{}.SetField(5, 6, v)
+		if got := u.Field(5, 6); got != v {
+			t.Errorf("2-trit field round trip %d -> %d", v, got)
+		}
+	}
+	// 5-trit immediate field (LI/JAL).
+	for v := -121; v <= 121; v += 7 {
+		u := Word{}.SetField(0, 4, v)
+		if got := u.Field(0, 4); got != v {
+			t.Errorf("5-trit field round trip %d -> %d", v, got)
+		}
+	}
+}
+
+func TestSetFieldPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("out-of-range value", func() { Word{}.SetField(0, 1, 5) })
+	mustPanic("inverted range", func() { Word{}.SetField(3, 1, 0) })
+	mustPanic("hi out of word", func() { Word{}.SetField(0, 9, 0) })
+	mustPanic("Field inverted", func() { Word{}.Field(4, 2) })
+}
+
+func TestFitsTrits(t *testing.T) {
+	cases := []struct {
+		v, n int
+		want bool
+	}{
+		{0, 1, true}, {1, 1, true}, {-1, 1, true}, {2, 1, false},
+		{4, 2, true}, {-4, 2, true}, {5, 2, false},
+		{13, 3, true}, {14, 3, false},
+		{40, 4, true}, {41, 4, false},
+		{121, 5, true}, {122, 5, false},
+		{MaxInt, 9, true}, {MaxInt + 1, 9, false},
+	}
+	for _, c := range cases {
+		if got := FitsTrits(c.v, c.n); got != c.want {
+			t.Errorf("FitsTrits(%d,%d) = %v, want %v", c.v, c.n, got, c.want)
+		}
+	}
+}
+
+func TestMaxForTrits(t *testing.T) {
+	want := map[int]int{1: 1, 2: 4, 3: 13, 4: 40, 5: 121, 9: MaxInt}
+	for n, m := range want {
+		if got := MaxForTrits(n); got != m {
+			t.Errorf("MaxForTrits(%d) = %d, want %d", n, got, m)
+		}
+	}
+}
+
+func TestCountNonZero(t *testing.T) {
+	if got := FromInt(0).CountNonZero(); got != 0 {
+		t.Errorf("CountNonZero(0) = %d", got)
+	}
+	if got := FromInt(MaxInt).CountNonZero(); got != 9 {
+		t.Errorf("CountNonZero(MaxInt) = %d, want 9", got)
+	}
+	w, _ := ParseWord("10T")
+	if got := w.CountNonZero(); got != 2 {
+		t.Errorf("CountNonZero(10T) = %d, want 2", got)
+	}
+}
+
+func TestTritsCopy(t *testing.T) {
+	w := FromInt(5)
+	s := w.Trits()
+	s[0] = Neg
+	if w != FromInt(5) {
+		t.Error("Trits() returned aliasing slice")
+	}
+}
+
+func TestWithTrit(t *testing.T) {
+	w := Word{}.WithTrit(0, Pos).WithTrit(8, Neg)
+	if w[0] != Pos || w[8] != Neg || w.Int() != 1-pow3(8) {
+		t.Errorf("WithTrit composition wrong: %v", w)
+	}
+}
+
+func TestValid(t *testing.T) {
+	if !(Word{}).Valid() {
+		t.Error("zero word invalid")
+	}
+	w := Word{}
+	w[3] = 2
+	if w.Valid() {
+		t.Error("word with trit=2 reported valid")
+	}
+}

@@ -1,0 +1,120 @@
+// Package tmem models the ternary instruction and data memories (TIM and
+// TDM, §IV-A of the paper): synchronous single-port, word-addressed arrays
+// of 9-trit cells. A behavioural model stands in for the ternary SRAM of
+// [11]; the evaluation framework consumes only its cell counts and access
+// statistics (see DESIGN.md §4, substitution 6).
+package tmem
+
+import (
+	"fmt"
+
+	"repro/internal/ternary"
+)
+
+// MaxWords is the largest addressable memory: the full 9-trit address
+// space, 3^9 words.
+const MaxWords = ternary.WordStates
+
+// Memory is a word-addressed ternary memory.
+type Memory struct {
+	name  string
+	words []ternary.Word
+
+	reads  uint64
+	writes uint64
+}
+
+// New returns a memory holding size 9-trit words. It panics if size is not
+// in (0, MaxWords], since that is a construction-time configuration error.
+func New(name string, size int) *Memory {
+	if size <= 0 || size > MaxWords {
+		panic(fmt.Sprintf("tmem: invalid size %d for %s (max %d)", size, name, MaxWords))
+	}
+	return &Memory{name: name, words: make([]ternary.Word, size)}
+}
+
+// Name returns the memory's name ("TIM"/"TDM" conventionally).
+func (m *Memory) Name() string { return m.name }
+
+// Size returns the number of words.
+func (m *Memory) Size() int { return len(m.words) }
+
+// Cells returns the number of ternary storage cells (trits).
+func (m *Memory) Cells() int { return len(m.words) * ternary.WordTrits }
+
+// EncodedBits returns the storage in bits when the memory is emulated with
+// binary-encoded ternary cells (2 bits per trit), the Table V accounting.
+func (m *Memory) EncodedBits() int { return m.Cells() * ternary.BitsPerTrit }
+
+// Read returns the word at index addr. Addressing beyond the physical size
+// is an access fault, surfaced as an error exactly like the hardware's
+// out-of-space condition.
+func (m *Memory) Read(addr int) (ternary.Word, error) {
+	if addr < 0 || addr >= len(m.words) {
+		return ternary.Word{}, fmt.Errorf("tmem: %s read at %d out of range [0,%d)", m.name, addr, len(m.words))
+	}
+	m.reads++
+	return m.words[addr], nil
+}
+
+// Write stores w at index addr, with the same bounds behaviour as Read.
+func (m *Memory) Write(addr int, w ternary.Word) error {
+	if addr < 0 || addr >= len(m.words) {
+		return fmt.Errorf("tmem: %s write at %d out of range [0,%d)", m.name, addr, len(m.words))
+	}
+	m.writes++
+	m.words[addr] = w
+	return nil
+}
+
+// ReadWord is Read addressed by a 9-trit word using the unsigned
+// interpretation of §II-A.
+func (m *Memory) ReadWord(addr ternary.Word) (ternary.Word, error) {
+	return m.Read(addr.UIndex())
+}
+
+// WriteWord is Write addressed by a 9-trit word.
+func (m *Memory) WriteWord(addr, w ternary.Word) error {
+	return m.Write(addr.UIndex(), w)
+}
+
+// LoadImage copies img into the memory starting at address 0, the
+// program-load path. It fails if the image does not fit.
+func (m *Memory) LoadImage(img []ternary.Word) error {
+	if len(img) > len(m.words) {
+		return fmt.Errorf("tmem: %s image of %d words exceeds size %d", m.name, len(img), len(m.words))
+	}
+	copy(m.words, img)
+	return nil
+}
+
+// SetAll initialises sparse contents (address → word), as produced by the
+// assembler's .data section.
+func (m *Memory) SetAll(init map[int]ternary.Word) error {
+	for a, w := range init {
+		if a < 0 || a >= len(m.words) {
+			return fmt.Errorf("tmem: %s init at %d out of range [0,%d)", m.name, a, len(m.words))
+		}
+		m.words[a] = w
+	}
+	return nil
+}
+
+// Reset zeroes contents and statistics.
+func (m *Memory) Reset() {
+	for i := range m.words {
+		m.words[i] = ternary.Word{}
+	}
+	m.reads, m.writes = 0, 0
+}
+
+// Accesses returns the read and write counts since construction or Reset,
+// inputs to the memory power model.
+func (m *Memory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
+
+// Snapshot returns a copy of the memory contents (for test comparison).
+func (m *Memory) Snapshot() []ternary.Word {
+	s := make([]ternary.Word, len(m.words))
+	copy(s, m.words)
+	return s
+}

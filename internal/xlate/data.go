@@ -1,0 +1,26 @@
+package xlate
+
+import (
+	"encoding/binary"
+
+	"repro/internal/rv32"
+	"repro/internal/ternary"
+)
+
+// DataImage converts an RV32 data image into TDM initialisation under the
+// translator's identity address mapping: the 32-bit word at byte address A
+// becomes the 9-trit word at TDM address A (the three following TDM words
+// stay empty — each RV32 element occupies one ternary word at the same
+// numeric address, so translated address arithmetic needs no rescaling).
+// Values wrap into the 9-trit range per the value contract.
+func DataImage(p *rv32.Program) map[int]ternary.Word {
+	out := make(map[int]ternary.Word, (len(p.Data)+3)/4)
+	for a := 0; a+4 <= len(p.Data); a += 4 {
+		v := int32(binary.LittleEndian.Uint32(p.Data[a:]))
+		if v == 0 {
+			continue
+		}
+		out[a] = ternary.FromInt(wrapValue(int64(v)))
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package xlate
+
+import "repro/internal/isa"
+
+// The redundancy-checking phase of Fig. 2: the mapping and conversion
+// phases emit conservatively (copies for two-address form, spill traffic,
+// rebuilt constants); this pass deletes the duplicated operations. Branch
+// targets survive deletion because Lines carry them symbolically — the
+// ART-9 assembler recomputes every offset afterwards, which is the
+// "re-calculates the branch target addresses" step of §III-A.
+
+// lineWrites returns the register a line writes, if any.
+func lineWrites(l Line) (isa.Reg, bool) {
+	switch l.Op {
+	case "MV", "PTI", "NTI", "STI", "AND", "OR", "XOR", "ADD", "SUB",
+		"SR", "SL", "COMP", "ANDI", "ADDI", "SRI", "SLI", "LUI", "LI",
+		"LDI", "LDA", "LOAD", "JAL", "JALR":
+		return l.Ta, true
+	}
+	return 0, false
+}
+
+// lineReads returns the registers a line reads.
+func lineReads(l Line) []isa.Reg {
+	switch l.Op {
+	case "MV", "PTI", "NTI", "STI":
+		return []isa.Reg{l.Tb}
+	case "AND", "OR", "XOR", "ADD", "SUB", "SR", "SL", "COMP":
+		return []isa.Reg{l.Ta, l.Tb}
+	case "ANDI", "ADDI", "SRI", "SLI", "LI":
+		return []isa.Reg{l.Ta}
+	case "BEQ", "BNE", "JALR", "LOAD":
+		return []isa.Reg{l.Tb}
+	case "STORE":
+		return []isa.Reg{l.Ta, l.Tb}
+	}
+	return nil
+}
+
+// isControl reports whether a line can transfer control.
+func isControl(l Line) bool {
+	switch l.Op {
+	case "JAL", "JALR", "BEQ", "BNE", "HALT":
+		return true
+	}
+	return false
+}
+
+// isPureWrite reports whether a line only writes its Ta (safe to delete
+// when the value is dead).
+func isPureWrite(l Line) bool {
+	switch l.Op {
+	case "LDI", "LUI", "LDA", "MV":
+		return true
+	}
+	return false
+}
+
+// isIdentity reports whether a line provably changes nothing: MV x,x;
+// ADDI/SLI/SRI x,0; ADD/SUB x,T0 (T0 holds zero by ABI and is never
+// rewritten after the prologue).
+func isIdentity(l Line) bool {
+	switch l.Op {
+	case "MV":
+		return l.Ta == l.Tb
+	case "ADDI", "SLI", "SRI":
+		return l.Imm == 0
+	case "ADD", "SUB":
+		return l.Tb == regZero
+	}
+	return false
+}
+
+// peephole runs the redundancy checker to a fixed point, returning the
+// cleaned lines and the number of instructions removed.
+func peephole(lines []Line) ([]Line, int) {
+	removed := 0
+	for {
+		n := 0
+		lines, n = peepholeOnce(lines)
+		removed += n
+		if n == 0 {
+			return lines, removed
+		}
+	}
+}
+
+func peepholeOnce(lines []Line) ([]Line, int) {
+	removed := 0
+	// drop turns line i into a label-only placeholder, preserving any
+	// label bound to it.
+	drop := func(i int) {
+		lines[i] = Line{Label: lines[i].Label}
+		removed++
+	}
+	for i := 0; i < len(lines); i++ {
+		l := lines[i]
+		if l.Op == "" {
+			continue
+		}
+		// The prologue LDI T0, 0 establishes the ABI zero; never touch
+		// writes to T0 (there is exactly one).
+		if w, ok := lineWrites(l); ok && w == regZero && l.Op == "LDI" {
+			continue
+		}
+
+		// Rule 1/2: provable identities.
+		if isIdentity(l) {
+			drop(i)
+			continue
+		}
+
+		// Rule 3: spill store immediately reloaded.
+		if l.Op == "STORE" && l.Tb == regZero {
+			if j := nextOp(lines, i); j >= 0 && lines[j].Label == "" {
+				n := lines[j]
+				if n.Op == "LOAD" && n.Tb == regZero && n.Imm == l.Imm {
+					if n.Ta == l.Ta {
+						drop(j)
+					} else {
+						lines[j] = Line{Op: "MV", Ta: n.Ta, HasTa: true, Tb: l.Ta, HasTb: true}
+					}
+					continue
+				}
+			}
+		}
+
+		// Rule 4: dead pure writes — the value is overwritten before
+		// any read, with no barrier in between.
+		if isPureWrite(l) {
+			if w, ok := lineWrites(l); ok && deadBefore(lines, i+1, w) {
+				drop(i)
+				continue
+			}
+		}
+
+		// Rule 5: duplicate constant load — an identical LDI with no
+		// intervening write/barrier.
+		if l.Op == "LDI" {
+			for j := i + 1; j < len(lines); j++ {
+				n := lines[j]
+				if n.Op == "" && n.Label == "" {
+					continue
+				}
+				if n.Label != "" || isControl(n) {
+					break
+				}
+				if w, ok := lineWrites(n); ok && w == l.Ta {
+					if n.Op == "LDI" && n.Imm == l.Imm {
+						// Same value rebuilt: the second is redundant
+						// only if nothing read-modified it, which the
+						// write check guarantees.
+						lines[j] = Line{Label: n.Label}
+						removed++
+					}
+					break
+				}
+			}
+		}
+	}
+	// Compact label-only placeholders into their successors where the
+	// successor has no label of its own.
+	var out []Line
+	for i := 0; i < len(lines); i++ {
+		l := lines[i]
+		if l.Op == "" && l.Label == "" {
+			continue
+		}
+		out = append(out, l)
+	}
+	return out, removed
+}
+
+// nextOp returns the next index holding a real instruction, or −1.
+func nextOp(lines []Line, i int) int {
+	for j := i + 1; j < len(lines); j++ {
+		if lines[j].Op != "" {
+			return j
+		}
+		if lines[j].Label != "" {
+			return -1 // label-only line is a barrier
+		}
+	}
+	return -1
+}
+
+// deadBefore reports whether register r is overwritten before any read,
+// label or control transfer from index i on.
+func deadBefore(lines []Line, i int, r isa.Reg) bool {
+	for j := i; j < len(lines); j++ {
+		l := lines[j]
+		if l.Label != "" || isControl(l) {
+			return false
+		}
+		if l.Op == "" {
+			continue
+		}
+		for _, rd := range lineReads(l) {
+			if rd == r {
+				return false
+			}
+		}
+		if w, ok := lineWrites(l); ok && w == r {
+			return true
+		}
+	}
+	return false
+}
