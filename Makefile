@@ -1,0 +1,38 @@
+# Build/test entry points. CI (.github/workflows/ci.yml) runs these
+# targets verbatim, so local and CI invocations cannot drift.
+
+GO ?= go
+
+.PHONY: all build test test-quick lint bench batch clean
+
+all: build lint test
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: the full suite with the race detector and shuffled order
+test:
+	$(GO) test -race -shuffle=on ./...
+
+## test-quick: the tier-1 verification command (build + plain tests)
+test-quick:
+	$(GO) build ./... && $(GO) test ./...
+
+## lint: go vet plus a gofmt cleanliness check
+lint:
+	$(GO) vet ./...
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
+
+## bench: one pass over every benchmark (smoke; use -benchtime=10x locally)
+bench:
+	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+## batch: run the example manifest through the engine, emit BENCH_report.json
+batch:
+	$(GO) run ./cmd/art9-batch -manifest examples/batch/manifest.json -o BENCH_report.json
+	@echo "wrote BENCH_report.json"
+
+clean:
+	rm -f BENCH_*.json

@@ -23,9 +23,12 @@
 package art9
 
 import (
+	"context"
+
 	"repro/internal/asm"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gate"
 	"repro/internal/isa"
 	"repro/internal/perf"
@@ -174,3 +177,37 @@ func RunBenchmark(w Workload) (*Outcome, error) {
 
 // ReproduceTables runs the whole suite and renders Fig. 5 and Tables II–V.
 func ReproduceTables() (string, error) { return bench.AllTables() }
+
+// Concurrent batch-evaluation engine.
+type (
+	// Engine is a worker-pool job runner with memoization caches for
+	// assembled programs and gate-level analyses.
+	Engine = engine.Engine
+	// EngineOptions size the pool and set the default per-job timeout.
+	EngineOptions = engine.Options
+	// EngineJob is one unit of evaluation work.
+	EngineJob = engine.Job
+	// EngineResult is the outcome of one engine job.
+	EngineResult = engine.Result
+	// EngineStats are the engine's lifetime counters.
+	EngineStats = engine.Stats
+)
+
+// NewEngine starts a worker pool (0 workers selects GOMAXPROCS). Call
+// Close on the returned engine when done.
+func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// RunSuite fans the §V-A benchmark suite out across GOMAXPROCS workers
+// and returns the per-workload outcomes; the results are identical to
+// running each workload serially with RunBenchmark.
+func RunSuite(ctx context.Context) (map[string]*Outcome, error) {
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	return bench.RunAllOn(ctx, eng)
+}
+
+// RunSuiteOn is RunSuite on a caller-owned engine, reusing its worker
+// pool and caches across batches.
+func RunSuiteOn(ctx context.Context, eng *Engine) (map[string]*Outcome, error) {
+	return bench.RunAllOn(ctx, eng)
+}

@@ -1,9 +1,10 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
-	"repro/internal/asm"
+	"repro/internal/engine"
 	"repro/internal/rv32"
 	"repro/internal/sim"
 	"repro/internal/xlate"
@@ -50,11 +51,34 @@ func (o *Outcome) CyclesPerIteration() float64 {
 	return float64(o.ART9Cycles) / float64(max(1, o.Workload.Iterations))
 }
 
+// MemAccessRate returns the measured TIM+TDM word-access rate of the
+// run: one instruction fetch per issue slot plus the data-access duty
+// cycle — the activity input of the memory power model.
+func (o *Outcome) MemAccessRate() float64 {
+	if o.ART9Cycles == 0 {
+		return 1
+	}
+	return (float64(o.ARTRetired) + float64(o.ARTLoads+o.ARTStores)) /
+		float64(o.ART9Cycles)
+}
+
 // Run executes the workload on the RV32 machine (feeding both baseline
 // cycle models), translates it with the software-level framework, runs
 // the result on the functional and pipelined ART-9 cores, verifies that
 // all checksums agree, and collects every metric.
 func Run(w Workload, opts xlate.Options) (*Outcome, error) {
+	return RunCtx(context.Background(), w, opts)
+}
+
+// RunCtx is Run with stage-granular cancellation: the context is checked
+// before each expensive stage (every machine run and the translation),
+// so an expired engine job timeout or a cancelled batch stops the
+// workload at the next stage boundary. The simulators themselves run to
+// completion once started — each is bounded by its step budget.
+func RunCtx(ctx context.Context, w Workload, opts xlate.Options) (*Outcome, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
 	rvProg, err := rv32.Assemble(w.Source)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: rv32 assemble: %w", w.Name, err)
@@ -68,6 +92,9 @@ func Run(w Workload, opts xlate.Options) (*Outcome, error) {
 	if err := m.Load(rvProg); err != nil {
 		return nil, err
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", w.Name, err)
+	}
 	if err := m.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: rv32 run: %w", w.Name, err)
 	}
@@ -77,7 +104,7 @@ func Run(w Workload, opts xlate.Options) (*Outcome, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: translate: %w", w.Name, err)
 	}
-	artProg, err := asm.Assemble(out.Asm)
+	artProg, err := engine.AssembleCached(out.Asm)
 	if err != nil {
 		return nil, fmt.Errorf("bench %s: art9 assemble: %w", w.Name, err)
 	}
@@ -89,6 +116,9 @@ func Run(w Workload, opts xlate.Options) (*Outcome, error) {
 	}
 	if err := fn.S.TDM.SetAll(data); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
 	if _, err := fn.Run(); err != nil {
 		return nil, fmt.Errorf("bench %s: art9 functional: %w", w.Name, err)
@@ -107,6 +137,9 @@ func Run(w Workload, opts xlate.Options) (*Outcome, error) {
 	}
 	if err := pl.S.TDM.SetAll(data); err != nil {
 		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("bench %s: %w", w.Name, err)
 	}
 	pres, err := pl.Run()
 	if err != nil {
@@ -142,8 +175,19 @@ func Run(w Workload, opts xlate.Options) (*Outcome, error) {
 	}, nil
 }
 
-// RunAll runs the whole suite with default translation options.
+// RunAll runs the whole suite with default translation options,
+// fanned out across GOMAXPROCS workers by a transient engine. The
+// result is identical to RunAllSerial — jobs are independent and
+// results are collected by name — just faster on multicore hosts.
 func RunAll() (map[string]*Outcome, error) {
+	eng := engine.New(engine.Options{})
+	defer eng.Close()
+	return RunAllOn(context.Background(), eng)
+}
+
+// RunAllSerial runs the whole suite one workload at a time — the
+// reference path the concurrent engine is checked against.
+func RunAllSerial() (map[string]*Outcome, error) {
 	res := map[string]*Outcome{}
 	for _, w := range Workloads {
 		o, err := Run(w, xlate.Options{})
@@ -153,4 +197,34 @@ func RunAll() (map[string]*Outcome, error) {
 		res[w.Name] = o
 	}
 	return res, nil
+}
+
+// RunAllOn fans the suite out on an existing engine. The first workload
+// failure (or a ctx cancellation) is returned as an error, matching the
+// serial path's fail-fast contract.
+func RunAllOn(ctx context.Context, eng *engine.Engine) (map[string]*Outcome, error) {
+	results, _ := eng.RunAll(ctx, SuiteJobs(Workloads, xlate.Options{}))
+	res := make(map[string]*Outcome, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("bench %s: %w", r.ID, r.Err)
+		}
+		res[r.ID] = r.Value.(*Outcome)
+	}
+	return res, nil
+}
+
+// SuiteJobs wraps workloads as engine jobs, one per workload; each job
+// itself exercises every core model (RV32 reference with both baseline
+// cycle observers, then the functional and pipelined ART-9 cores).
+func SuiteJobs(ws []Workload, opts xlate.Options) []engine.Job {
+	jobs := make([]engine.Job, len(ws))
+	for i, w := range ws {
+		w := w
+		jobs[i] = engine.Job{
+			ID: w.Name,
+			Fn: func(ctx context.Context) (any, error) { return RunCtx(ctx, w, opts) },
+		}
+	}
+	return jobs
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"repro/internal/asm"
+	"repro/internal/engine"
 	"repro/internal/gate"
 	"repro/internal/perf"
 	"repro/internal/rv32"
@@ -50,7 +51,7 @@ func (f *SoftwareFramework) Compile(rvSource string) (*CompileResult, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: translation: %w", err)
 	}
-	ternProg, err := asm.Assemble(out.Asm)
+	ternProg, err := engine.AssembleCached(out.Asm)
 	if err != nil {
 		return nil, fmt.Errorf("core: ternary back end: %w", err)
 	}
@@ -106,7 +107,18 @@ func (f *HardwareFramework) Evaluate(p *asm.Program, data map[int]ternary.Word, 
 		return nil, fmt.Errorf("core: cycle-accurate simulation: %w", err)
 	}
 
-	an := gate.Analyze(gate.BuildART9(), tech)
+	// The ART-9 netlist analysis depends only on the technology, so it
+	// is served from the engine's shared memoization cache; repeated
+	// evaluations re-simulate but never re-analyze. The cache entry is
+	// shared process-wide, so hand the caller its own copy — Evaluation
+	// has always been safe to mutate.
+	cached := engine.AnalyzeART9(tech)
+	an := &gate.Analysis{}
+	*an = *cached
+	an.Histogram = make(map[gate.CellKind]int, len(cached.Histogram))
+	for k, v := range cached.Histogram {
+		an.Histogram[k] = v
+	}
 	if iterations < 1 {
 		iterations = 1
 	}

@@ -135,3 +135,40 @@ func TestRunFunctionalNilData(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEvaluateAnalysisIsCallerOwned(t *testing.T) {
+	// Evaluate serves the gate-level analysis from the engine's shared
+	// cache, but each Evaluation must own its copy: mutating one run's
+	// Analysis must not leak into the next.
+	f := &SoftwareFramework{}
+	res, err := f.Compile(tinyRV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := &HardwareFramework{}
+	ev1, err := hw.Evaluate(res.Program, res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFmax := ev1.Analysis.FmaxMHz
+	ev1.Analysis.FmaxMHz = -1
+	for k := range ev1.Analysis.Histogram {
+		ev1.Analysis.Histogram[k] = -1
+	}
+
+	ev2, err := hw.Evaluate(res.Program, res.Data, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev2.Analysis == ev1.Analysis {
+		t.Fatal("evaluations share one Analysis instance")
+	}
+	if ev2.Analysis.FmaxMHz != wantFmax {
+		t.Errorf("fmax %v after mutation of a previous evaluation, want %v", ev2.Analysis.FmaxMHz, wantFmax)
+	}
+	for k, v := range ev2.Analysis.Histogram {
+		if v < 0 {
+			t.Fatalf("histogram[%v] leaked a mutated value", k)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package engine is the concurrent batch-evaluation subsystem: a
+// worker-pool job runner that fans the paper's §V evaluation matrix
+// (workload × core model × technology) out across GOMAXPROCS workers,
+// plus memoization caches for the two expensive pure computations of the
+// pipeline — assembling ART-9 programs and gate-level analysis — so
+// repeated evaluations are near-free.
+//
+// The engine is deliberately generic: a Job is a closure, so the higher
+// layers (internal/bench, internal/core, cmd/art9-batch) can submit any
+// unit of work without this package depending on them. Results come back
+// in submission order, which is how the concurrent suite reproduces the
+// serial tables byte for byte.
+package engine
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned for jobs submitted to a closed engine.
+var ErrClosed = errors.New("engine: closed")
+
+// Options configure an Engine.
+type Options struct {
+	// Workers is the pool size; 0 selects runtime.GOMAXPROCS(0).
+	Workers int
+	// JobTimeout bounds each job's execution unless the job sets its
+	// own Timeout; 0 means no per-job deadline.
+	JobTimeout time.Duration
+	// PrivateCaches gives the engine's Programs/Analyses fields fresh
+	// caches instead of pointing them at the process-wide shared ones.
+	// Only jobs that route work through those fields are isolated —
+	// the bench/core helpers (AssembleCached, AnalyzeART9) always use
+	// the shared caches. Useful for tests that assert exact hit/miss
+	// counts on work they submit themselves.
+	PrivateCaches bool
+}
+
+// Job is one unit of evaluation work.
+type Job struct {
+	// ID labels the job in its Result (e.g. the workload name).
+	ID string
+	// Timeout overrides the engine's JobTimeout for this job.
+	Timeout time.Duration
+	// Fn does the work. It should honour ctx cancellation where it
+	// can; the engine always checks ctx before dispatching.
+	Fn func(ctx context.Context) (any, error)
+}
+
+// Result is the outcome of one job.
+type Result struct {
+	ID      string
+	Value   any
+	Err     error
+	Elapsed time.Duration
+	// Worker is the pool index that executed the job (-1 if the job
+	// was cancelled before dispatch).
+	Worker int
+}
+
+// Stats are the engine's lifetime counters. Every submitted job ends in
+// exactly one of Completed, Failed (its Fn ran and returned an error,
+// including a per-job timeout the Fn honoured), Canceled (its context
+// ended before the Fn ran), or Rejected (the engine closed first), so
+// Submitted - (Completed+Failed+Canceled+Rejected) is the in-flight
+// count.
+type Stats struct {
+	Workers   int
+	Submitted uint64
+	Completed uint64
+	Failed    uint64
+	Canceled  uint64
+	Rejected  uint64
+}
+
+type task struct {
+	ctx  context.Context
+	job  Job
+	done chan<- Result
+}
+
+// Engine is a fixed-size worker pool with submission-order result
+// collection and shared memoization caches.
+type Engine struct {
+	workers int
+	timeout time.Duration
+	jobs    chan task
+	quit    chan struct{}
+	wg      sync.WaitGroup
+	once    sync.Once
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	rejected  atomic.Uint64
+
+	// Programs memoizes assembled ART-9 programs by source text.
+	Programs *ProgramCache
+	// Analyses memoizes gate-level analyses by (netlist, technology).
+	Analyses *AnalysisCache
+}
+
+// New starts a worker pool. Call Close when done with it.
+func New(opts Options) *Engine {
+	w := opts.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	e := &Engine{
+		workers:  w,
+		timeout:  opts.JobTimeout,
+		jobs:     make(chan task),
+		quit:     make(chan struct{}),
+		Programs: SharedPrograms,
+		Analyses: SharedAnalyses,
+	}
+	if opts.PrivateCaches {
+		e.Programs = NewProgramCache()
+		e.Analyses = NewAnalysisCache()
+	}
+	e.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go e.worker(i)
+	}
+	return e
+}
+
+// Workers returns the pool size.
+func (e *Engine) Workers() int { return e.workers }
+
+// Close stops the workers. Jobs already executing finish; jobs still
+// waiting for dispatch resolve with ErrClosed. Close is idempotent.
+func (e *Engine) Close() {
+	e.once.Do(func() {
+		close(e.quit)
+		e.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the lifetime counters.
+func (e *Engine) Stats() Stats {
+	return Stats{
+		Workers:   e.workers,
+		Submitted: e.submitted.Load(),
+		Completed: e.completed.Load(),
+		Failed:    e.failed.Load(),
+		Canceled:  e.canceled.Load(),
+		Rejected:  e.rejected.Load(),
+	}
+}
+
+// Submit enqueues one job and returns a channel that will receive its
+// Result exactly once. Cancelling ctx before a worker picks the job up
+// resolves it immediately with ctx's error.
+func (e *Engine) Submit(ctx context.Context, j Job) <-chan Result {
+	e.submitted.Add(1)
+	done := make(chan Result, 1)
+	go func() {
+		select {
+		case e.jobs <- task{ctx: ctx, job: j, done: done}:
+		case <-ctx.Done():
+			e.canceled.Add(1)
+			done <- Result{ID: j.ID, Err: ctx.Err(), Worker: -1}
+		case <-e.quit:
+			e.rejected.Add(1)
+			done <- Result{ID: j.ID, Err: ErrClosed, Worker: -1}
+		}
+	}()
+	return done
+}
+
+// RunAll submits every job and waits for all of them, returning results
+// in submission order regardless of completion order. Individual job
+// failures are reported per-result; the returned error is non-nil only
+// when ctx ended before the batch drained.
+func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	chans := make([]<-chan Result, len(jobs))
+	for i, j := range jobs {
+		chans[i] = e.Submit(ctx, j)
+	}
+	out := make([]Result, len(jobs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out, ctx.Err()
+}
+
+func (e *Engine) worker(id int) {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.quit:
+			return
+		case t := <-e.jobs:
+			t.done <- e.execute(id, t)
+		}
+	}
+}
+
+func (e *Engine) execute(worker int, t task) Result {
+	r := Result{ID: t.job.ID, Worker: worker}
+	if err := t.ctx.Err(); err != nil {
+		e.canceled.Add(1)
+		r.Err = err
+		r.Worker = -1
+		return r
+	}
+	ctx := t.ctx
+	timeout := t.job.Timeout
+	if timeout <= 0 {
+		timeout = e.timeout
+	}
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	r.Value, r.Err = t.job.Fn(ctx)
+	r.Elapsed = time.Since(start)
+	if r.Err != nil {
+		e.failed.Add(1)
+	} else {
+		e.completed.Add(1)
+	}
+	return r
+}

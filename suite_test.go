@@ -1,0 +1,56 @@
+// Facade tests for the concurrent batch-evaluation surface: the engine
+// re-exports and the one-call suite runner.
+package art9_test
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	art9 "repro"
+)
+
+func TestFacadeRunSuite(t *testing.T) {
+	all, err := art9.RunSuite(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range art9.Benchmarks() {
+		o, ok := all[w.Name]
+		if !ok {
+			t.Fatalf("suite result missing workload %s", w.Name)
+		}
+		serial, err := art9.RunBenchmark(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Checksum != serial.Checksum || o.ART9Cycles != serial.ART9Cycles {
+			t.Errorf("%s: concurrent (checksum %d, cycles %d) != serial (checksum %d, cycles %d)",
+				w.Name, o.Checksum, o.ART9Cycles, serial.Checksum, serial.ART9Cycles)
+		}
+	}
+}
+
+func TestFacadeEngine(t *testing.T) {
+	eng := art9.NewEngine(art9.EngineOptions{Workers: 2, JobTimeout: time.Minute})
+	defer eng.Close()
+
+	all, err := art9.RunSuiteOn(context.Background(), eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(art9.Benchmarks()) {
+		t.Fatalf("suite returned %d outcomes, want %d", len(all), len(art9.Benchmarks()))
+	}
+	if s := eng.Stats(); s.Completed != uint64(len(all)) {
+		t.Errorf("engine stats %+v, want %d completed", s, len(all))
+	}
+
+	r := <-eng.Submit(context.Background(), art9.EngineJob{
+		ID: "custom",
+		Fn: func(context.Context) (any, error) { return 7, nil },
+	})
+	if r.Err != nil || r.Value.(int) != 7 {
+		t.Fatalf("custom engine job result %+v", r)
+	}
+}
