@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-quick lint bench batch clean
+.PHONY: all build test test-quick lint bench batch serve clean
 
 all: build lint test
 
@@ -33,6 +33,10 @@ bench:
 batch:
 	$(GO) run ./cmd/art9-batch -manifest examples/batch/manifest.json -o BENCH_report.json
 	@echo "wrote BENCH_report.json"
+
+## serve: run the streaming evaluation service on :9009
+serve:
+	$(GO) run ./cmd/art9-serve
 
 clean:
 	rm -f BENCH_*.json

@@ -181,7 +181,8 @@ func ReproduceTables() (string, error) { return bench.AllTables() }
 // Concurrent batch-evaluation engine.
 type (
 	// Engine is a worker-pool job runner with memoization caches for
-	// assembled programs and gate-level analyses.
+	// assembled programs and gate-level analyses. Its Stream method
+	// delivers results in completion order; RunAll in submission order.
 	Engine = engine.Engine
 	// EngineOptions size the pool and set the default per-job timeout.
 	EngineOptions = engine.Options
@@ -191,6 +192,10 @@ type (
 	EngineResult = engine.Result
 	// EngineStats are the engine's lifetime counters.
 	EngineStats = engine.Stats
+	// ShardSet partitions batches across independent engines with
+	// private caches and merges their completion-order streams — the
+	// single-process seam future multi-machine sharding builds on.
+	ShardSet = engine.ShardSet
 )
 
 // NewEngine starts a worker pool (0 workers selects GOMAXPROCS). Call
@@ -210,4 +215,18 @@ func RunSuite(ctx context.Context) (map[string]*Outcome, error) {
 // pool and caches across batches.
 func RunSuiteOn(ctx context.Context, eng *Engine) (map[string]*Outcome, error) {
 	return bench.RunAllOn(ctx, eng)
+}
+
+// NewShardSet starts n independent engines (each sized by opts, with
+// private caches) behind one Stream/RunAll front. Call Close on the
+// returned set when done.
+func NewShardSet(n int, opts EngineOptions) *ShardSet {
+	return engine.NewShardSet(n, opts)
+}
+
+// StreamSuite fans the §V-A benchmark suite out on a caller-owned
+// engine and returns a channel yielding each workload's outcome as it
+// completes — the streaming dual of RunSuiteOn.
+func StreamSuite(ctx context.Context, eng *Engine) <-chan EngineResult {
+	return eng.Stream(ctx, bench.SuiteJobs(bench.Workloads, xlate.Options{}))
 }

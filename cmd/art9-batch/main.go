@@ -19,6 +19,10 @@
 //	    {"name": "mine", "file": "prog.s", "iterations": 10}
 //	  ]
 //	}
+//
+// The manifest schema and per-job report rows are shared with the
+// art9-serve HTTP endpoints (internal/bench), so a job renders the same
+// whether it ran from this CLI or over the network.
 package main
 
 import (
@@ -32,88 +36,8 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
-	"repro/internal/gate"
 	"repro/internal/xlate"
 )
-
-// Manifest is the batch input.
-type Manifest struct {
-	// Technologies lists design-technology models to evaluate each
-	// job against: "cntfet32" and/or "stratixv".
-	Technologies []string      `json:"technologies"`
-	Jobs         []ManifestJob `json:"jobs"`
-}
-
-// ManifestJob names one program: exactly one of Workload (a built-in
-// suite name), Source (inline RV32 assembly), or File (a path to RV32
-// assembly, relative to the manifest) must be set.
-type ManifestJob struct {
-	Name       string `json:"name"`
-	Workload   string `json:"workload,omitempty"`
-	Source     string `json:"source,omitempty"`
-	File       string `json:"file,omitempty"`
-	Iterations int    `json:"iterations,omitempty"`
-}
-
-// Report is the batch output, one BENCH_*.json per run.
-type Report struct {
-	Schema   string      `json:"schema"`
-	Created  string      `json:"created"`
-	Workers  int         `json:"workers"`
-	WallMS   float64     `json:"wall_ms"`
-	Jobs     []JobReport `json:"jobs"`
-	Cache    CacheReport `json:"cache"`
-	Failures int         `json:"failures"`
-}
-
-// JobReport carries one job's result. Metrics is present exactly when
-// OK is true, with every field always emitted — a checksum of 0 stays
-// distinguishable from "job failed" for consumers diffing reports.
-type JobReport struct {
-	Name      string  `json:"name"`
-	OK        bool    `json:"ok"`
-	Error     string  `json:"error,omitempty"`
-	ElapsedMS float64 `json:"elapsed_ms"`
-	Worker    int     `json:"worker"`
-
-	Metrics         *MetricsReport `json:"metrics,omitempty"`
-	Implementations []ImplReport   `json:"implementations,omitempty"`
-}
-
-// MetricsReport mirrors bench.Outcome for one successful job.
-type MetricsReport struct {
-	Checksum   int    `json:"checksum"`
-	RVInsts    int    `json:"rv_insts"`
-	RVBits     int    `json:"rv_bits"`
-	ARTInsts   int    `json:"art_insts"`
-	ARTTrits   int    `json:"art_trits"`
-	ART9Cycles uint64 `json:"art9_cycles"`
-	VexCycles  uint64 `json:"vex_cycles"`
-	PicoCycles uint64 `json:"pico_cycles"`
-	Removed    int    `json:"redundancy_removed"`
-}
-
-// ImplReport is one (job, technology) implementation estimate, at the
-// operating point of the paper's Table IV (native) / Table V (FPGA).
-type ImplReport struct {
-	Tech      string  `json:"tech"`
-	Gates     int     `json:"gates,omitempty"`
-	ALMs      int     `json:"alms,omitempty"`
-	Registers int     `json:"registers,omitempty"`
-	RAMBits   int     `json:"ram_bits,omitempty"`
-	FreqMHz   float64 `json:"freq_mhz"`
-	PowerW    float64 `json:"power_w"`
-	DMIPS     float64 `json:"dmips"`
-	DMIPSPerW float64 `json:"dmips_per_w"`
-}
-
-// CacheReport snapshots the engine's memoization counters.
-type CacheReport struct {
-	ProgramHits    uint64 `json:"program_hits"`
-	ProgramMisses  uint64 `json:"program_misses"`
-	AnalysisHits   uint64 `json:"analysis_hits"`
-	AnalysisMisses uint64 `json:"analysis_misses"`
-}
 
 func main() {
 	manifest := flag.String("manifest", "examples/batch/manifest.json", "batch manifest (JSON)")
@@ -123,11 +47,15 @@ func main() {
 	compact := flag.Bool("compact", false, "emit the report without indentation")
 	flag.Parse()
 
-	m, err := loadManifest(*manifest)
+	m, err := bench.LoadManifest(*manifest)
 	if err != nil {
 		fatal(err)
 	}
-	techs, err := resolveTechnologies(m.Technologies)
+	techs, err := m.ResolveTechnologies()
+	if err != nil {
+		fatal(err)
+	}
+	jobs, err := m.EngineJobs(filepath.Dir(*manifest), xlate.Options{})
 	if err != nil {
 		fatal(err)
 	}
@@ -135,62 +63,25 @@ func main() {
 	eng := engine.New(engine.Options{Workers: *workers, JobTimeout: *timeout})
 	defer eng.Close()
 
-	jobs := make([]engine.Job, len(m.Jobs))
-	for i, mj := range m.Jobs {
-		w, err := resolveWorkload(mj, filepath.Dir(*manifest))
-		if err != nil {
-			fatal(err)
-		}
-		jobs[i] = engine.Job{
-			ID: w.Name,
-			Fn: func(ctx context.Context) (any, error) {
-				return bench.RunCtx(ctx, w, xlate.Options{})
-			},
-		}
-	}
-
 	start := time.Now()
 	results, _ := eng.RunAll(context.Background(), jobs)
 	wall := time.Since(start)
 
-	rep := Report{
+	rep := bench.Report{
 		Schema:  "art9-batch/v1",
 		Created: time.Now().UTC().Format(time.RFC3339),
 		Workers: eng.Workers(),
 		WallMS:  float64(wall.Microseconds()) / 1e3,
 	}
 	for _, r := range results {
-		jr := JobReport{
-			Name:      r.ID,
-			OK:        r.Err == nil,
-			ElapsedMS: float64(r.Elapsed.Microseconds()) / 1e3,
-			Worker:    r.Worker,
-		}
-		if r.Err != nil {
-			jr.Error = r.Err.Error()
+		jr := bench.JobReportOf(r, techs)
+		if !jr.OK {
 			rep.Failures++
-		} else {
-			o := r.Value.(*bench.Outcome)
-			jr.Metrics = &MetricsReport{
-				Checksum:   o.Checksum,
-				RVInsts:    o.RVInsts,
-				RVBits:     o.RVBits,
-				ARTInsts:   o.ARTInsts,
-				ARTTrits:   o.ARTTrits,
-				ART9Cycles: o.ART9Cycles,
-				VexCycles:  o.VexCycles,
-				PicoCycles: o.PicoCycles,
-				Removed:    o.Removed,
-			}
-			jr.Implementations = estimates(o, techs)
 		}
 		rep.Jobs = append(rep.Jobs, jr)
 	}
-	ps, as := eng.Programs.Stats(), eng.Analyses.Stats()
-	rep.Cache = CacheReport{
-		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
-		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
-	}
+	rep.Cache = bench.CacheReportOf(eng)
+	rep.Engine = bench.EngineReportOf(eng)
 
 	if err := emit(*out, rep, !*compact); err != nil {
 		fatal(err)
@@ -200,105 +91,7 @@ func main() {
 	}
 }
 
-func loadManifest(path string) (*Manifest, error) {
-	raw, err := os.ReadFile(path)
-	if err != nil {
-		return nil, fmt.Errorf("manifest: %w", err)
-	}
-	var m Manifest
-	if err := json.Unmarshal(raw, &m); err != nil {
-		return nil, fmt.Errorf("manifest %s: %w", path, err)
-	}
-	if len(m.Jobs) == 0 {
-		return nil, fmt.Errorf("manifest %s: no jobs", path)
-	}
-	return &m, nil
-}
-
-func resolveWorkload(mj ManifestJob, dir string) (bench.Workload, error) {
-	set := 0
-	for _, s := range []string{mj.Workload, mj.Source, mj.File} {
-		if s != "" {
-			set++
-		}
-	}
-	if set != 1 {
-		return bench.Workload{}, fmt.Errorf("job %q: exactly one of workload, source, file required", mj.Name)
-	}
-	iters := mj.Iterations
-	if iters < 1 {
-		iters = 1
-	}
-	switch {
-	case mj.Workload != "":
-		w, ok := bench.ByName(mj.Workload)
-		if !ok {
-			return bench.Workload{}, fmt.Errorf("job %q: unknown workload %q", mj.Name, mj.Workload)
-		}
-		if mj.Name != "" {
-			w.Name = mj.Name
-		}
-		if mj.Iterations > 0 {
-			w.Iterations = mj.Iterations
-		}
-		return w, nil
-	case mj.Source != "":
-		return bench.Workload{Name: mj.Name, Description: "manifest inline source",
-			Source: mj.Source, Iterations: iters}, nil
-	default:
-		path := mj.File
-		if !filepath.IsAbs(path) {
-			path = filepath.Join(dir, path)
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			return bench.Workload{}, fmt.Errorf("job %q: %w", mj.Name, err)
-		}
-		return bench.Workload{Name: mj.Name, Description: "manifest file " + mj.File,
-			Source: string(src), Iterations: iters}, nil
-	}
-}
-
-func resolveTechnologies(names []string) ([]*gate.Technology, error) {
-	var techs []*gate.Technology
-	for _, n := range names {
-		switch n {
-		case "cntfet32":
-			techs = append(techs, gate.CNTFET32())
-		case "stratixv":
-			techs = append(techs, gate.StratixVEmulation())
-		default:
-			return nil, fmt.Errorf("unknown technology %q (want cntfet32 or stratixv)", n)
-		}
-	}
-	return techs, nil
-}
-
-// estimates evaluates one outcome against every requested technology at
-// the same operating point the paper's tables use (bench.ImplFor), so
-// the archived report rows are comparable to Tables IV/V. The analysis
-// itself comes from the engine's shared cache, so only the first job
-// per technology pays for it.
-func estimates(o *bench.Outcome, techs []*gate.Technology) []ImplReport {
-	var irs []ImplReport
-	for _, tech := range techs {
-		impl := bench.ImplFor(o, tech)
-		irs = append(irs, ImplReport{
-			Tech:      impl.Tech,
-			Gates:     impl.Gates,
-			ALMs:      impl.ALMs,
-			Registers: impl.Registers,
-			RAMBits:   impl.RAMBits,
-			FreqMHz:   impl.FreqMHz,
-			PowerW:    impl.PowerW,
-			DMIPS:     impl.DMIPS,
-			DMIPSPerW: impl.DMIPSPerW,
-		})
-	}
-	return irs
-}
-
-func emit(dest string, rep Report, indent bool) error {
+func emit(dest string, rep bench.Report, indent bool) error {
 	var raw []byte
 	var err error
 	if indent {

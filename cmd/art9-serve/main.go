@@ -1,0 +1,84 @@
+// Command art9-serve runs the streaming evaluation service: the same
+// workloads art9-batch evaluates from a manifest file, served resident
+// over HTTP with warm caches and persistent worker pools.
+//
+// Usage:
+//
+//	art9-serve                                  # :9009, 1 shard, GOMAXPROCS workers
+//	art9-serve -addr :8080 -shards 4 -workers 2 # 4 engines × 2 workers
+//	art9-serve -job-timeout 30s                 # cap each evaluation job
+//
+// Endpoints:
+//
+//	GET  /v1/healthz  liveness + pool shape
+//	GET  /v1/stats    engine + cache counters
+//	POST /v1/eval     one job (workload or inline source) → one report
+//	POST /v1/suite    manifest → NDJSON report lines in completion order
+//
+// Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
+// requests (bounded by -shutdown-timeout) — each NDJSON stream runs to
+// its last job — then closes the engines, which resolves anything still
+// queued with an engine-closed error.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":9009", "listen address")
+	shards := flag.Int("shards", 1, "independent engine shards")
+	workers := flag.Int("workers", 0, "worker-pool size per shard (0: GOMAXPROCS)")
+	jobTimeout := flag.Duration("job-timeout", 0, "per-evaluation-job timeout (0: none)")
+	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read-header timeout")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	flag.Parse()
+
+	srv := serve.New(serve.Config{
+		Shards:     *shards,
+		Workers:    *workers,
+		JobTimeout: *jobTimeout,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: *readTimeout,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "art9-serve: listening on %s (%d shard(s))\n", *addr, *shards)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		fatal(err) // listener died before any signal
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "art9-serve: draining in-flight requests")
+	sctx, cancel := context.WithTimeout(context.Background(), *shutdownTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "art9-serve: shutdown:", err)
+	}
+	srv.Close() // handlers are done submitting; drain the engines
+	fmt.Fprintln(os.Stderr, "art9-serve: stopped")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "art9-serve:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,158 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/engine"
+	"repro/internal/gate"
+	"repro/internal/xlate"
+)
+
+// This file is the one manifest loader shared by every front end —
+// cmd/art9-batch reads manifests from disk, internal/serve receives them
+// as HTTP request bodies — so the two cannot drift on validation rules
+// or error wording.
+
+// Manifest names a batch of evaluation jobs plus the technologies to
+// estimate each successful job's implementation against.
+type Manifest struct {
+	// Technologies lists design-technology models to evaluate each
+	// job against: "cntfet32" and/or "stratixv".
+	Technologies []string      `json:"technologies"`
+	Jobs         []ManifestJob `json:"jobs"`
+}
+
+// ManifestJob names one program: exactly one of Workload (a built-in
+// suite name), Source (inline RV32 assembly), or File (a path to RV32
+// assembly, relative to the manifest) must be set.
+type ManifestJob struct {
+	Name       string `json:"name"`
+	Workload   string `json:"workload,omitempty"`
+	Source     string `json:"source,omitempty"`
+	File       string `json:"file,omitempty"`
+	Iterations int    `json:"iterations,omitempty"`
+}
+
+// ParseManifest decodes and validates a manifest document.
+func ParseManifest(raw []byte) (*Manifest, error) {
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	if len(m.Jobs) == 0 {
+		return nil, fmt.Errorf("manifest: no jobs")
+	}
+	return &m, nil
+}
+
+// LoadManifest reads and parses a manifest file.
+func LoadManifest(path string) (*Manifest, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("manifest: %w", err)
+	}
+	m, err := ParseManifest(raw)
+	if err != nil {
+		return nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	return m, nil
+}
+
+// Resolve turns one manifest entry into a runnable workload. dir is the
+// base for relative File paths; the empty string disables File jobs
+// entirely — the network-facing server resolves with dir == "" so a
+// request body can never read server-side files.
+func (mj ManifestJob) Resolve(dir string) (Workload, error) {
+	set := 0
+	for _, s := range []string{mj.Workload, mj.Source, mj.File} {
+		if s != "" {
+			set++
+		}
+	}
+	if set != 1 {
+		return Workload{}, fmt.Errorf("job %q: exactly one of workload, source, file required", mj.Name)
+	}
+	iters := mj.Iterations
+	if iters < 1 {
+		iters = 1
+	}
+	switch {
+	case mj.Workload != "":
+		w, ok := ByName(mj.Workload)
+		if !ok {
+			return Workload{}, fmt.Errorf("job %q: unknown workload %q", mj.Name, mj.Workload)
+		}
+		if mj.Name != "" {
+			w.Name = mj.Name
+		}
+		if mj.Iterations > 0 {
+			w.Iterations = mj.Iterations
+		}
+		return w, nil
+	case mj.Source != "":
+		return Workload{Name: mj.Name, Description: "manifest inline source",
+			Source: mj.Source, Iterations: iters}, nil
+	default:
+		if dir == "" {
+			return Workload{}, fmt.Errorf("job %q: file jobs are not allowed here", mj.Name)
+		}
+		path := mj.File
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(dir, path)
+		}
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return Workload{}, fmt.Errorf("job %q: %w", mj.Name, err)
+		}
+		return Workload{Name: mj.Name, Description: "manifest file " + mj.File,
+			Source: string(src), Iterations: iters}, nil
+	}
+}
+
+// Workloads resolves every manifest entry (see ManifestJob.Resolve for
+// the dir contract).
+func (m *Manifest) Workloads(dir string) ([]Workload, error) {
+	ws := make([]Workload, len(m.Jobs))
+	for i, mj := range m.Jobs {
+		w, err := mj.Resolve(dir)
+		if err != nil {
+			return nil, err
+		}
+		ws[i] = w
+	}
+	return ws, nil
+}
+
+// EngineJobs resolves the manifest into engine jobs ready to submit,
+// each running the full multi-core evaluation of its workload.
+func (m *Manifest) EngineJobs(dir string, opts xlate.Options) ([]engine.Job, error) {
+	ws, err := m.Workloads(dir)
+	if err != nil {
+		return nil, err
+	}
+	return SuiteJobs(ws, opts), nil
+}
+
+// ResolveTechnologies maps manifest technology names to their models.
+func (m *Manifest) ResolveTechnologies() ([]*gate.Technology, error) {
+	return Technologies(m.Technologies)
+}
+
+// Technologies maps technology names to their models.
+func Technologies(names []string) ([]*gate.Technology, error) {
+	var techs []*gate.Technology
+	for _, n := range names {
+		switch n {
+		case "cntfet32":
+			techs = append(techs, gate.CNTFET32())
+		case "stratixv":
+			techs = append(techs, gate.StratixVEmulation())
+		default:
+			return nil, fmt.Errorf("unknown technology %q (want cntfet32 or stratixv)", n)
+		}
+	}
+	return techs, nil
+}

@@ -1,0 +1,116 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseManifestErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		raw     string
+		wantErr string
+	}{
+		{"not json", "{", "manifest:"},
+		{"no jobs", `{"technologies":["cntfet32"]}`, "no jobs"},
+		{"empty jobs", `{"jobs":[]}`, "no jobs"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := ParseManifest([]byte(tt.raw))
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("ParseManifest(%q) error = %v, want containing %q", tt.raw, err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestManifestJobResolveErrors(t *testing.T) {
+	tests := []struct {
+		name    string
+		job     ManifestJob
+		dir     string
+		wantErr string
+	}{
+		{"none set", ManifestJob{Name: "x"}, ".",
+			`job "x": exactly one of workload, source, file required`},
+		{"two set", ManifestJob{Name: "x", Workload: "bubble", Source: "nop"}, ".",
+			`job "x": exactly one of workload, source, file required`},
+		{"all set", ManifestJob{Name: "x", Workload: "bubble", Source: "nop", File: "f.s"}, ".",
+			`job "x": exactly one of workload, source, file required`},
+		{"unknown workload", ManifestJob{Name: "x", Workload: "nope"}, ".",
+			`job "x": unknown workload "nope"`},
+		{"file without base dir", ManifestJob{Name: "x", File: "prog.s"}, "",
+			`job "x": file jobs are not allowed here`},
+		{"missing file", ManifestJob{Name: "x", File: "definitely-missing.s"}, t.TempDir(),
+			"definitely-missing.s"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			_, err := tt.job.Resolve(tt.dir)
+			if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+				t.Fatalf("Resolve error = %v, want containing %q", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestManifestJobResolveKinds(t *testing.T) {
+	// Built-in workload: rename + iteration override apply.
+	w, err := (ManifestJob{Name: "renamed", Workload: "bubble", Iterations: 7}).Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "renamed" || w.Iterations != 7 || w.Source == "" {
+		t.Errorf("workload job resolved to %+v, want renamed ×7 with suite source", w)
+	}
+
+	// Inline source: default iteration count is 1.
+	w, err = (ManifestJob{Name: "inline", Source: "addi a0, zero, 1"}).Resolve("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Iterations != 1 || w.Source != "addi a0, zero, 1" {
+		t.Errorf("source job resolved to %+v", w)
+	}
+
+	// File: read relative to dir.
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "prog.s"), []byte("addi a0, zero, 2"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	w, err = (ManifestJob{Name: "fromfile", File: "prog.s"}).Resolve(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Source != "addi a0, zero, 2" {
+		t.Errorf("file job source = %q", w.Source)
+	}
+}
+
+func TestTechnologiesErrors(t *testing.T) {
+	if _, err := Technologies([]string{"cntfet32", "tfet"}); err == nil ||
+		!strings.Contains(err.Error(), `unknown technology "tfet" (want cntfet32 or stratixv)`) {
+		t.Fatalf("Technologies error = %v, want unknown-technology", err)
+	}
+	techs, err := Technologies([]string{"cntfet32", "stratixv"})
+	if err != nil || len(techs) != 2 {
+		t.Fatalf("Technologies = %v, %v; want both models", techs, err)
+	}
+	if techs, err := Technologies(nil); err != nil || len(techs) != 0 {
+		t.Fatalf("Technologies(nil) = %v, %v; want empty", techs, err)
+	}
+}
+
+func TestManifestWorkloadsPropagatesJobError(t *testing.T) {
+	m := &Manifest{Jobs: []ManifestJob{
+		{Name: "ok", Workload: "bubble"},
+		{Name: "bad", Workload: "nope"},
+	}}
+	if _, err := m.Workloads(""); err == nil ||
+		!strings.Contains(err.Error(), `job "bad": unknown workload "nope"`) {
+		t.Fatalf("Workloads error = %v, want bad-job error", err)
+	}
+}

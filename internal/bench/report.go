@@ -1,0 +1,170 @@
+package bench
+
+import (
+	"repro/internal/engine"
+	"repro/internal/gate"
+)
+
+// This file defines the JSON report rows shared by cmd/art9-batch (the
+// archived BENCH_*.json documents) and internal/serve (each NDJSON line
+// of POST /v1/suite is one JobReport), so a job renders identically
+// whether it ran from a file manifest or an HTTP request.
+
+// Report is the batch output, one BENCH_*.json per run.
+type Report struct {
+	Schema   string       `json:"schema"`
+	Created  string       `json:"created"`
+	Workers  int          `json:"workers"`
+	WallMS   float64      `json:"wall_ms"`
+	Jobs     []JobReport  `json:"jobs"`
+	Cache    CacheReport  `json:"cache"`
+	Engine   EngineReport `json:"engine"`
+	Failures int          `json:"failures"`
+}
+
+// JobReport carries one job's result. Metrics is present exactly when
+// OK is true, with every field always emitted — a checksum of 0 stays
+// distinguishable from "job failed" for consumers diffing reports.
+type JobReport struct {
+	Name      string  `json:"name"`
+	OK        bool    `json:"ok"`
+	Error     string  `json:"error,omitempty"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+	Worker    int     `json:"worker"`
+
+	Metrics         *MetricsReport `json:"metrics,omitempty"`
+	Implementations []ImplReport   `json:"implementations,omitempty"`
+}
+
+// MetricsReport mirrors Outcome for one successful job.
+type MetricsReport struct {
+	Checksum   int    `json:"checksum"`
+	RVInsts    int    `json:"rv_insts"`
+	RVBits     int    `json:"rv_bits"`
+	ARTInsts   int    `json:"art_insts"`
+	ARTTrits   int    `json:"art_trits"`
+	ART9Cycles uint64 `json:"art9_cycles"`
+	VexCycles  uint64 `json:"vex_cycles"`
+	PicoCycles uint64 `json:"pico_cycles"`
+	Removed    int    `json:"redundancy_removed"`
+}
+
+// ImplReport is one (job, technology) implementation estimate, at the
+// operating point of the paper's Table IV (native) / Table V (FPGA).
+type ImplReport struct {
+	Tech      string  `json:"tech"`
+	Gates     int     `json:"gates,omitempty"`
+	ALMs      int     `json:"alms,omitempty"`
+	Registers int     `json:"registers,omitempty"`
+	RAMBits   int     `json:"ram_bits,omitempty"`
+	FreqMHz   float64 `json:"freq_mhz"`
+	PowerW    float64 `json:"power_w"`
+	DMIPS     float64 `json:"dmips"`
+	DMIPSPerW float64 `json:"dmips_per_w"`
+}
+
+// CacheReport snapshots a pair of memoization caches.
+type CacheReport struct {
+	ProgramHits    uint64 `json:"program_hits"`
+	ProgramMisses  uint64 `json:"program_misses"`
+	AnalysisHits   uint64 `json:"analysis_hits"`
+	AnalysisMisses uint64 `json:"analysis_misses"`
+}
+
+// EngineReport snapshots the engine's lifetime job counters, plus the
+// shard count for sharded front ends (1 for a single engine).
+type EngineReport struct {
+	Workers   int    `json:"workers"`
+	Shards    int    `json:"shards"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	Streams   uint64 `json:"streams"`
+}
+
+// JobReportOf renders one engine result as a report row, evaluating a
+// successful outcome against every requested technology.
+func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
+	jr := JobReport{
+		Name:      r.ID,
+		OK:        r.Err == nil,
+		ElapsedMS: float64(r.Elapsed.Microseconds()) / 1e3,
+		Worker:    r.Worker,
+	}
+	if r.Err != nil {
+		jr.Error = r.Err.Error()
+		return jr
+	}
+	o := r.Value.(*Outcome)
+	jr.Metrics = &MetricsReport{
+		Checksum:   o.Checksum,
+		RVInsts:    o.RVInsts,
+		RVBits:     o.RVBits,
+		ARTInsts:   o.ARTInsts,
+		ARTTrits:   o.ARTTrits,
+		ART9Cycles: o.ART9Cycles,
+		VexCycles:  o.VexCycles,
+		PicoCycles: o.PicoCycles,
+		Removed:    o.Removed,
+	}
+	jr.Implementations = ImplReports(o, techs)
+	return jr
+}
+
+// ImplReports evaluates one outcome against every requested technology
+// at the same operating point the paper's tables use (ImplFor), so
+// report rows are comparable to Tables IV/V. The analysis itself comes
+// from the engine's shared cache, so only the first job per technology
+// pays for it.
+func ImplReports(o *Outcome, techs []*gate.Technology) []ImplReport {
+	var irs []ImplReport
+	for _, tech := range techs {
+		impl := ImplFor(o, tech)
+		irs = append(irs, ImplReport{
+			Tech:      impl.Tech,
+			Gates:     impl.Gates,
+			ALMs:      impl.ALMs,
+			Registers: impl.Registers,
+			RAMBits:   impl.RAMBits,
+			FreqMHz:   impl.FreqMHz,
+			PowerW:    impl.PowerW,
+			DMIPS:     impl.DMIPS,
+			DMIPSPerW: impl.DMIPSPerW,
+		})
+	}
+	return irs
+}
+
+// CacheReportOf snapshots an engine's cache counters.
+func CacheReportOf(e *engine.Engine) CacheReport {
+	ps, as := e.Programs.Stats(), e.Analyses.Stats()
+	return CacheReport{
+		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
+		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
+	}
+}
+
+// EngineReportOf renders one engine's counters (a single shard).
+func EngineReportOf(e *engine.Engine) EngineReport {
+	return engineReport(e.Stats(), 1)
+}
+
+// ShardSetReportOf renders a shard set's aggregate counters.
+func ShardSetReportOf(s *engine.ShardSet) EngineReport {
+	return engineReport(s.TotalStats(), s.Shards())
+}
+
+func engineReport(st engine.Stats, shards int) EngineReport {
+	return EngineReport{
+		Workers:   st.Workers,
+		Shards:    shards,
+		Submitted: st.Submitted,
+		Completed: st.Completed,
+		Failed:    st.Failed,
+		Canceled:  st.Canceled,
+		Rejected:  st.Rejected,
+		Streams:   st.Streams,
+	}
+}

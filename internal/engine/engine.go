@@ -6,10 +6,12 @@
 // repeated evaluations are near-free.
 //
 // The engine is deliberately generic: a Job is a closure, so the higher
-// layers (internal/bench, internal/core, cmd/art9-batch) can submit any
-// unit of work without this package depending on them. Results come back
-// in submission order, which is how the concurrent suite reproduces the
-// serial tables byte for byte.
+// layers (internal/bench, internal/core, internal/serve, cmd/art9-batch)
+// can submit any unit of work without this package depending on them.
+// RunAll returns results in submission order, which is how the
+// concurrent suite reproduces the serial tables byte for byte; Stream
+// delivers them in completion order, which is how the evaluation server
+// pushes NDJSON rows to a client the moment each job finishes.
 package engine
 
 import (
@@ -31,6 +33,11 @@ type Options struct {
 	// JobTimeout bounds each job's execution unless the job sets its
 	// own Timeout; 0 means no per-job deadline.
 	JobTimeout time.Duration
+	// Queue is the depth of the buffered dispatch queue between Submit
+	// and the workers; 0 selects 2×Workers. A deeper queue lets bursty
+	// submitters (the HTTP suite endpoint, Stream fan-outs) hand off
+	// without parking one goroutine per pending send.
+	Queue int
 	// PrivateCaches gives the engine's Programs/Analyses fields fresh
 	// caches instead of pointing them at the process-wide shared ones.
 	// Only jobs that route work through those fields are isolated —
@@ -69,12 +76,27 @@ type Result struct {
 // Submitted - (Completed+Failed+Canceled+Rejected) is the in-flight
 // count.
 type Stats struct {
-	Workers   int
-	Submitted uint64
-	Completed uint64
-	Failed    uint64
-	Canceled  uint64
-	Rejected  uint64
+	Workers   int    `json:"workers"`
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Failed    uint64 `json:"failed"`
+	Canceled  uint64 `json:"canceled"`
+	Rejected  uint64 `json:"rejected"`
+	// Streams counts Stream calls started on this engine.
+	Streams uint64 `json:"streams"`
+}
+
+// Add accumulates another engine's counters into s, summing every job
+// counter and the pool sizes — how a ShardSet reports set-wide totals.
+func (s Stats) Add(o Stats) Stats {
+	s.Workers += o.Workers
+	s.Submitted += o.Submitted
+	s.Completed += o.Completed
+	s.Failed += o.Failed
+	s.Canceled += o.Canceled
+	s.Rejected += o.Rejected
+	s.Streams += o.Streams
+	return s
 }
 
 type task struct {
@@ -83,8 +105,9 @@ type task struct {
 	done chan<- Result
 }
 
-// Engine is a fixed-size worker pool with submission-order result
-// collection and shared memoization caches.
+// Engine is a fixed-size worker pool with a buffered dispatch queue,
+// submission-order (RunAll) and completion-order (Stream) result
+// collection, and shared memoization caches.
 type Engine struct {
 	workers int
 	timeout time.Duration
@@ -93,11 +116,22 @@ type Engine struct {
 	wg      sync.WaitGroup
 	once    sync.Once
 
+	// mu orders Submit against Close: Submit registers its enqueue
+	// goroutine in submitters under a read lock while closed is false,
+	// so Close — which flips closed under the write lock — can wait for
+	// every in-flight enqueue before sweeping the queue. Without the
+	// handshake a Submit racing Close could park a task in the buffer
+	// after the sweep and strand its done channel forever.
+	mu         sync.RWMutex
+	closed     bool
+	submitters sync.WaitGroup
+
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
 	canceled  atomic.Uint64
 	rejected  atomic.Uint64
+	streams   atomic.Uint64
 
 	// Programs memoizes assembled ART-9 programs by source text.
 	Programs *ProgramCache
@@ -111,10 +145,14 @@ func New(opts Options) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	q := opts.Queue
+	if q <= 0 {
+		q = 2 * w
+	}
 	e := &Engine{
 		workers:  w,
 		timeout:  opts.JobTimeout,
-		jobs:     make(chan task),
+		jobs:     make(chan task, q),
 		quit:     make(chan struct{}),
 		Programs: SharedPrograms,
 		Analyses: SharedAnalyses,
@@ -133,12 +171,32 @@ func New(opts Options) *Engine {
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
 
-// Close stops the workers. Jobs already executing finish; jobs still
-// waiting for dispatch resolve with ErrClosed. Close is idempotent.
+// Close stops the workers. Jobs already executing finish, and workers
+// drain jobs already sitting in the dispatch queue before exiting; any
+// task still undispatched when the pool is gone — plus everything
+// submitted afterwards — resolves with ErrClosed. Every Submit channel
+// resolves exactly once; Close never strands a waiter. Idempotent.
 func (e *Engine) Close() {
 	e.once.Do(func() {
+		e.mu.Lock()
+		e.closed = true
+		e.mu.Unlock()
 		close(e.quit)
+		// Every registered enqueue resolves promptly now that quit is
+		// closed: the send either lands in the queue or loses to the
+		// quit case and rejects. Only then is the queue membership
+		// final and the sweep below sound.
+		e.submitters.Wait()
 		e.wg.Wait()
+		for {
+			select {
+			case t := <-e.jobs:
+				e.rejected.Add(1)
+				t.done <- Result{ID: t.job.ID, Err: ErrClosed, Worker: -1}
+			default:
+				return
+			}
+		}
 	})
 }
 
@@ -151,6 +209,7 @@ func (e *Engine) Stats() Stats {
 		Failed:    e.failed.Load(),
 		Canceled:  e.canceled.Load(),
 		Rejected:  e.rejected.Load(),
+		Streams:   e.streams.Load(),
 	}
 }
 
@@ -160,7 +219,17 @@ func (e *Engine) Stats() Stats {
 func (e *Engine) Submit(ctx context.Context, j Job) <-chan Result {
 	e.submitted.Add(1)
 	done := make(chan Result, 1)
+	e.mu.RLock()
+	if e.closed {
+		e.mu.RUnlock()
+		e.rejected.Add(1)
+		done <- Result{ID: j.ID, Err: ErrClosed, Worker: -1}
+		return done
+	}
+	e.submitters.Add(1)
+	e.mu.RUnlock()
 	go func() {
+		defer e.submitters.Done()
 		select {
 		case e.jobs <- task{ctx: ctx, job: j, done: done}:
 		case <-ctx.Done():
@@ -193,11 +262,22 @@ func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
 func (e *Engine) worker(id int) {
 	defer e.wg.Done()
 	for {
+		// Bias dispatch toward the queue: a two-way select with both
+		// cases ready picks at random, so a worker racing Close could
+		// take quit and abandon a job that was accepted before
+		// shutdown began. Draining ready work first means quit is only
+		// honoured when the queue is (momentarily) empty.
 		select {
-		case <-e.quit:
-			return
 		case t := <-e.jobs:
 			t.done <- e.execute(id, t)
+			continue
+		default:
+		}
+		select {
+		case t := <-e.jobs:
+			t.done <- e.execute(id, t)
+		case <-e.quit:
+			return
 		}
 	}
 }

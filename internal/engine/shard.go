@@ -1,0 +1,138 @@
+package engine
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// ShardSet partitions batches across n independent engines — separate
+// worker pools, separate dispatch queues, and (for jobs that route work
+// through the engines' cache fields) separate caches. It is the
+// single-process rehearsal of multi-machine sharding: the partition and
+// merge logic is identical whether a shard is a local pool or a remote
+// peer, so scaling work past one host can reuse this seam. Note the
+// bench/core helpers (AssembleCached, AnalyzeART9) always use the
+// process-wide shared caches regardless of sharding.
+type ShardSet struct {
+	engines []*Engine
+	// next is the persistent round-robin cursor. Each batch starts at
+	// the next shard rather than shard 0, so a resident server issuing
+	// many small batches (single-job /v1/eval requests, short suites)
+	// spreads them across the set instead of piling onto shard 0.
+	next atomic.Uint64
+}
+
+// NewShardSet starts n engines (n < 1 selects 1), each configured from
+// opts with PrivateCaches forced on so the shards stay independent. The
+// per-shard pool size is opts.Workers. Call Close when done with it.
+func NewShardSet(n int, opts Options) *ShardSet {
+	if n < 1 {
+		n = 1
+	}
+	opts.PrivateCaches = true
+	s := &ShardSet{engines: make([]*Engine, n)}
+	for i := range s.engines {
+		s.engines[i] = New(opts)
+	}
+	return s
+}
+
+// Shards returns the number of engines in the set.
+func (s *ShardSet) Shards() int { return len(s.engines) }
+
+// Engine returns shard i, for callers that need direct access (tests,
+// stats drill-down).
+func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+
+// Close stops every shard, concurrently. Each shard's Close drains its
+// own queue, so every Submit channel across the set resolves.
+func (s *ShardSet) Close() {
+	var wg sync.WaitGroup
+	for _, e := range s.engines {
+		wg.Add(1)
+		go func(e *Engine) {
+			defer wg.Done()
+			e.Close()
+		}(e)
+	}
+	wg.Wait()
+}
+
+// Stats returns one snapshot per shard, in shard order.
+func (s *ShardSet) Stats() []Stats {
+	out := make([]Stats, len(s.engines))
+	for i, e := range s.engines {
+		out[i] = e.Stats()
+	}
+	return out
+}
+
+// TotalStats sums the per-shard counters into one set-wide snapshot.
+func (s *ShardSet) TotalStats() Stats {
+	var t Stats
+	for _, e := range s.engines {
+		t = t.Add(e.Stats())
+	}
+	return t
+}
+
+// cursor reserves n consecutive round-robin slots and returns the first.
+func (s *ShardSet) cursor(n int) uint64 {
+	return s.next.Add(uint64(n)) - uint64(n)
+}
+
+// split partitions jobs round-robin from the persistent cursor: job i of
+// this batch goes to shard (cursor+i) mod n, which balances homogeneous
+// batches of any size — including many one-job batches — without
+// inspecting job contents.
+func (s *ShardSet) split(jobs []Job) [][]Job {
+	parts := make([][]Job, len(s.engines))
+	start := s.cursor(len(jobs))
+	for i, j := range jobs {
+		k := (start + uint64(i)) % uint64(len(s.engines))
+		parts[k] = append(parts[k], j)
+	}
+	return parts
+}
+
+// Stream fans jobs out round-robin across the shards and merges their
+// completion-order streams into one channel, closed after the last
+// shard's stream drains. Ordering across shards is whatever completion
+// interleaving produces — the same contract as Engine.Stream.
+func (s *ShardSet) Stream(ctx context.Context, jobs []Job) <-chan Result {
+	out := make(chan Result, len(jobs))
+	var wg sync.WaitGroup
+	for i, part := range s.split(jobs) {
+		if len(part) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(ch <-chan Result) {
+			defer wg.Done()
+			for r := range ch {
+				out <- r
+			}
+		}(s.engines[i].Stream(ctx, part))
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}
+
+// RunAll fans jobs out round-robin and waits for all of them, returning
+// results in submission order — Engine.RunAll semantics over the set.
+func (s *ShardSet) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	chans := make([]<-chan Result, len(jobs))
+	start := s.cursor(len(jobs))
+	for i, j := range jobs {
+		chans[i] = s.engines[(start+uint64(i))%uint64(len(s.engines))].Submit(ctx, j)
+	}
+	out := make([]Result, len(jobs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,307 @@
+// Package serve is the streaming evaluation service: the paper's §V
+// evaluation matrix exposed over HTTP on top of the engine's Job/Result
+// API. A resident server amortizes what the CLI pays per invocation —
+// warm memoization caches, running worker pools — across every request,
+// which is the first step of the ROADMAP's serve-heavy-traffic goal.
+//
+// Endpoints (all JSON):
+//
+//	POST /v1/eval    one program in, one JobReport out
+//	POST /v1/suite   manifest in, NDJSON JobReports streamed out in
+//	                 completion order, one line per job as it finishes
+//	GET  /v1/healthz liveness + pool shape
+//	GET  /v1/stats   per-shard engine counters + shared cache counters
+//
+// Jobs are fanned out across a ShardSet; each request's jobs are
+// cancelled with the request context, so a disconnected client stops
+// paying for evaluation it can no longer receive.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/xlate"
+)
+
+// maxBody bounds request bodies; manifests are small JSON documents and
+// inline sources are assembly text, so 4 MiB is generous. Oversize
+// bodies are rejected with 413 via http.MaxBytesReader, not truncated.
+const maxBody = 4 << 20
+
+// maxSuiteJobs bounds one /v1/suite request. Every job costs a buffered
+// channel slot and two goroutines up front (Stream fan-out + Submit
+// handoff), so an uncapped manifest would let a single request allocate
+// proportionally to its own size before any evaluation runs.
+const maxSuiteJobs = 1024
+
+// maxCachedPrograms caps the process-wide program cache. The bench jobs
+// memoize every distinct source through engine.SharedPrograms, which is
+// unbounded by design for the fixed suite — but a resident server feeds
+// it client-supplied sources, so it is purged wholesale whenever it
+// grows past this (coarse, but bounds memory; the fixed suite re-warms
+// in one request).
+const maxCachedPrograms = 4096
+
+// Config sizes the server's evaluation back end.
+type Config struct {
+	// Shards is the number of independent engines; 0 or 1 selects one.
+	Shards int
+	// Workers is the per-shard pool size; 0 selects GOMAXPROCS.
+	Workers int
+	// JobTimeout bounds each evaluation job; 0 means no deadline.
+	JobTimeout time.Duration
+}
+
+// Server owns the engine shards and serves the /v1 API. Create with
+// New, mount via Handler, release with Close.
+type Server struct {
+	shards   *engine.ShardSet
+	started  time.Time
+	requests atomic.Uint64
+}
+
+// New starts the evaluation back end. The shards (and their caches, and
+// the process-wide program/analysis caches the bench jobs share) live
+// for the server's lifetime, so every request after the first reuses
+// prior work.
+func New(cfg Config) *Server {
+	return &Server{
+		shards: engine.NewShardSet(cfg.Shards, engine.Options{
+			Workers:    cfg.Workers,
+			JobTimeout: cfg.JobTimeout,
+		}),
+		started: time.Now(),
+	}
+}
+
+// Shards exposes the backing shard set (stats drill-down, tests).
+func (s *Server) Shards() *engine.ShardSet { return s.shards }
+
+// Close stops the engines. In-flight jobs finish, queued jobs resolve
+// with ErrClosed; call after the HTTP listener has drained so no handler
+// is still submitting.
+func (s *Server) Close() { s.shards.Close() }
+
+// Handler returns the /v1 route table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/eval", s.handleEval)
+	mux.HandleFunc("/v1/suite", s.handleSuite)
+	return mux
+}
+
+// EvalRequest is the POST /v1/eval body: one manifest job plus the
+// technologies to estimate it against. File jobs are rejected — a
+// network request must not read server-side paths.
+type EvalRequest struct {
+	bench.ManifestJob
+	Technologies []string `json:"technologies,omitempty"`
+}
+
+// StatsReply is the GET /v1/stats body.
+type StatsReply struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Requests      uint64             `json:"requests"`
+	Engine        bench.EngineReport `json:"engine"`
+	ShardStats    []engine.Stats     `json:"shard_stats"`
+	Cache         bench.CacheReport  `json:"cache"`
+}
+
+// healthzReply is the GET /v1/healthz body.
+type healthzReply struct {
+	Status  string `json:"status"`
+	Shards  int    `json:"shards"`
+	Workers int    `json:"workers"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, healthzReply{
+		Status:  "ok",
+		Shards:  s.shards.Shards(),
+		Workers: s.shards.TotalStats().Workers,
+	})
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, StatsReply{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Requests:      s.requests.Load(),
+		Engine:        bench.ShardSetReportOf(s.shards),
+		ShardStats:    s.shards.Stats(),
+		Cache:         sharedCacheReport(),
+	})
+}
+
+func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req EvalRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	techs, err := bench.Technologies(req.Technologies)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	wl, err := req.Resolve("") // dir "" forbids file jobs over HTTP
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	capSharedCaches()
+	results, _ := s.shards.RunAll(r.Context(), bench.SuiteJobs([]bench.Workload{wl}, xlate.Options{}))
+	writeJSON(w, http.StatusOK, bench.JobReportOf(results[0], techs))
+}
+
+func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	raw, err := readBody(w, r)
+	if err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	m, err := bench.ParseManifest(raw)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	if len(m.Jobs) > maxSuiteJobs {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("manifest: %d jobs exceeds the per-request limit of %d", len(m.Jobs), maxSuiteJobs))
+		return
+	}
+	techs, err := m.ResolveTechnologies()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, err := m.EngineJobs("", xlate.Options{}) // dir "" forbids file jobs
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	capSharedCaches()
+
+	// Everything below is NDJSON: one JobReport line the moment each
+	// job completes, flushed so a slow suite trickles out instead of
+	// buffering. The jobs share the request context — when the client
+	// disconnects, outstanding jobs resolve canceled and the engines
+	// move on to other requests' work.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	clientGone := false
+	for res := range s.shards.Stream(r.Context(), jobs) {
+		if clientGone {
+			// The client is gone; keep draining so the stream's
+			// forwarders finish against the cancelled context, but
+			// skip rendering rows nobody will receive.
+			continue
+		}
+		if err := enc.Encode(bench.JobReportOf(res, techs)); err != nil {
+			clientGone = true
+			continue
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func sharedCacheReport() bench.CacheReport {
+	ps, as := engine.SharedPrograms.Stats(), engine.SharedAnalyses.Stats()
+	return bench.CacheReport{
+		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
+		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
+	}
+}
+
+// capSharedCaches bounds the process-wide caches before a request's
+// jobs feed them. Only the program cache grows with client input — the
+// analysis cache is keyed by (fixed ART-9 netlist, technology).
+func capSharedCaches() {
+	if engine.SharedPrograms.Stats().Entries >= maxCachedPrograms {
+		engine.SharedPrograms.Purge()
+	}
+}
+
+// readBody reads a request body under the maxBody cap; oversize bodies
+// error (mapped to 413 by bodyErrStatus) rather than truncating.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	raw, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBody))
+	if err != nil {
+		return nil, fmt.Errorf("read body: %w", err)
+	}
+	return raw, nil
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) error {
+	raw, err := readBody(w, r)
+	if err != nil {
+		return err
+	}
+	if len(raw) == 0 {
+		return errors.New("empty request body")
+	}
+	if err := json.Unmarshal(raw, v); err != nil {
+		return fmt.Errorf("decode body: %w", err)
+	}
+	return nil
+}
+
+// bodyErrStatus maps a body-read failure to 413 when the cause was the
+// size cap, 400 otherwise.
+func bodyErrStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+func methodNotAllowed(w http.ResponseWriter, allow string) {
+	w.Header().Set("Allow", allow)
+	writeError(w, http.StatusMethodNotAllowed, errors.New("method not allowed"))
+}

@@ -1,0 +1,370 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/xlate"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, Workers: 1})
+	resp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var h struct {
+		Status  string `json:"status"`
+		Shards  int    `json:"shards"`
+		Workers int    `json:"workers"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || h.Shards != 2 || h.Workers != 2 {
+		t.Errorf("healthz = %+v, want ok over 2 shards × 1 worker", h)
+	}
+}
+
+func TestEvalWorkload(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"name":"bubble","workload":"bubble","technologies":["cntfet32"]}`
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var jr bench.JobReport
+	if err := json.NewDecoder(resp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if !jr.OK || jr.Metrics == nil || len(jr.Implementations) != 1 {
+		t.Fatalf("eval report %+v, want ok with metrics and one implementation", jr)
+	}
+
+	want, err := bench.Run(mustWorkload(t, "bubble"), xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Metrics.Checksum != want.Checksum || jr.Metrics.ART9Cycles != want.ART9Cycles {
+		t.Errorf("eval metrics %+v disagree with serial run (checksum %d, cycles %d)",
+			jr.Metrics, want.Checksum, want.ART9Cycles)
+	}
+}
+
+func TestEvalErrors(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"empty body", "", "empty request body"},
+		{"bad json", "{", "decode body"},
+		{"file rejected", `{"name":"x","file":"/etc/passwd"}`, "file jobs are not allowed here"},
+		{"unknown workload", `{"name":"x","workload":"nope"}`, `unknown workload "nope"`},
+		{"unknown tech", `{"name":"x","workload":"bubble","technologies":["tfet"]}`, "unknown technology"},
+		{"both set", `{"name":"x","workload":"bubble","source":"nop"}`, "exactly one of"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/eval", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(e.Error, tt.want) {
+				t.Errorf("error %q, want containing %q", e.Error, tt.want)
+			}
+		})
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/eval")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /v1/eval status %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestSuiteNDJSONRoundTrip streams the full §V-A suite through
+// /v1/suite and checks (a) every line is valid JSON, (b) the streamed
+// metrics are byte-equivalent to the serial reference path
+// (bench.RunAllSerial) for every workload, and (c) the content type
+// marks the stream as NDJSON.
+func TestSuiteNDJSONRoundTrip(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, Workers: 2})
+
+	var m bench.Manifest
+	m.Technologies = []string{"cntfet32", "stratixv"}
+	for _, w := range bench.Workloads {
+		m.Jobs = append(m.Jobs, bench.ManifestJob{Name: w.Name, Workload: w.Name})
+	}
+	body, _ := json.Marshal(m)
+
+	resp, err := http.Post(ts.URL+"/v1/suite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("Content-Type %q, want application/x-ndjson", ct)
+	}
+
+	serial, err := bench.RunAllSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	techs, err := bench.Technologies(m.Technologies)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]bench.JobReport{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			t.Fatal("blank NDJSON line")
+		}
+		var jr bench.JobReport
+		if err := json.Unmarshal(line, &jr); err != nil {
+			t.Fatalf("malformed NDJSON line %q: %v", line, err)
+		}
+		if !jr.OK {
+			t.Fatalf("job %s failed: %s", jr.Name, jr.Error)
+		}
+		got[jr.Name] = jr
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m.Jobs) {
+		t.Fatalf("streamed %d jobs, want %d", len(got), len(m.Jobs))
+	}
+
+	for name, o := range serial {
+		jr, ok := got[name]
+		if !ok {
+			t.Fatalf("workload %s missing from stream", name)
+		}
+		wantMetrics, _ := json.Marshal(&bench.MetricsReport{
+			Checksum:   o.Checksum,
+			RVInsts:    o.RVInsts,
+			RVBits:     o.RVBits,
+			ARTInsts:   o.ARTInsts,
+			ARTTrits:   o.ARTTrits,
+			ART9Cycles: o.ART9Cycles,
+			VexCycles:  o.VexCycles,
+			PicoCycles: o.PicoCycles,
+			Removed:    o.Removed,
+		})
+		gotMetrics, _ := json.Marshal(jr.Metrics)
+		if !bytes.Equal(gotMetrics, wantMetrics) {
+			t.Errorf("%s: streamed metrics %s != serial %s", name, gotMetrics, wantMetrics)
+		}
+		wantImpls, _ := json.Marshal(bench.ImplReports(o, techs))
+		gotImpls, _ := json.Marshal(jr.Implementations)
+		if !bytes.Equal(gotImpls, wantImpls) {
+			t.Errorf("%s: streamed implementations %s != serial %s", name, gotImpls, wantImpls)
+		}
+	}
+}
+
+func TestSuiteBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	tests := []struct {
+		name string
+		body string
+		want string
+	}{
+		{"no jobs", `{"technologies":["cntfet32"]}`, "no jobs"},
+		{"file job", `{"jobs":[{"name":"x","file":"secret.s"}]}`, "file jobs are not allowed here"},
+		{"unknown tech", `{"technologies":["nand"],"jobs":[{"name":"b","workload":"bubble"}]}`, "unknown technology"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/v1/suite", "application/json", strings.NewReader(tt.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, want 400", resp.StatusCode)
+			}
+			var e struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(e.Error, tt.want) {
+				t.Errorf("error %q, want containing %q", e.Error, tt.want)
+			}
+		})
+	}
+}
+
+// TestSuiteClientDisconnectCancels reads one NDJSON line of a long
+// suite, then drops the connection; the request context must cancel the
+// remaining jobs, observable on the engine's canceled counter.
+func TestSuiteClientDisconnectCancels(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+
+	// Dhrystone is the suite's slowest workload (~tens of ms per job);
+	// 40 of them on one worker keep the stream busy for over a second,
+	// so the disconnect after the first line leaves plenty queued.
+	var m bench.Manifest
+	for i := 0; i < 40; i++ {
+		m.Jobs = append(m.Jobs, bench.ManifestJob{
+			Name: fmt.Sprintf("dhrystone-%d", i), Workload: "dhrystone",
+		})
+	}
+	body, _ := json.Marshal(m)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/v1/suite", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	if !sc.Scan() {
+		t.Fatalf("no first NDJSON line: %v", sc.Err())
+	}
+	var first bench.JobReport
+	if err := json.Unmarshal(sc.Bytes(), &first); err != nil {
+		t.Fatalf("first line %q: %v", sc.Bytes(), err)
+	}
+	cancel() // client walks away mid-stream; the connection closes now
+	resp.Body.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := s.Shards().TotalStats()
+		if st.Canceled > 0 && st.Submitted == st.Completed+st.Failed+st.Canceled+st.Rejected {
+			return // remaining jobs were cancelled, none stranded
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats %+v: expected canceled jobs after client disconnect", st)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func TestSuiteRequestLimits(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	// Oversize body → 413, not a misleading decode error.
+	big := bytes.Repeat([]byte("x"), 5<<20)
+	resp, err := http.Post(ts.URL+"/v1/suite", "application/json", bytes.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversize body status %d, want 413", resp.StatusCode)
+	}
+
+	// Too many jobs → 400 naming the limit, before anything runs.
+	var m bench.Manifest
+	for i := 0; i < 1025; i++ {
+		m.Jobs = append(m.Jobs, bench.ManifestJob{Name: fmt.Sprintf("j%d", i), Workload: "bubble"})
+	}
+	body, _ := json.Marshal(m)
+	resp, err = http.Post(ts.URL+"/v1/suite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("1025-job manifest status %d, want 400", resp.StatusCode)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(e.Error, "per-request limit") {
+		t.Errorf("error %q, want the per-request job limit named", e.Error)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, Workers: 1})
+	if _, err := http.Post(ts.URL+"/v1/eval", "application/json",
+		strings.NewReader(`{"name":"bubble","workload":"bubble"}`)); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Engine.Shards != 2 || len(sr.ShardStats) != 2 {
+		t.Errorf("stats %+v, want 2 shards", sr.Engine)
+	}
+	if sr.Engine.Submitted < 1 || sr.Requests < 2 {
+		t.Errorf("stats %+v / %d requests, want at least the eval job and both requests", sr.Engine, sr.Requests)
+	}
+}
+
+func mustWorkload(t *testing.T, name string) bench.Workload {
+	t.Helper()
+	w, ok := bench.ByName(name)
+	if !ok {
+		t.Fatalf("workload %q missing from suite", name)
+	}
+	return w
+}

@@ -54,3 +54,45 @@ func TestFacadeEngine(t *testing.T) {
 		t.Fatalf("custom engine job result %+v", r)
 	}
 }
+
+func TestFacadeStreamSuite(t *testing.T) {
+	eng := art9.NewEngine(art9.EngineOptions{Workers: 2})
+	defer eng.Close()
+
+	seen := map[string]bool{}
+	for r := range art9.StreamSuite(context.Background(), eng) {
+		if r.Err != nil {
+			t.Fatalf("workload %s: %v", r.ID, r.Err)
+		}
+		if _, ok := r.Value.(*art9.Outcome); !ok {
+			t.Fatalf("workload %s: value %T, want *Outcome", r.ID, r.Value)
+		}
+		seen[r.ID] = true
+	}
+	if len(seen) != len(art9.Benchmarks()) {
+		t.Fatalf("stream yielded %d workloads, want %d", len(seen), len(art9.Benchmarks()))
+	}
+}
+
+func TestFacadeShardSet(t *testing.T) {
+	set := art9.NewShardSet(2, art9.EngineOptions{Workers: 1})
+	defer set.Close()
+
+	jobs := []art9.EngineJob{
+		{ID: "a", Fn: func(context.Context) (any, error) { return 1, nil }},
+		{ID: "b", Fn: func(context.Context) (any, error) { return 2, nil }},
+		{ID: "c", Fn: func(context.Context) (any, error) { return 3, nil }},
+	}
+	results, err := set.RunAll(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Err != nil || r.Value.(int) != i+1 {
+			t.Errorf("result %d = %+v, want value %d", i, r, i+1)
+		}
+	}
+	if tot := set.TotalStats(); tot.Submitted != 3 {
+		t.Errorf("TotalStats %+v, want 3 submitted", tot)
+	}
+}
