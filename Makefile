@@ -19,9 +19,12 @@ test:
 test-quick:
 	$(GO) build ./... && $(GO) test ./...
 
-## lint: go vet plus a gofmt cleanliness check
+## lint: go vet, staticcheck (when installed), and a gofmt cleanliness check
 lint:
 	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (CI runs it)"; fi
 	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
 		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
 

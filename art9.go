@@ -98,8 +98,10 @@ type (
 
 // Run executes a program on the cycle-accurate 5-stage pipelined core with
 // optional TDM initialisation, returning the final state and statistics.
-func Run(p *Program, data map[int]Word) (*State, RunResult, error) {
-	pl := sim.NewPipeline(sim.Config{})
+// An optional SimConfig sizes the machine (memory words, step budget);
+// omitted, the full 9-trit address space and default budget apply.
+func Run(p *Program, data map[int]Word, cfg ...SimConfig) (*State, RunResult, error) {
+	pl := sim.NewPipeline(oneConfig(cfg))
 	if err := pl.S.Load(p); err != nil {
 		return nil, RunResult{}, err
 	}
@@ -112,9 +114,19 @@ func Run(p *Program, data map[int]Word) (*State, RunResult, error) {
 	return pl.S, res, err
 }
 
-// RunFunctional executes a program on the single-cycle reference core.
-func RunFunctional(p *Program, data map[int]Word) (*State, RunResult, error) {
-	return core.RunFunctional(p, data, sim.Config{})
+// RunFunctional executes a program on the single-cycle reference core,
+// with the same optional machine sizing as Run.
+func RunFunctional(p *Program, data map[int]Word, cfg ...SimConfig) (*State, RunResult, error) {
+	return core.RunFunctional(p, data, oneConfig(cfg))
+}
+
+// oneConfig unwraps the optional trailing SimConfig of Run and
+// RunFunctional (at most one is meaningful; extras are ignored).
+func oneConfig(cfg []SimConfig) SimConfig {
+	if len(cfg) > 0 {
+		return cfg[0]
+	}
+	return SimConfig{}
 }
 
 // Software-level compiling framework (§III-A).
@@ -165,6 +177,11 @@ type (
 	Workload = bench.Workload
 	// Outcome carries every per-benchmark metric.
 	Outcome = bench.Outcome
+	// JobReport is one evaluation report row — the schema shared by
+	// art9-batch reports and the art9-serve NDJSON stream. Results
+	// from remote backends carry a *JobReport as their Value (the row
+	// the peer rendered), where local results carry *Outcome.
+	JobReport = bench.JobReport
 )
 
 // Benchmarks returns the §V-A suite (bubble, GEMM, Sobel, Dhrystone).
@@ -178,11 +195,17 @@ func RunBenchmark(w Workload) (*Outcome, error) {
 // ReproduceTables runs the whole suite and renders Fig. 5 and Tables II–V.
 func ReproduceTables() (string, error) { return bench.AllTables() }
 
-// Concurrent batch-evaluation engine.
+// Concurrent batch evaluation: one Evaluator interface, many backends.
 type (
-	// Engine is a worker-pool job runner with memoization caches for
-	// assembled programs and gate-level analyses. Its Stream method
-	// delivers results in completion order; RunAll in submission order.
+	// Evaluator is the one backend interface of the evaluation stack:
+	// Run (submission-order batch), Stream (completion-order channel),
+	// Stats, Close. A local worker pool (Engine), a partition over
+	// other evaluators (ShardSet) and an HTTP client proxying to a
+	// remote art9-serve instance all implement it and compose freely;
+	// build one with New.
+	Evaluator = engine.Evaluator
+	// Engine is the local worker-pool backend, with memoization caches
+	// for assembled programs and gate-level analyses.
 	Engine = engine.Engine
 	// EngineOptions size the pool and set the default per-job timeout.
 	EngineOptions = engine.Options
@@ -190,21 +213,43 @@ type (
 	EngineJob = engine.Job
 	// EngineResult is the outcome of one engine job.
 	EngineResult = engine.Result
-	// EngineStats are the engine's lifetime counters.
+	// EngineStats are an evaluator's lifetime counters.
 	EngineStats = engine.Stats
-	// ShardSet partitions batches across independent engines with
-	// private caches and merges their completion-order streams — the
-	// single-process seam future multi-machine sharding builds on.
+	// ShardSet partitions batches round-robin across backends — local
+	// engines, remote peers, or other shard sets — and merges their
+	// completion-order streams.
 	ShardSet = engine.ShardSet
 )
 
-// NewEngine starts a worker pool (0 workers selects GOMAXPROCS). Call
-// Close on the returned engine when done.
+// Typed evaluation errors, for errors.Is across every backend — the
+// remote client maps the serve layer's 503/504 back onto them, so the
+// checks work identically whether the job ran in-process or on a peer.
+var (
+	// ErrClosed resolves jobs submitted to a closed evaluator.
+	ErrClosed = engine.ErrClosed
+	// ErrTimeout wraps job failures caused by a per-job timeout.
+	ErrTimeout = engine.ErrTimeout
+)
+
+// NewEngine starts a local worker pool (0 workers selects GOMAXPROCS).
+// Call Close on the returned engine when done. For anything beyond a
+// plain local pool — shards, remote peers — use New.
 func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
+
+// SuiteJobs returns the §V-A benchmark suite as evaluation jobs ready
+// for any Evaluator, each carrying the serializable spec remote
+// backends ship to peers. Successful local results hold *Outcome;
+// results from remote backends hold the peer's report row.
+func SuiteJobs() []EngineJob {
+	return bench.SuiteJobs(bench.Workloads, xlate.Options{})
+}
 
 // RunSuite fans the §V-A benchmark suite out across GOMAXPROCS workers
 // and returns the per-workload outcomes; the results are identical to
 // running each workload serially with RunBenchmark.
+//
+// Deprecated: build an Evaluator with New and submit SuiteJobs to it;
+// RunSuite remains as a one-call convenience over exactly that.
 func RunSuite(ctx context.Context) (map[string]*Outcome, error) {
 	eng := engine.New(engine.Options{})
 	defer eng.Close()
@@ -213,13 +258,18 @@ func RunSuite(ctx context.Context) (map[string]*Outcome, error) {
 
 // RunSuiteOn is RunSuite on a caller-owned engine, reusing its worker
 // pool and caches across batches.
+//
+// Deprecated: use New for the backend and submit SuiteJobs to it.
 func RunSuiteOn(ctx context.Context, eng *Engine) (map[string]*Outcome, error) {
 	return bench.RunAllOn(ctx, eng)
 }
 
-// NewShardSet starts n independent engines (each sized by opts, with
-// private caches) behind one Stream/RunAll front. Call Close on the
+// NewShardSet starts n independent local engines (each sized by opts,
+// with private caches) behind one Stream/Run front. Call Close on the
 // returned set when done.
+//
+// Deprecated: use New with WithShards, or engine.NewShardSetOf to
+// compose arbitrary backends.
 func NewShardSet(n int, opts EngineOptions) *ShardSet {
 	return engine.NewShardSet(n, opts)
 }
@@ -227,6 +277,8 @@ func NewShardSet(n int, opts EngineOptions) *ShardSet {
 // StreamSuite fans the §V-A benchmark suite out on a caller-owned
 // engine and returns a channel yielding each workload's outcome as it
 // completes — the streaming dual of RunSuiteOn.
+//
+// Deprecated: use ev.Stream(ctx, SuiteJobs()) on any Evaluator.
 func StreamSuite(ctx context.Context, eng *Engine) <-chan EngineResult {
 	return eng.Stream(ctx, bench.SuiteJobs(bench.Workloads, xlate.Options{}))
 }

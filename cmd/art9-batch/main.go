@@ -1,5 +1,5 @@
 // Command art9-batch runs a manifest of benchmark programs concurrently
-// through the evaluation engine and emits a JSON report — the format CI
+// through an evaluation backend and emits a JSON report — the format CI
 // archives as BENCH_*.json to track the performance trajectory.
 //
 // Usage:
@@ -7,6 +7,12 @@
 //	art9-batch                                   # example manifest, stdout
 //	art9-batch -manifest suite.json -o out.json  # explicit in/out
 //	art9-batch -workers 4 -timeout 30s           # pool size, per-job cap
+//	art9-batch -shards 4                         # 4 local engine shards
+//	art9-batch -peers http://h1:9009,http://h2:9009
+//	                                             # fan the manifest out across
+//	                                             # remote art9-serve instances
+//	                                             # (add -shards N to mix in
+//	                                             # local pools)
 //
 // A manifest names jobs drawn from the built-in suite, inline RV32
 // sources, or assembly files, plus the technologies to evaluate each
@@ -20,9 +26,10 @@
 //	  ]
 //	}
 //
-// The manifest schema and per-job report rows are shared with the
+// File jobs are read locally and shipped to peers by content, never by
+// path. The manifest schema and per-job report rows are shared with the
 // art9-serve HTTP endpoints (internal/bench), so a job renders the same
-// whether it ran from this CLI or over the network.
+// whether it ran from this CLI, over the network, or on a remote peer.
 package main
 
 import (
@@ -34,15 +41,18 @@ import (
 	"path/filepath"
 	"time"
 
+	art9 "repro"
 	"repro/internal/bench"
-	"repro/internal/engine"
+	"repro/internal/remote"
 	"repro/internal/xlate"
 )
 
 func main() {
 	manifest := flag.String("manifest", "examples/batch/manifest.json", "batch manifest (JSON)")
 	out := flag.String("o", "-", "report destination (- for stdout)")
-	workers := flag.Int("workers", 0, "worker-pool size (0: GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "worker-pool size per local shard (0: GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "local engine shards (0: one, or none when -peers is set)")
+	peers := flag.String("peers", "", "comma-separated base URLs of art9-serve instances to fan jobs out to")
 	timeout := flag.Duration("timeout", 0, "per-job timeout (0: none)")
 	compact := flag.Bool("compact", false, "emit the report without indentation")
 	flag.Parse()
@@ -60,18 +70,30 @@ func main() {
 		fatal(err)
 	}
 
-	eng := engine.New(engine.Options{Workers: *workers, JobTimeout: *timeout})
-	defer eng.Close()
+	peerURLs := remote.SplitPeerList(*peers)
+	opts := []art9.Option{
+		art9.WithWorkers(*workers),
+		art9.WithJobTimeout(*timeout),
+		art9.WithPeers(peerURLs...),
+	}
+	if *shards > 0 {
+		opts = append(opts, art9.WithShards(*shards))
+	}
+	ev, err := art9.New(opts...)
+	if err != nil {
+		fatal(err)
+	}
+	defer ev.Close()
 
 	start := time.Now()
-	results, _ := eng.RunAll(context.Background(), jobs)
+	results, _ := ev.Run(context.Background(), jobs)
 	wall := time.Since(start)
 
 	rep := bench.Report{
 		Schema:  "art9-batch/v1",
 		Created: time.Now().UTC().Format(time.RFC3339),
-		Workers: eng.Workers(),
 		WallMS:  float64(wall.Microseconds()) / 1e3,
+		Peers:   len(peerURLs),
 	}
 	for _, r := range results {
 		jr := bench.JobReportOf(r, techs)
@@ -80,8 +102,12 @@ func main() {
 		}
 		rep.Jobs = append(rep.Jobs, jr)
 	}
-	rep.Cache = bench.CacheReportOf(eng)
-	rep.Engine = bench.EngineReportOf(eng)
+	rep.Cache = bench.SharedCacheReport()
+	// Per-run counters only: a long-lived peer's lifetime totals would
+	// say nothing about this batch. Workers therefore counts local
+	// pools; remote capacity is the peers field.
+	rep.Engine = bench.RunReportFor(ev)
+	rep.Workers = rep.Engine.Workers
 
 	if err := emit(*out, rep, !*compact); err != nil {
 		fatal(err)

@@ -7,6 +7,10 @@
 //	art9-serve                                  # :9009, 1 shard, GOMAXPROCS workers
 //	art9-serve -addr :8080 -shards 4 -workers 2 # 4 engines × 2 workers
 //	art9-serve -job-timeout 30s                 # cap each evaluation job
+//	art9-serve -peers http://h1:9009,http://h2:9009
+//	                                            # front a fleet: fan jobs out to
+//	                                            # downstream art9-serve instances
+//	                                            # (-shards 0 for proxy-only)
 //
 // Endpoints:
 //
@@ -32,23 +36,29 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/remote"
 	"repro/internal/serve"
 )
 
 func main() {
 	addr := flag.String("addr", ":9009", "listen address")
-	shards := flag.Int("shards", 1, "independent engine shards")
+	shards := flag.Int("shards", 1, "local engine shards (0 with -peers: proxy-only)")
 	workers := flag.Int("workers", 0, "worker-pool size per shard (0: GOMAXPROCS)")
 	jobTimeout := flag.Duration("job-timeout", 0, "per-evaluation-job timeout (0: none)")
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read-header timeout")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
+	peers := flag.String("peers", "", "comma-separated base URLs of downstream art9-serve instances to fan jobs out to")
 	flag.Parse()
 
-	srv := serve.New(serve.Config{
+	srv, err := serve.New(serve.Config{
 		Shards:     *shards,
 		Workers:    *workers,
 		JobTimeout: *jobTimeout,
+		Peers:      remote.SplitPeerList(*peers),
 	})
+	if err != nil {
+		fatal(err)
+	}
 
 	hs := &http.Server{
 		Addr:              *addr,
@@ -58,7 +68,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "art9-serve: listening on %s (%d shard(s))\n", *addr, *shards)
+	fmt.Fprintf(os.Stderr, "art9-serve: listening on %s (%d local shard(s), %d peer(s))\n",
+		*addr, *shards, len(remote.SplitPeerList(*peers)))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -217,13 +217,20 @@ func RunAllOn(ctx context.Context, eng *engine.Engine) (map[string]*Outcome, err
 // SuiteJobs wraps workloads as engine jobs, one per workload; each job
 // itself exercises every core model (RV32 reference with both baseline
 // cycle observers, then the functional and pipelined ART-9 cores).
+//
+// Each job also carries a *JobSpec with the workload inlined as source
+// text, so remote backends (internal/remote) can ship the exact same
+// work to a peer; attach technologies with JobSpec.Technologies (done by
+// Manifest.EngineJobs) when the peer should also estimate
+// implementations.
 func SuiteJobs(ws []Workload, opts xlate.Options) []engine.Job {
 	jobs := make([]engine.Job, len(ws))
 	for i, w := range ws {
 		w := w
 		jobs[i] = engine.Job{
-			ID: w.Name,
-			Fn: func(ctx context.Context) (any, error) { return RunCtx(ctx, w, opts) },
+			ID:   w.Name,
+			Fn:   func(ctx context.Context) (any, error) { return RunCtx(ctx, w, opts) },
+			Spec: &JobSpec{Job: ManifestJob{Name: w.Name, Source: w.Source, Iterations: w.Iterations}},
 		}
 	}
 	return jobs

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/engine"
 	"repro/internal/gate"
@@ -34,6 +35,10 @@ type ManifestJob struct {
 	Source     string `json:"source,omitempty"`
 	File       string `json:"file,omitempty"`
 	Iterations int    `json:"iterations,omitempty"`
+	// TimeoutMS bounds this job's evaluation in milliseconds (0: the
+	// engine's default). It rides the wire, so the bound holds whether
+	// the job runs locally or on a remote peer.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
 // ParseManifest decodes and validates a manifest document.
@@ -126,14 +131,37 @@ func (m *Manifest) Workloads(dir string) ([]Workload, error) {
 	return ws, nil
 }
 
+// JobSpec is the serializable description of one engine job, attached
+// to engine.Job.Spec by SuiteJobs. Backends that cannot ship closures —
+// the internal/remote HTTP client — re-create the work on a peer from
+// it: the job rendered as a manifest entry (with the program inlined as
+// source text, so file jobs travel by content, never by path) plus the
+// technologies the peer should estimate implementations against.
+type JobSpec struct {
+	Job          ManifestJob `json:"job"`
+	Technologies []string    `json:"technologies,omitempty"`
+}
+
 // EngineJobs resolves the manifest into engine jobs ready to submit,
-// each running the full multi-core evaluation of its workload.
+// each running the full multi-core evaluation of its workload. The
+// manifest's technologies and each entry's timeout ride on the jobs'
+// JobSpecs, so a remote backend applies the same implementation
+// estimates and per-job bounds the local path does.
 func (m *Manifest) EngineJobs(dir string, opts xlate.Options) ([]engine.Job, error) {
 	ws, err := m.Workloads(dir)
 	if err != nil {
 		return nil, err
 	}
-	return SuiteJobs(ws, opts), nil
+	jobs := SuiteJobs(ws, opts)
+	for i, j := range jobs {
+		spec := j.Spec.(*JobSpec)
+		spec.Technologies = m.Technologies
+		spec.Job.TimeoutMS = m.Jobs[i].TimeoutMS
+		if ms := m.Jobs[i].TimeoutMS; ms > 0 {
+			jobs[i].Timeout = time.Duration(ms) * time.Millisecond
+		}
+	}
+	return jobs, nil
 }
 
 // ResolveTechnologies maps manifest technology names to their models.

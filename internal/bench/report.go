@@ -1,6 +1,9 @@
 package bench
 
 import (
+	"context"
+	"errors"
+
 	"repro/internal/engine"
 	"repro/internal/gate"
 )
@@ -12,11 +15,14 @@ import (
 
 // Report is the batch output, one BENCH_*.json per run.
 type Report struct {
-	Schema   string       `json:"schema"`
-	Created  string       `json:"created"`
-	Workers  int          `json:"workers"`
-	WallMS   float64      `json:"wall_ms"`
-	Jobs     []JobReport  `json:"jobs"`
+	Schema  string      `json:"schema"`
+	Created string      `json:"created"`
+	Workers int         `json:"workers"`
+	WallMS  float64     `json:"wall_ms"`
+	Jobs    []JobReport `json:"jobs"`
+	// Peers counts remote art9-serve backends the batch fanned out to
+	// (0 for a purely local run, the historical shape).
+	Peers    int          `json:"peers,omitempty"`
 	Cache    CacheReport  `json:"cache"`
 	Engine   EngineReport `json:"engine"`
 	Failures int          `json:"failures"`
@@ -26,9 +32,13 @@ type Report struct {
 // OK is true, with every field always emitted — a checksum of 0 stays
 // distinguishable from "job failed" for consumers diffing reports.
 type JobReport struct {
-	Name      string  `json:"name"`
-	OK        bool    `json:"ok"`
-	Error     string  `json:"error,omitempty"`
+	Name  string `json:"name"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// ErrorKind classifies a failure ("closed", "timeout"; empty for
+	// anything else) so the engine's typed errors survive the NDJSON
+	// wire — the remote client maps it back to ErrClosed/ErrTimeout.
+	ErrorKind string  `json:"error_kind,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Worker    int     `json:"worker"`
 
@@ -86,7 +96,20 @@ type EngineReport struct {
 
 // JobReportOf renders one engine result as a report row, evaluating a
 // successful outcome against every requested technology.
+//
+// A result whose Value is already a *JobReport — what the
+// internal/remote backend yields, having received the row from its peer
+// — passes through unchanged (the peer already evaluated its own
+// technologies), so local and remote shards render identically in one
+// merged report.
 func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
+	if remote, ok := r.Value.(*JobReport); ok {
+		jr := *remote
+		if jr.Name == "" {
+			jr.Name = r.ID
+		}
+		return jr
+	}
 	jr := JobReport{
 		Name:      r.ID,
 		OK:        r.Err == nil,
@@ -95,6 +118,12 @@ func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
 	}
 	if r.Err != nil {
 		jr.Error = r.Err.Error()
+		switch {
+		case errors.Is(r.Err, engine.ErrClosed):
+			jr.ErrorKind = "closed"
+		case errors.Is(r.Err, engine.ErrTimeout), errors.Is(r.Err, context.DeadlineExceeded):
+			jr.ErrorKind = "timeout"
+		}
 		return jr
 	}
 	o := r.Value.(*Outcome)
@@ -146,6 +175,16 @@ func CacheReportOf(e *engine.Engine) CacheReport {
 	}
 }
 
+// SharedCacheReport snapshots the process-wide memoization caches — the
+// ones every bench job feeds regardless of which backend ran it.
+func SharedCacheReport() CacheReport {
+	ps, as := engine.SharedPrograms.Stats(), engine.SharedAnalyses.Stats()
+	return CacheReport{
+		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
+		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
+	}
+}
+
 // EngineReportOf renders one engine's counters (a single shard).
 func EngineReportOf(e *engine.Engine) EngineReport {
 	return engineReport(e.Stats(), 1)
@@ -153,7 +192,44 @@ func EngineReportOf(e *engine.Engine) EngineReport {
 
 // ShardSetReportOf renders a shard set's aggregate counters.
 func ShardSetReportOf(s *engine.ShardSet) EngineReport {
-	return engineReport(s.TotalStats(), s.Shards())
+	return engineReport(s.Stats(), s.Shards())
+}
+
+// EngineReportFrom renders an already-taken stats snapshot — for
+// callers (the serve stats endpoint) that must not trigger a second
+// scrape of remote backends.
+func EngineReportFrom(st engine.Stats, shards int) EngineReport {
+	return engineReport(st, shards)
+}
+
+// EngineReportFor renders any Evaluator backend's counters, resolving
+// the shard count for the two composite-aware local types and falling
+// back to a single logical shard for anything else (a remote client,
+// a custom backend). Remote backends answer with their peer's lifetime
+// counters; for a report scoped to one run, use RunReportFor.
+func EngineReportFor(ev engine.Evaluator) EngineReport {
+	switch b := ev.(type) {
+	case *engine.Engine:
+		return EngineReportOf(b)
+	case *engine.ShardSet:
+		return ShardSetReportOf(b)
+	default:
+		return engineReport(ev.Stats(), 1)
+	}
+}
+
+// RunReportFor renders only the counters attributable to this process's
+// use of the backend — remote shards report the work submitted through
+// them (engine.LocalStats), not their peer's lifetime totals — which is
+// what a per-run document like BENCH_*.json should carry. Workers
+// consequently counts local pools only; remote capacity is the report's
+// peers field.
+func RunReportFor(ev engine.Evaluator) EngineReport {
+	shards := 1
+	if ss, ok := ev.(*engine.ShardSet); ok {
+		shards = ss.Shards()
+	}
+	return engineReport(engine.LocalStats(ev), shards)
 }
 
 func engineReport(st engine.Stats, shards int) EngineReport {

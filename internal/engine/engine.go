@@ -17,6 +17,7 @@ package engine
 import (
 	"context"
 	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -25,6 +26,12 @@ import (
 
 // ErrClosed is returned for jobs submitted to a closed engine.
 var ErrClosed = errors.New("engine: closed")
+
+// ErrTimeout wraps a job failure caused by the per-job timeout (the
+// job's own Timeout or the engine's JobTimeout) expiring while the job
+// ran. A deadline or cancellation that arrived on the caller's context
+// is reported as that context's error instead.
+var ErrTimeout = errors.New("engine: job timeout")
 
 // Options configure an Engine.
 type Options struct {
@@ -56,6 +63,11 @@ type Job struct {
 	// Fn does the work. It should honour ctx cancellation where it
 	// can; the engine always checks ctx before dispatching.
 	Fn func(ctx context.Context) (any, error)
+	// Spec optionally carries a serializable description of the work
+	// (e.g. a *bench.JobSpec) so backends that cannot ship closures —
+	// the internal/remote HTTP client — can re-create the job on a
+	// peer. Local backends ignore it.
+	Spec any
 }
 
 // Result is the outcome of one job.
@@ -175,8 +187,10 @@ func (e *Engine) Workers() int { return e.workers }
 // drain jobs already sitting in the dispatch queue before exiting; any
 // task still undispatched when the pool is gone — plus everything
 // submitted afterwards — resolves with ErrClosed. Every Submit channel
-// resolves exactly once; Close never strands a waiter. Idempotent.
-func (e *Engine) Close() {
+// resolves exactly once; Close never strands a waiter. Idempotent, and
+// always returns nil — the error is the Evaluator interface's, for
+// backends whose teardown can fail.
+func (e *Engine) Close() error {
 	e.once.Do(func() {
 		e.mu.Lock()
 		e.closed = true
@@ -198,6 +212,7 @@ func (e *Engine) Close() {
 			}
 		}
 	})
+	return nil
 }
 
 // Stats returns a snapshot of the lifetime counters.
@@ -243,10 +258,16 @@ func (e *Engine) Submit(ctx context.Context, j Job) <-chan Result {
 	return done
 }
 
-// RunAll submits every job and waits for all of them, returning results
-// in submission order regardless of completion order. Individual job
-// failures are reported per-result; the returned error is non-nil only
-// when ctx ended before the batch drained.
+// Run submits every job and waits for all of them, returning results in
+// submission order regardless of completion order — the Evaluator batch
+// entry point. Individual job failures are reported per-result; the
+// returned error is non-nil only when ctx ended before the batch
+// drained.
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	return e.RunAll(ctx, jobs)
+}
+
+// RunAll is Run under its historical name.
 func (e *Engine) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
 	chans := make([]<-chan Result, len(jobs))
 	for i, j := range jobs {
@@ -303,6 +324,12 @@ func (e *Engine) execute(worker int, t task) Result {
 	start := time.Now()
 	r.Value, r.Err = t.job.Fn(ctx)
 	r.Elapsed = time.Since(start)
+	// A deadline the engine itself imposed surfaces as the typed
+	// ErrTimeout; a deadline or cancellation that was already on the
+	// caller's context stays the caller's error.
+	if timeout > 0 && errors.Is(r.Err, context.DeadlineExceeded) && t.ctx.Err() == nil {
+		r.Err = fmt.Errorf("%w after %v: %w", ErrTimeout, timeout, r.Err)
+	}
 	if r.Err != nil {
 		e.failed.Add(1)
 	} else {

@@ -1,0 +1,69 @@
+package engine
+
+import "context"
+
+// Evaluator is the one backend interface of the evaluation stack: a thing
+// that runs batches of Jobs and reports lifetime counters. Every way of
+// evaluating — a local worker pool (*Engine), a partition over other
+// evaluators (*ShardSet), an HTTP client proxying to a remote art9-serve
+// instance (internal/remote.Client) — implements it, so consumers
+// (internal/serve, cmd/art9-batch, the art9.New facade) are written once
+// against this surface and composed freely: shards of shards, shards
+// mixing local pools with remote peers, a serve instance fronting a fleet
+// of other serve instances.
+//
+// The contract every backend honours:
+//
+//   - Run returns exactly one Result per job, index-aligned with the
+//     input slice (submission order); per-job failures travel in
+//     Result.Err, and the batch error is non-nil only when ctx ended
+//     before the batch drained.
+//   - Stream yields one Result per job in completion order, then closes.
+//     The channel is buffered to len(jobs), so an abandoned stream never
+//     blocks the backend. Cancelling ctx resolves outstanding jobs with
+//     the context error; the channel still closes.
+//   - Stats is a point-in-time snapshot of the backend's counters; for
+//     composite backends it aggregates the members.
+//   - Close releases the backend's resources. Jobs already executing
+//     finish; anything undispatched resolves with ErrClosed. Idempotent.
+type Evaluator interface {
+	Run(ctx context.Context, jobs []Job) ([]Result, error)
+	Stream(ctx context.Context, jobs []Job) <-chan Result
+	Stats() Stats
+	Close() error
+}
+
+// The two local backends satisfy the interface; internal/remote.Client
+// asserts its own conformance next to its definition.
+var (
+	_ Evaluator = (*Engine)(nil)
+	_ Evaluator = (*ShardSet)(nil)
+)
+
+// LocalStatser is implemented by backends whose Stats involves network
+// I/O (the remote client scrapes its peer) and that can also report a
+// cheap process-local view of the work submitted through them.
+type LocalStatser interface {
+	LocalStats() Stats
+}
+
+// LocalStats returns ev's counters without any network I/O: composite
+// backends are walked, LocalStatser backends report their local view,
+// and plain local backends answer Stats directly. Use it where blocking
+// on a peer is unacceptable (liveness probes) or where only this
+// process's submissions should be counted (per-run reports).
+func LocalStats(ev Evaluator) Stats {
+	switch b := ev.(type) {
+	case *ShardSet:
+		var t Stats
+		for _, be := range b.backends {
+			t = t.Add(LocalStats(be))
+		}
+		return t
+	default:
+		if ls, ok := ev.(LocalStatser); ok {
+			return ls.LocalStats()
+		}
+		return ev.Stats()
+	}
+}

@@ -2,20 +2,22 @@ package engine
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync"
 	"sync/atomic"
 )
 
-// ShardSet partitions batches across n independent engines — separate
-// worker pools, separate dispatch queues, and (for jobs that route work
-// through the engines' cache fields) separate caches. It is the
-// single-process rehearsal of multi-machine sharding: the partition and
-// merge logic is identical whether a shard is a local pool or a remote
-// peer, so scaling work past one host can reuse this seam. Note the
-// bench/core helpers (AssembleCached, AnalyzeART9) always use the
-// process-wide shared caches regardless of sharding.
+// ShardSet partitions batches round-robin across n backends, each any
+// Evaluator — a local worker pool, a remote art9-serve peer
+// (internal/remote.Client), or another ShardSet, so shards compose
+// recursively. It is the one seam of the scaling story: the partition
+// and merge logic is identical whether a shard is a local pool or a
+// remote machine. Note the bench/core helpers (AssembleCached,
+// AnalyzeART9) always use the process-wide shared caches regardless of
+// sharding.
 type ShardSet struct {
-	engines []*Engine
+	backends []Evaluator
 	// next is the persistent round-robin cursor. Each batch starts at
 	// the next shard rather than shard 0, so a resident server issuing
 	// many small batches (single-job /v1/eval requests, short suites)
@@ -23,59 +25,96 @@ type ShardSet struct {
 	next atomic.Uint64
 }
 
-// NewShardSet starts n engines (n < 1 selects 1), each configured from
-// opts with PrivateCaches forced on so the shards stay independent. The
-// per-shard pool size is opts.Workers. Call Close when done with it.
+// NewShardSet starts n local engines (n < 1 selects 1), each configured
+// from opts with PrivateCaches forced on so the shards stay independent.
+// The per-shard pool size is opts.Workers. Call Close when done with it.
 func NewShardSet(n int, opts Options) *ShardSet {
 	if n < 1 {
 		n = 1
 	}
 	opts.PrivateCaches = true
-	s := &ShardSet{engines: make([]*Engine, n)}
-	for i := range s.engines {
-		s.engines[i] = New(opts)
+	backends := make([]Evaluator, n)
+	for i := range backends {
+		backends[i] = New(opts)
 	}
-	return s
+	return NewShardSetOf(backends...)
 }
 
-// Shards returns the number of engines in the set.
-func (s *ShardSet) Shards() int { return len(s.engines) }
+// NewShardSetOf builds a set over caller-supplied backends — local
+// engines, remote clients, other shard sets, in any mix. The set takes
+// ownership: Close closes every backend. An empty call selects one
+// default local engine.
+func NewShardSetOf(backends ...Evaluator) *ShardSet {
+	if len(backends) == 0 {
+		backends = []Evaluator{New(Options{PrivateCaches: true})}
+	}
+	return &ShardSet{backends: backends}
+}
 
-// Engine returns shard i, for callers that need direct access (tests,
+// Shards returns the number of backends in the set.
+func (s *ShardSet) Shards() int { return len(s.backends) }
+
+// Backend returns shard i, for callers that need direct access (tests,
 // stats drill-down).
-func (s *ShardSet) Engine(i int) *Engine { return s.engines[i] }
+func (s *ShardSet) Backend(i int) Evaluator { return s.backends[i] }
 
-// Close stops every shard, concurrently. Each shard's Close drains its
-// own queue, so every Submit channel across the set resolves.
-func (s *ShardSet) Close() {
+// Engine returns shard i when it is a local *Engine, nil otherwise.
+//
+// Deprecated: use Backend; a shard is no longer necessarily local.
+func (s *ShardSet) Engine(i int) *Engine {
+	e, _ := s.backends[i].(*Engine)
+	return e
+}
+
+// Close stops every backend, concurrently, and joins their errors. Each
+// local shard's Close drains its own queue, so every Submit channel
+// across the set resolves.
+func (s *ShardSet) Close() error {
+	errs := make([]error, len(s.backends))
 	var wg sync.WaitGroup
-	for _, e := range s.engines {
+	for i, b := range s.backends {
 		wg.Add(1)
-		go func(e *Engine) {
+		go func(i int, b Evaluator) {
 			defer wg.Done()
-			e.Close()
-		}(e)
+			errs[i] = b.Close()
+		}(i, b)
 	}
 	wg.Wait()
+	return errors.Join(errs...)
 }
 
-// Stats returns one snapshot per shard, in shard order.
-func (s *ShardSet) Stats() []Stats {
-	out := make([]Stats, len(s.engines))
-	for i, e := range s.engines {
-		out[i] = e.Stats()
-	}
-	return out
-}
-
-// TotalStats sums the per-shard counters into one set-wide snapshot.
-func (s *ShardSet) TotalStats() Stats {
+// Stats sums the per-backend counters into one set-wide snapshot — the
+// Evaluator view of the set.
+func (s *ShardSet) Stats() Stats {
 	var t Stats
-	for _, e := range s.engines {
-		t = t.Add(e.Stats())
+	for _, st := range s.ShardStats() {
+		t = t.Add(st)
 	}
 	return t
 }
+
+// ShardStats returns one snapshot per backend, in shard order. The
+// backends are queried concurrently: a remote shard's Stats is a
+// network scrape, so a set with slow peers pays the slowest one, not
+// the sum.
+func (s *ShardSet) ShardStats() []Stats {
+	out := make([]Stats, len(s.backends))
+	var wg sync.WaitGroup
+	for i, b := range s.backends {
+		wg.Add(1)
+		go func(i int, b Evaluator) {
+			defer wg.Done()
+			out[i] = b.Stats()
+		}(i, b)
+	}
+	wg.Wait()
+	return out
+}
+
+// TotalStats is Stats under its historical name.
+//
+// Deprecated: use Stats.
+func (s *ShardSet) TotalStats() Stats { return s.Stats() }
 
 // cursor reserves n consecutive round-robin slots and returns the first.
 func (s *ShardSet) cursor(n int) uint64 {
@@ -85,25 +124,29 @@ func (s *ShardSet) cursor(n int) uint64 {
 // split partitions jobs round-robin from the persistent cursor: job i of
 // this batch goes to shard (cursor+i) mod n, which balances homogeneous
 // batches of any size — including many one-job batches — without
-// inspecting job contents.
-func (s *ShardSet) split(jobs []Job) [][]Job {
-	parts := make([][]Job, len(s.engines))
+// inspecting job contents. The second slice maps each part entry back to
+// its index in jobs.
+func (s *ShardSet) split(jobs []Job) ([][]Job, [][]int) {
+	parts := make([][]Job, len(s.backends))
+	index := make([][]int, len(s.backends))
 	start := s.cursor(len(jobs))
 	for i, j := range jobs {
-		k := (start + uint64(i)) % uint64(len(s.engines))
+		k := (start + uint64(i)) % uint64(len(s.backends))
 		parts[k] = append(parts[k], j)
+		index[k] = append(index[k], i)
 	}
-	return parts
+	return parts, index
 }
 
-// Stream fans jobs out round-robin across the shards and merges their
+// Stream fans jobs out round-robin across the backends and merges their
 // completion-order streams into one channel, closed after the last
-// shard's stream drains. Ordering across shards is whatever completion
+// backend's stream drains. Ordering across shards is whatever completion
 // interleaving produces — the same contract as Engine.Stream.
 func (s *ShardSet) Stream(ctx context.Context, jobs []Job) <-chan Result {
 	out := make(chan Result, len(jobs))
+	parts, _ := s.split(jobs)
 	var wg sync.WaitGroup
-	for i, part := range s.split(jobs) {
+	for i, part := range parts {
 		if len(part) == 0 {
 			continue
 		}
@@ -113,7 +156,7 @@ func (s *ShardSet) Stream(ctx context.Context, jobs []Job) <-chan Result {
 			for r := range ch {
 				out <- r
 			}
-		}(s.engines[i].Stream(ctx, part))
+		}(s.backends[i].Stream(ctx, part))
 	}
 	go func() {
 		wg.Wait()
@@ -122,17 +165,38 @@ func (s *ShardSet) Stream(ctx context.Context, jobs []Job) <-chan Result {
 	return out
 }
 
-// RunAll fans jobs out round-robin and waits for all of them, returning
-// results in submission order — Engine.RunAll semantics over the set.
-func (s *ShardSet) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
-	chans := make([]<-chan Result, len(jobs))
-	start := s.cursor(len(jobs))
-	for i, j := range jobs {
-		chans[i] = s.engines[(start+uint64(i))%uint64(len(s.engines))].Submit(ctx, j)
-	}
+// Run fans jobs out round-robin, runs every part on its backend
+// concurrently, and reassembles the results in submission order —
+// Engine.Run semantics over the set.
+func (s *ShardSet) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	parts, index := s.split(jobs)
 	out := make([]Result, len(jobs))
-	for i, ch := range chans {
-		out[i] = <-ch
+	var wg sync.WaitGroup
+	for k := range parts {
+		if len(parts[k]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			rs, _ := s.backends[k].Run(ctx, parts[k])
+			for i, idx := range index[k] {
+				if i < len(rs) {
+					out[idx] = rs[i]
+					continue
+				}
+				// A conforming backend returns one result per job;
+				// guard against a short slice so no slot stays zero.
+				out[idx] = Result{ID: parts[k][i].ID, Worker: -1,
+					Err: fmt.Errorf("engine: shard %d returned %d results for %d jobs", k, len(rs), len(parts[k]))}
+			}
+		}(k)
 	}
+	wg.Wait()
 	return out, ctx.Err()
+}
+
+// RunAll is Run under its historical name.
+func (s *ShardSet) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	return s.Run(ctx, jobs)
 }

@@ -206,14 +206,14 @@ func TestShardSetRunAllAndStream(t *testing.T) {
 	// Round-robin must spread a 30-job batch run twice (RunAll + Stream)
 	// as 10+10 per shard, and the totals must equal the sum.
 	var sum uint64
-	for i, st := range s.Stats() {
+	for i, st := range s.ShardStats() {
 		if st.Submitted != 20 {
 			t.Errorf("shard %d submitted %d, want 20", i, st.Submitted)
 		}
 		sum += st.Submitted
 	}
-	if tot := s.TotalStats(); tot.Submitted != sum || tot.Workers != 6 {
-		t.Errorf("TotalStats %+v, want submitted %d over 6 workers", tot, sum)
+	if tot := s.Stats(); tot.Submitted != sum || tot.Workers != 6 {
+		t.Errorf("Stats %+v, want submitted %d over 6 workers", tot, sum)
 	}
 }
 
@@ -233,7 +233,7 @@ func TestShardSetCursorBalancesSmallBatches(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	for i, st := range s.Stats() {
+	for i, st := range s.ShardStats() {
 		if st.Submitted != 10 {
 			t.Errorf("shard %d got %d of 30 one-job batches, want 10", i, st.Submitted)
 		}

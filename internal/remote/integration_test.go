@@ -1,0 +1,165 @@
+package remote_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/gate"
+	"repro/internal/remote"
+	"repro/internal/serve"
+	"repro/internal/xlate"
+)
+
+// suiteRows runs the full example-manifest suite on ev and renders each
+// result as a sorted slice of marshalled report rows with the two
+// run-volatile fields (elapsed, worker index) normalised away —
+// everything that is a function of the evaluation itself stays.
+func suiteRows(t *testing.T, ev engine.Evaluator, m *bench.Manifest, techs []*gate.Technology) []string {
+	t.Helper()
+	jobs, err := m.EngineJobs("", xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := ev.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, 0, len(results))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.ID, r.Err)
+		}
+		jr := bench.JobReportOf(r, techs)
+		jr.ElapsedMS = 0
+		jr.Worker = 0
+		raw, err := json.Marshal(jr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows = append(rows, string(raw))
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// TestMixedLocalRemoteShardSetMatchesLocal is the acceptance pin of the
+// Evaluator redesign: a ShardSet mixing one local Engine with one
+// internal/remote client (backed by an in-process httptest art9-serve)
+// must yield byte-identical sorted suite results to a purely local run.
+func TestMixedLocalRemoteShardSetMatchesLocal(t *testing.T) {
+	m := &bench.Manifest{
+		Technologies: []string{"cntfet32", "stratixv"},
+		Jobs: []bench.ManifestJob{
+			{Name: "bubble", Workload: "bubble"},
+			{Name: "gemm", Workload: "gemm"},
+			{Name: "sobel", Workload: "sobel"},
+			{Name: "dhrystone", Workload: "dhrystone"},
+			{Name: "strsearch", Workload: "strsearch"},
+			{Name: "inline", Source: "li a0, 21\nadd a0, a0, a0\nebreak", Iterations: 2},
+		},
+	}
+	techs, err := m.ResolveTechnologies()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The peer: a real art9-serve over httptest.
+	peerSrv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerTS := httptest.NewServer(peerSrv.Handler())
+	defer func() {
+		peerTS.Close()
+		peerSrv.Close()
+	}()
+	client, err := remote.New(peerTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mixed := engine.NewShardSetOf(engine.New(engine.Options{Workers: 2, PrivateCaches: true}), client)
+	defer mixed.Close()
+	local := engine.New(engine.Options{Workers: 2, PrivateCaches: true})
+	defer local.Close()
+
+	mixedRows := suiteRows(t, mixed, m, techs)
+	localRows := suiteRows(t, local, m, techs)
+
+	if len(mixedRows) != len(m.Jobs) {
+		t.Fatalf("mixed run yielded %d rows, want %d", len(mixedRows), len(m.Jobs))
+	}
+	for i := range localRows {
+		if !bytes.Equal([]byte(mixedRows[i]), []byte(localRows[i])) {
+			t.Errorf("sorted row %d differs:\n mixed: %s\n local: %s", i, mixedRows[i], localRows[i])
+		}
+	}
+
+	// The remote shard must actually have carried half the batch — the
+	// equality above would also hold for a set that quietly ran
+	// everything locally.
+	if st := client.LocalStats(); st.Completed != uint64(len(m.Jobs))/2 {
+		t.Errorf("remote client stats %+v, want %d jobs completed via the peer", st, len(m.Jobs)/2)
+	}
+}
+
+// TestMixedShardSetStream checks the streaming path through the same
+// mixed topology: every job resolves exactly once, remote rows pass
+// through as *bench.JobReport values, local rows as *bench.Outcome.
+func TestMixedShardSetStream(t *testing.T) {
+	peerSrv, err := serve.New(serve.Config{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerTS := httptest.NewServer(peerSrv.Handler())
+	defer func() {
+		peerTS.Close()
+		peerSrv.Close()
+	}()
+	client, err := remote.New(peerTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixed := engine.NewShardSetOf(engine.New(engine.Options{Workers: 1, PrivateCaches: true}), client)
+	defer mixed.Close()
+
+	m := &bench.Manifest{Jobs: []bench.ManifestJob{
+		{Name: "bubble", Workload: "bubble"},
+		{Name: "gemm", Workload: "gemm"},
+		{Name: "sobel", Workload: "sobel"},
+		{Name: "strsearch", Workload: "strsearch"},
+	}}
+	jobs, err := m.EngineJobs("", xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var outcomes, reports int
+	seen := map[string]bool{}
+	for r := range mixed.Stream(context.Background(), jobs) {
+		if r.Err != nil {
+			t.Fatalf("job %s: %v", r.ID, r.Err)
+		}
+		if seen[r.ID] {
+			t.Fatalf("job %s delivered twice", r.ID)
+		}
+		seen[r.ID] = true
+		switch r.Value.(type) {
+		case *bench.Outcome:
+			outcomes++
+		case *bench.JobReport:
+			reports++
+		default:
+			t.Fatalf("job %s: value %T, want *Outcome or *JobReport", r.ID, r.Value)
+		}
+	}
+	if outcomes != 2 || reports != 2 {
+		t.Errorf("stream saw %d local outcomes and %d remote reports, want 2 and 2", outcomes, reports)
+	}
+}

@@ -1,0 +1,650 @@
+// Package remote is the multi-machine backend of the evaluation stack:
+// an engine.Evaluator whose "worker pool" is another art9-serve instance
+// reached over HTTP. It speaks the existing /v1 protocol — single jobs
+// through POST /v1/eval, batches through POST /v1/suite consuming the
+// NDJSON rows the moment the peer flushes them — so any running
+// art9-serve is already a valid shard.
+//
+// Because a Client is just an Evaluator, it composes with everything
+// else behind that interface: engine.NewShardSetOf(localEngine, client)
+// splits one batch between this process and a peer, art9-serve --peers
+// fronts a fleet of other art9-serve instances, and shards of shards
+// build arbitrary topologies.
+//
+// Jobs are shipped by their engine.Job.Spec (a *bench.JobSpec, attached
+// by bench.SuiteJobs / Manifest.EngineJobs): the program travels inline
+// as source text, never as a server-side path. Jobs without a spec fail
+// fast with ErrNotRemotable instead of contacting the peer.
+//
+// Failure surface: connection errors at dial are retried a bounded
+// number of times with exponential backoff; a peer dying mid-stream
+// resolves the rows already received normally and the rest with a
+// stream error; cancelling the caller's context aborts the in-flight
+// request and resolves outstanding jobs with the context error; HTTP
+// 503/504 from the peer unwrap to engine.ErrClosed / engine.ErrTimeout.
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+)
+
+// ErrNotRemotable is wrapped into the result of any job submitted to a
+// Client without a serializable spec (engine.Job.Spec).
+var ErrNotRemotable = errors.New("remote: job carries no serializable spec")
+
+// maxRow bounds one NDJSON line from the peer.
+const maxRow = 1 << 20
+
+// Chunking limits for one /v1/suite request, chosen to stay inside the
+// serve layer's per-request caps (maxSuiteJobs = 1024, maxBody = 4 MiB)
+// with headroom — a batch that runs locally must not fail wholesale
+// just because it crossed the wire in one piece.
+const (
+	maxJobsPerRequest = 1024
+	maxRequestBytes   = 2 << 20
+)
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithRetries sets how many times a request is re-dialled after a
+// connect error (default 2; 0 disables retrying).
+func WithRetries(n int) Option { return func(c *Client) { c.retries = n } }
+
+// WithRetryDelay sets the first retry's backoff delay, doubled per
+// attempt (default 100ms).
+func WithRetryDelay(d time.Duration) Option { return func(c *Client) { c.retryDelay = d } }
+
+// WithHTTPClient substitutes the transport (tests, custom TLS). The
+// client must not impose a global timeout — suite streams are
+// long-lived; bound work with the caller's context instead.
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithStatsTimeout bounds the /v1/stats scrape performed by Stats()
+// (default 2s).
+func WithStatsTimeout(d time.Duration) Option { return func(c *Client) { c.statsTimeout = d } }
+
+// Client is the remote-peer backend. Create with New; a zero Client is
+// not usable.
+type Client struct {
+	base         string
+	hc           *http.Client
+	retries      int
+	retryDelay   time.Duration
+	statsTimeout time.Duration
+
+	closed atomic.Bool
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	rejected  atomic.Uint64
+	streams   atomic.Uint64
+}
+
+var _ engine.Evaluator = (*Client)(nil)
+
+// New builds a client for one art9-serve base URL (e.g.
+// "http://host:9009"). The URL is validated here so a misconfigured
+// fleet fails at construction, not first use.
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(strings.TrimSpace(baseURL))
+	if err != nil {
+		return nil, fmt.Errorf("remote: peer url %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("remote: peer url %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("remote: peer url %q: missing host", baseURL)
+	}
+	c := &Client{
+		base:         strings.TrimRight(u.String(), "/"),
+		hc:           &http.Client{},
+		retries:      2,
+		retryDelay:   100 * time.Millisecond,
+		statsTimeout: 2 * time.Second,
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// Peer returns the normalized base URL this client proxies to.
+func (c *Client) Peer() string { return c.base }
+
+// Close marks the client closed — subsequent batches resolve with
+// engine.ErrClosed — and releases idle connections. In-flight requests
+// are not interrupted; they are bounded by their own contexts.
+func (c *Client) Close() error {
+	c.closed.Store(true)
+	c.hc.CloseIdleConnections()
+	return nil
+}
+
+// Run ships the batch to the peer and returns one result per job in
+// submission order — engine.Evaluator Run semantics over HTTP. The
+// returned error is non-nil only when ctx ended before the batch
+// resolved.
+func (c *Client) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	out := make([]engine.Result, len(jobs))
+	c.dispatch(ctx, jobs, func(i int, r engine.Result) { out[i] = r })
+	return out, ctx.Err()
+}
+
+// RunAll is Run under the engine's historical batch name.
+func (c *Client) RunAll(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	return c.Run(ctx, jobs)
+}
+
+// Stream ships the batch to the peer and yields each job's result the
+// moment its NDJSON row arrives — the peer emits rows in its own
+// completion order, so the channel preserves the same contract as
+// Engine.Stream. The channel is buffered to len(jobs) and always
+// closes.
+func (c *Client) Stream(ctx context.Context, jobs []engine.Job) <-chan engine.Result {
+	c.streams.Add(1)
+	out := make(chan engine.Result, len(jobs))
+	if len(jobs) == 0 {
+		close(out)
+		return out
+	}
+	go func() {
+		defer close(out)
+		c.dispatch(ctx, jobs, func(_ int, r engine.Result) { out <- r })
+	}()
+	return out
+}
+
+// Stats scrapes the peer's /v1/stats and reports the peer's engine
+// counters — the fleet view a front end aggregates. When the peer is
+// unreachable it falls back to this client's local counters (Workers 0,
+// marking the shard as contributing no live pool).
+func (c *Client) Stats() engine.Stats {
+	ctx, cancel := context.WithTimeout(context.Background(), c.statsTimeout)
+	defer cancel()
+	if st, err := c.PeerStats(ctx); err == nil {
+		return st
+	}
+	return c.LocalStats()
+}
+
+// LocalStats returns the counters of work submitted through this client
+// only, balanced the same way engine.Stats documents.
+func (c *Client) LocalStats() engine.Stats {
+	return engine.Stats{
+		Submitted: c.submitted.Load(),
+		Completed: c.completed.Load(),
+		Failed:    c.failed.Load(),
+		Canceled:  c.canceled.Load(),
+		Rejected:  c.rejected.Load(),
+		Streams:   c.streams.Load(),
+	}
+}
+
+// PeerStats fetches the peer's aggregate engine counters from
+// GET /v1/stats.
+func (c *Client) PeerStats(ctx context.Context) (engine.Stats, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/stats", nil)
+	if err != nil {
+		return engine.Stats{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return engine.Stats{}, fmt.Errorf("remote %s: stats: %w", c.base, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return engine.Stats{}, fmt.Errorf("remote %s: stats: %s", c.base, resp.Status)
+	}
+	var body struct {
+		Engine bench.EngineReport `json:"engine"`
+	}
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&body); err != nil {
+		return engine.Stats{}, fmt.Errorf("remote %s: stats: %w", c.base, err)
+	}
+	return engine.Stats{
+		Workers:   body.Engine.Workers,
+		Submitted: body.Engine.Submitted,
+		Completed: body.Engine.Completed,
+		Failed:    body.Engine.Failed,
+		Canceled:  body.Engine.Canceled,
+		Rejected:  body.Engine.Rejected,
+		Streams:   body.Engine.Streams,
+	}, nil
+}
+
+// evalRequest mirrors the POST /v1/eval body (internal/serve's
+// EvalRequest); redefined here to keep serve → remote a one-way
+// dependency.
+type evalRequest struct {
+	bench.ManifestJob
+	Technologies []string `json:"technologies,omitempty"`
+}
+
+// dispatch resolves every job exactly once through emit(jobIndex,
+// result): invalid jobs inline, one valid job via /v1/eval, larger
+// batches via /v1/suite.
+func (c *Client) dispatch(ctx context.Context, jobs []engine.Job, emit func(int, engine.Result)) {
+	c.submitted.Add(uint64(len(jobs)))
+	if c.closed.Load() {
+		c.rejected.Add(uint64(len(jobs)))
+		for i, j := range jobs {
+			emit(i, engine.Result{ID: j.ID, Err: engine.ErrClosed, Worker: -1})
+		}
+		return
+	}
+
+	var valid []int
+	specs := make([]*bench.JobSpec, len(jobs))
+	for i, j := range jobs {
+		spec, err := specOf(j)
+		if err != nil {
+			c.failed.Add(1)
+			emit(i, engine.Result{ID: j.ID, Err: err, Worker: -1})
+			continue
+		}
+		specs[i] = spec
+		valid = append(valid, i)
+	}
+	switch len(valid) {
+	case 0:
+	case 1:
+		i := valid[0]
+		emit(i, c.evalOne(ctx, jobs[i], specs[i]))
+	default:
+		c.suite(ctx, jobs, specs, valid, emit)
+	}
+}
+
+// specOf extracts the serializable description of one job.
+func specOf(j engine.Job) (*bench.JobSpec, error) {
+	switch s := j.Spec.(type) {
+	case *bench.JobSpec:
+		return s, nil
+	case bench.JobSpec:
+		return &s, nil
+	case *bench.ManifestJob:
+		return &bench.JobSpec{Job: *s}, nil
+	case bench.ManifestJob:
+		return &bench.JobSpec{Job: s}, nil
+	default:
+		return nil, fmt.Errorf("%w (job %q)", ErrNotRemotable, j.ID)
+	}
+}
+
+// evalOne runs a single job through POST /v1/eval.
+func (c *Client) evalOne(ctx context.Context, j engine.Job, spec *bench.JobSpec) engine.Result {
+	mj := wireJobOf(j, spec)
+	body, err := json.Marshal(evalRequest{ManifestJob: mj, Technologies: spec.Technologies})
+	if err != nil {
+		c.failed.Add(1)
+		return engine.Result{ID: j.ID, Err: fmt.Errorf("remote %s: encode job: %w", c.base, err), Worker: -1}
+	}
+	start := time.Now()
+	resp, err := c.post(ctx, "/v1/eval", body)
+	if err != nil {
+		err = c.classify(ctx, err)
+		c.countFailure(err)
+		return engine.Result{ID: j.ID, Err: err, Worker: -1}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.failed.Add(1)
+		return engine.Result{ID: j.ID, Err: c.statusErr(resp), Worker: -1,
+			Elapsed: time.Since(start)}
+	}
+	var jr bench.JobReport
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&jr); err != nil {
+		c.failed.Add(1)
+		return engine.Result{ID: j.ID, Err: fmt.Errorf("remote %s: decode report: %w", c.base, err), Worker: -1}
+	}
+	return c.rowResult(j.ID, &jr)
+}
+
+// suite runs a multi-job batch through POST /v1/suite. Jobs are grouped
+// by their technology list first — one request per distinct list, run
+// concurrently — so no job is ever evaluated against technologies it
+// did not ask for (in practice a batch comes from one manifest and
+// forms a single group).
+func (c *Client) suite(ctx context.Context, jobs []engine.Job, specs []*bench.JobSpec, valid []int, emit func(int, engine.Result)) {
+	groups := map[string][]int{}
+	var order []string
+	for _, i := range valid {
+		key := strings.Join(specs[i].Technologies, "\x00")
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	if len(order) == 1 {
+		c.suiteGroup(ctx, jobs, specs, valid, emit)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, key := range order {
+		wg.Add(1)
+		go func(idx []int) {
+			defer wg.Done()
+			c.suiteGroup(ctx, jobs, specs, idx, emit)
+		}(groups[key])
+	}
+	wg.Wait()
+}
+
+// pendingJob tracks one not-yet-resolved suite job: its index in the
+// batch and its original (pre-deduplication) name.
+type pendingJob struct {
+	index int
+	name  string
+}
+
+// wireEntry pairs one manifest entry with its pending-job bookkeeping.
+type wireEntry struct {
+	mj bench.ManifestJob
+	pj pendingJob
+}
+
+// suiteGroup ships jobs sharing a technology list, chunked so no single
+// request exceeds the peer's per-request job or body caps; chunks run
+// concurrently. Wire names are made unique across the whole group
+// (duplicates get a "#n" suffix, undone before the row is emitted), so
+// every row correlates to exactly the job that produced it even when a
+// batch repeats a name with different work attached.
+func (c *Client) suiteGroup(ctx context.Context, jobs []engine.Job, specs []*bench.JobSpec, idx []int, emit func(int, engine.Result)) {
+	techs := specs[idx[0]].Technologies
+	used := make(map[string]bool, len(idx))
+	var chunks [][]wireEntry
+	var cur []wireEntry
+	size := 0
+	for _, i := range idx {
+		mj := wireJobOf(jobs[i], specs[i])
+		orig := mj.Name
+		for n := 2; used[mj.Name]; n++ {
+			mj.Name = fmt.Sprintf("%s#%d", orig, n)
+		}
+		used[mj.Name] = true
+		// Approximate this entry's marshalled footprint; 96 covers the
+		// field names, quoting and numeric fields.
+		esz := len(mj.Name) + len(mj.Source) + len(mj.Workload) + 96
+		if len(cur) > 0 && (len(cur) >= maxJobsPerRequest || size+esz > maxRequestBytes) {
+			chunks = append(chunks, cur)
+			cur, size = nil, 0
+		}
+		cur = append(cur, wireEntry{mj: mj, pj: pendingJob{index: i, name: orig}})
+		size += esz
+	}
+	chunks = append(chunks, cur)
+	if len(chunks) == 1 {
+		c.suitePost(ctx, techs, chunks[0], jobs, emit)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(ch []wireEntry) {
+			defer wg.Done()
+			c.suitePost(ctx, techs, ch, jobs, emit)
+		}(ch)
+	}
+	wg.Wait()
+}
+
+// suitePost issues one POST /v1/suite for a chunk, resolving each job
+// as its NDJSON row arrives.
+func (c *Client) suitePost(ctx context.Context, techs []string, entries []wireEntry, jobs []engine.Job, emit func(int, engine.Result)) {
+	m := bench.Manifest{Technologies: techs}
+	pending := make(map[string]pendingJob, len(entries))
+	for _, e := range entries {
+		m.Jobs = append(m.Jobs, e.mj)
+		pending[e.mj.Name] = e.pj
+	}
+	body, err := json.Marshal(&m)
+	if err != nil {
+		c.fail(jobs, pending, emit, fmt.Errorf("remote %s: encode manifest: %w", c.base, err))
+		return
+	}
+
+	resp, err := c.post(ctx, "/v1/suite", body)
+	if err != nil {
+		c.fail(jobs, pending, emit, c.classify(ctx, err))
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		c.fail(jobs, pending, emit, c.statusErr(resp))
+		return
+	}
+
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 64<<10), maxRow)
+	var streamErr error
+	for len(pending) > 0 && sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var jr bench.JobReport
+		if err := json.Unmarshal(line, &jr); err != nil {
+			streamErr = fmt.Errorf("remote %s: malformed NDJSON row %.80q: %w", c.base, line, err)
+			break
+		}
+		p, ok := pending[jr.Name]
+		if !ok {
+			// A row for a job we never sent (or already resolved):
+			// ignore it rather than mis-crediting some other job.
+			continue
+		}
+		delete(pending, jr.Name)
+		row := jr
+		row.Name = p.name // undo any wire-level "#n" deduplication
+		emit(p.index, c.rowResult(jobs[p.index].ID, &row))
+	}
+	if streamErr == nil {
+		if err := sc.Err(); err != nil {
+			streamErr = fmt.Errorf("remote %s: suite stream: %w", c.base, err)
+		}
+	}
+	if len(pending) > 0 {
+		if streamErr == nil {
+			streamErr = fmt.Errorf("remote %s: suite stream ended with jobs unresolved", c.base)
+		}
+		c.fail(jobs, pending, emit, c.classify(ctx, streamErr))
+	}
+}
+
+// wireJobOf renders one job as the manifest entry shipped to the peer:
+// the spec's entry, defaulting the name to the job ID and forwarding an
+// engine-level per-job timeout the spec did not already carry.
+func wireJobOf(j engine.Job, spec *bench.JobSpec) bench.ManifestJob {
+	mj := spec.Job
+	if mj.Name == "" {
+		mj.Name = j.ID
+	}
+	if mj.TimeoutMS == 0 && j.Timeout > 0 {
+		mj.TimeoutMS = j.Timeout.Milliseconds()
+	}
+	return mj
+}
+
+// rowResult converts one peer report row into an engine result,
+// preserving the peer's elapsed time and worker index.
+func (c *Client) rowResult(id string, jr *bench.JobReport) engine.Result {
+	r := engine.Result{
+		ID:      id,
+		Value:   jr,
+		Elapsed: time.Duration(jr.ElapsedMS * float64(time.Millisecond)),
+		Worker:  jr.Worker,
+	}
+	if jr.OK {
+		c.completed.Add(1)
+		return r
+	}
+	c.failed.Add(1)
+	// Re-type the two classified failures so errors.Is works the same
+	// whether the job failed in-process or in a peer's NDJSON row.
+	switch jr.ErrorKind {
+	case "closed":
+		r.Err = fmt.Errorf("remote %s: job %q: %w: %s", c.base, jr.Name, engine.ErrClosed, jr.Error)
+	case "timeout":
+		r.Err = fmt.Errorf("remote %s: job %q: %w: %s", c.base, jr.Name, engine.ErrTimeout, jr.Error)
+	default:
+		r.Err = fmt.Errorf("remote %s: job %q: %s", c.base, jr.Name, jr.Error)
+	}
+	return r
+}
+
+// fail resolves every still-pending job with err, counting each one.
+func (c *Client) fail(jobs []engine.Job, pending map[string]pendingJob, emit func(int, engine.Result), err error) {
+	for _, p := range pending {
+		c.countFailure(err)
+		emit(p.index, engine.Result{ID: jobs[p.index].ID, Err: err, Worker: -1})
+	}
+}
+
+// countFailure books one unresolved job as canceled (the caller's
+// context ended) or failed (everything else), keeping LocalStats
+// balanced the way engine.Stats documents.
+func (c *Client) countFailure(err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		c.canceled.Add(1)
+	} else {
+		c.failed.Add(1)
+	}
+}
+
+// classify folds the caller's context ending into the context's own
+// error, counting it canceled; anything else is a peer failure.
+func (c *Client) classify(ctx context.Context, err error) error {
+	if ctxErr := ctx.Err(); ctxErr != nil {
+		return fmt.Errorf("remote %s: %w", c.base, ctxErr)
+	}
+	return err
+}
+
+// statusErr renders a non-200 peer response, unwrapping the two typed
+// conditions the serve layer maps: 503 (peer draining/closed) and 504
+// (peer-side evaluation timeout).
+func (c *Client) statusErr(resp *http.Response) error {
+	var body struct {
+		Error string `json:"error"`
+	}
+	json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&body)
+	msg := body.Error
+	if msg == "" {
+		msg = resp.Status
+	}
+	switch resp.StatusCode {
+	case http.StatusServiceUnavailable:
+		return fmt.Errorf("remote %s: %w: %s", c.base, engine.ErrClosed, msg)
+	case http.StatusGatewayTimeout:
+		return fmt.Errorf("remote %s: %w: %s", c.base, engine.ErrTimeout, msg)
+	default:
+		return fmt.Errorf("remote %s: peer returned %d: %s", c.base, resp.StatusCode, msg)
+	}
+}
+
+// post issues one POST, re-dialling on connect errors up to the retry
+// budget with exponential backoff. Only errors raised before the peer
+// accepted the connection are retried — once bytes may have flowed, the
+// caller owns the failure (re-sending could double-evaluate).
+func (c *Client) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, fmt.Errorf("remote %s: %w", c.base, err)
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := c.hc.Do(req)
+		if err == nil {
+			return resp, nil
+		}
+		lastErr = fmt.Errorf("remote %s: %w", c.base, err)
+		if attempt >= c.retries || !isConnectError(err) || ctx.Err() != nil {
+			return nil, lastErr
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("remote %s: %w", c.base, ctx.Err())
+		case <-time.After(c.retryDelay << attempt):
+		}
+	}
+}
+
+// isConnectError reports whether err happened while dialling — the peer
+// was down or unreachable, the retryable window where no request bytes
+// were accepted.
+func isConnectError(err error) bool {
+	var op *net.OpError
+	if errors.As(err, &op) && op.Op == "dial" {
+		return true
+	}
+	return errors.Is(err, syscall.ECONNREFUSED)
+}
+
+// SplitPeerList parses a comma-separated peer-URL flag value, dropping
+// blanks so trailing commas are harmless — shared by the art9-batch and
+// art9-serve CLIs.
+func SplitPeerList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// NewBackend assembles the standard backend topology shared by art9.New
+// and serve.New: localShards engines configured by opts plus one Client
+// per peer URL, composed behind a ShardSet when there is more than one
+// backend. Cache fields go private exactly when backends multiply, so a
+// solitary local pool keeps the process-wide shared caches. With zero
+// shards and zero peers it falls back to one local engine.
+func NewBackend(localShards int, opts engine.Options, peers []string) (engine.Evaluator, error) {
+	if localShards < 0 {
+		localShards = 0
+	}
+	if localShards == 0 && len(peers) == 0 {
+		localShards = 1
+	}
+	opts.PrivateCaches = localShards+len(peers) > 1
+	var backends []engine.Evaluator
+	for i := 0; i < localShards; i++ {
+		backends = append(backends, engine.New(opts))
+	}
+	for _, p := range peers {
+		client, err := New(p)
+		if err != nil {
+			for _, b := range backends {
+				b.Close()
+			}
+			return nil, err
+		}
+		backends = append(backends, client)
+	}
+	if len(backends) == 1 {
+		return backends[0], nil
+	}
+	return engine.NewShardSetOf(backends...), nil
+}

@@ -12,12 +12,16 @@
 //	GET  /v1/healthz liveness + pool shape
 //	GET  /v1/stats   per-shard engine counters + shared cache counters
 //
-// Jobs are fanned out across a ShardSet; each request's jobs are
+// Jobs are fanned out across an engine.Evaluator backend — a local
+// shard set by default, or (Config.Peers) a set fronting other
+// art9-serve instances through internal/remote clients, which is how one
+// instance serves a multi-machine fleet. Each request's jobs are
 // cancelled with the request context, so a disconnected client stops
 // paying for evaluation it can no longer receive.
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -28,6 +32,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/remote"
 	"repro/internal/xlate"
 )
 
@@ -52,43 +57,85 @@ const maxCachedPrograms = 4096
 
 // Config sizes the server's evaluation back end.
 type Config struct {
-	// Shards is the number of independent engines; 0 or 1 selects one.
+	// Shards is the number of local engines. 0 selects one — unless
+	// Peers is non-empty, where 0 means proxy-only (no local pool).
 	Shards int
 	// Workers is the per-shard pool size; 0 selects GOMAXPROCS.
 	Workers int
-	// JobTimeout bounds each evaluation job; 0 means no deadline.
+	// JobTimeout bounds each local evaluation job; 0 means no deadline.
 	JobTimeout time.Duration
+	// Peers lists base URLs of downstream art9-serve instances to fan
+	// jobs out to alongside the local shards (serve→serve proxying).
+	// Do not point a fleet at itself — a cycle proxies forever.
+	Peers []string
 }
 
-// Server owns the engine shards and serves the /v1 API. Create with
+// Server owns an Evaluator backend and serves the /v1 API. Create with
 // New, mount via Handler, release with Close.
 type Server struct {
-	shards   *engine.ShardSet
+	backend  engine.Evaluator
+	peers    int
 	started  time.Time
 	requests atomic.Uint64
 }
 
-// New starts the evaluation back end. The shards (and their caches, and
-// the process-wide program/analysis caches the bench jobs share) live
+// New starts the evaluation back end: local engine shards, remote
+// clients for cfg.Peers, or a shard set mixing both. The backend (and
+// the process-wide program/analysis caches the bench jobs share) lives
 // for the server's lifetime, so every request after the first reuses
-// prior work.
-func New(cfg Config) *Server {
-	return &Server{
-		shards: engine.NewShardSet(cfg.Shards, engine.Options{
-			Workers:    cfg.Workers,
-			JobTimeout: cfg.JobTimeout,
-		}),
-		started: time.Now(),
+// prior work. Fails only on an invalid peer URL.
+func New(cfg Config) (*Server, error) {
+	// remote.NewBackend owns the defaulting (one local shard unless
+	// peers make a proxy-only topology meaningful).
+	backend, err := remote.NewBackend(cfg.Shards, engine.Options{
+		Workers:    cfg.Workers,
+		JobTimeout: cfg.JobTimeout,
+	}, cfg.Peers)
+	if err != nil {
+		return nil, err
 	}
+	return &Server{
+		backend: backend,
+		peers:   len(cfg.Peers),
+		started: time.Now(),
+	}, nil
 }
 
-// Shards exposes the backing shard set (stats drill-down, tests).
-func (s *Server) Shards() *engine.ShardSet { return s.shards }
+// Backend exposes the evaluation backend (stats drill-down, tests).
+func (s *Server) Backend() engine.Evaluator { return s.backend }
 
-// Close stops the engines. In-flight jobs finish, queued jobs resolve
+// Shards exposes the backing shard set, or nil when the backend is a
+// single engine or remote client.
+//
+// Deprecated: use Backend; the backend is no longer necessarily a
+// ShardSet.
+func (s *Server) Shards() *engine.ShardSet {
+	ss, _ := s.backend.(*engine.ShardSet)
+	return ss
+}
+
+// shardCount reports how many shards the backend spans (1 for a
+// non-composite backend).
+func (s *Server) shardCount() int {
+	if ss, ok := s.backend.(*engine.ShardSet); ok {
+		return ss.Shards()
+	}
+	return 1
+}
+
+// shardStats reports per-shard counters (one entry for a non-composite
+// backend).
+func (s *Server) shardStats() []engine.Stats {
+	if ss, ok := s.backend.(*engine.ShardSet); ok {
+		return ss.ShardStats()
+	}
+	return []engine.Stats{s.backend.Stats()}
+}
+
+// Close stops the backend. In-flight jobs finish, queued jobs resolve
 // with ErrClosed; call after the HTTP listener has drained so no handler
 // is still submitting.
-func (s *Server) Close() { s.shards.Close() }
+func (s *Server) Close() error { return s.backend.Close() }
 
 // Handler returns the /v1 route table.
 func (s *Server) Handler() http.Handler {
@@ -117,11 +164,14 @@ type StatsReply struct {
 	Cache         bench.CacheReport  `json:"cache"`
 }
 
-// healthzReply is the GET /v1/healthz body.
+// healthzReply is the GET /v1/healthz body. Workers counts local pool
+// workers only — liveness must never block on a peer, so fleet capacity
+// is reported by /v1/stats (which does scrape the peers) instead.
 type healthzReply struct {
 	Status  string `json:"status"`
 	Shards  int    `json:"shards"`
 	Workers int    `json:"workers"`
+	Peers   int    `json:"peers,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -132,8 +182,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, healthzReply{
 		Status:  "ok",
-		Shards:  s.shards.Shards(),
-		Workers: s.shards.TotalStats().Workers,
+		Shards:  s.shardCount(),
+		Workers: engine.LocalStats(s.backend).Workers,
+		Peers:   s.peers,
 	})
 }
 
@@ -143,12 +194,20 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
+	// One scrape round serves both views: remote shards answer Stats()
+	// with a live peer scrape, so summing the per-shard snapshots —
+	// instead of asking the backend again — halves the network cost.
+	per := s.shardStats()
+	var total engine.Stats
+	for _, st := range per {
+		total = total.Add(st)
+	}
 	writeJSON(w, http.StatusOK, StatsReply{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
-		Engine:        bench.ShardSetReportOf(s.shards),
-		ShardStats:    s.shards.Stats(),
-		Cache:         sharedCacheReport(),
+		Engine:        bench.EngineReportFrom(total, s.shardCount()),
+		ShardStats:    per,
+		Cache:         bench.SharedCacheReport(),
 	})
 }
 
@@ -174,8 +233,31 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	capSharedCaches()
-	results, _ := s.shards.RunAll(r.Context(), bench.SuiteJobs([]bench.Workload{wl}, xlate.Options{}))
-	writeJSON(w, http.StatusOK, bench.JobReportOf(results[0], techs))
+	jobs := bench.SuiteJobs([]bench.Workload{wl}, xlate.Options{})
+	// Forward the request's technologies and timeout on the job spec so
+	// a peer backend applies the same estimates and bounds the local
+	// path does.
+	spec := jobs[0].Spec.(*bench.JobSpec)
+	spec.Technologies = req.Technologies
+	spec.Job.TimeoutMS = req.TimeoutMS
+	if req.TimeoutMS > 0 {
+		jobs[0].Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	results, _ := s.backend.Run(r.Context(), jobs)
+	res := results[0]
+	// The two typed evaluation failures get distinct statuses: a
+	// draining/closed backend is 503 (retry elsewhere), a per-job
+	// timeout is 504. Everything else is a job-level failure reported
+	// in the 200 row, matching the NDJSON suite contract.
+	switch {
+	case errors.Is(res.Err, engine.ErrClosed):
+		writeError(w, http.StatusServiceUnavailable, res.Err)
+		return
+	case errors.Is(res.Err, engine.ErrTimeout) || errors.Is(res.Err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, res.Err)
+		return
+	}
+	writeJSON(w, http.StatusOK, bench.JobReportOf(res, techs))
 }
 
 func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
@@ -222,7 +304,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
 	clientGone := false
-	for res := range s.shards.Stream(r.Context(), jobs) {
+	for res := range s.backend.Stream(r.Context(), jobs) {
 		if clientGone {
 			// The client is gone; keep draining so the stream's
 			// forwarders finish against the cancelled context, but
@@ -236,14 +318,6 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		if flusher != nil {
 			flusher.Flush()
 		}
-	}
-}
-
-func sharedCacheReport() bench.CacheReport {
-	ps, as := engine.SharedPrograms.Stats(), engine.SharedAnalyses.Stats()
-	return bench.CacheReport{
-		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
-		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
 	}
 }
 

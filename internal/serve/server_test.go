@@ -18,7 +18,10 @@ import (
 
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -287,7 +290,7 @@ func TestSuiteClientDisconnectCancels(t *testing.T) {
 
 	deadline := time.Now().Add(15 * time.Second)
 	for {
-		st := s.Shards().TotalStats()
+		st := s.Backend().Stats()
 		if st.Canceled > 0 && st.Submitted == st.Completed+st.Failed+st.Canceled+st.Rejected {
 			return // remaining jobs were cancelled, none stranded
 		}
@@ -357,6 +360,165 @@ func TestStatsEndpoint(t *testing.T) {
 	}
 	if sr.Engine.Submitted < 1 || sr.Requests < 2 {
 		t.Errorf("stats %+v / %d requests, want at least the eval job and both requests", sr.Engine, sr.Requests)
+	}
+}
+
+// TestEvalTypedErrorStatuses pins the typed error surface of /v1/eval:
+// a closed backend maps to 503 and an engine-imposed job timeout to 504,
+// instead of both hiding inside a 200 row or a generic 500.
+func TestEvalTypedErrorStatuses(t *testing.T) {
+	t.Run("closed backend is 503", func(t *testing.T) {
+		s, ts := newTestServer(t, Config{Workers: 1})
+		s.Backend().Close() // simulate drain completing under a live handler
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json",
+			strings.NewReader(`{"name":"bubble","workload":"bubble"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusServiceUnavailable {
+			t.Fatalf("status %d, want 503", resp.StatusCode)
+		}
+		var e struct {
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&e); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(e.Error, "closed") {
+			t.Errorf("error %q, want the closed condition named", e.Error)
+		}
+	})
+
+	t.Run("job timeout is 504", func(t *testing.T) {
+		_, ts := newTestServer(t, Config{Workers: 1, JobTimeout: time.Nanosecond})
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json",
+			strings.NewReader(`{"name":"bubble","workload":"bubble"}`))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, want 504", resp.StatusCode)
+		}
+	})
+
+	t.Run("per-request timeout_ms is honoured", func(t *testing.T) {
+		// No server-level JobTimeout: the bound comes from the request.
+		// The inline program spins for millions of RV32 steps, far past
+		// a 1ms budget, so the stage-boundary ctx check after the RV32
+		// run trips and maps to 504.
+		_, ts := newTestServer(t, Config{Workers: 1})
+		body, _ := json.Marshal(map[string]any{
+			"name":       "spin",
+			"source":     "\tli   a0, 0\n\tli   t0, 3000000\nspin:\n\taddi t0, t0, -1\n\tbne  t0, zero, spin\n\tebreak\n",
+			"timeout_ms": 1,
+		})
+		resp, err := http.Post(ts.URL+"/v1/eval", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusGatewayTimeout {
+			t.Fatalf("status %d, want 504 from the request-level timeout", resp.StatusCode)
+		}
+	})
+}
+
+// TestServeProxiesToPeer fronts one art9-serve with another configured
+// proxy-only via Config.Peers — the serve→serve topology — and checks
+// a suite and a single eval round-trip through the front match direct
+// evaluation.
+func TestServeProxiesToPeer(t *testing.T) {
+	_, leaf := newTestServer(t, Config{Workers: 2})
+	front, frontTS := newTestServer(t, Config{Peers: []string{leaf.URL}})
+
+	if got := front.shardCount(); got != 1 {
+		t.Errorf("front shard count %d, want 1 (the one remote client)", got)
+	}
+
+	// Liveness never blocks on the peer: workers reports local pools
+	// only, so a proxy-only front answers 0 with the peer count beside.
+	hz, err := http.Get(frontTS.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h struct {
+		Workers int `json:"workers"`
+		Peers   int `json:"peers"`
+	}
+	if err := json.NewDecoder(hz.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if h.Workers != 0 || h.Peers != 1 {
+		t.Errorf("front healthz workers=%d peers=%d, want 0 local workers and 1 peer", h.Workers, h.Peers)
+	}
+
+	body := `{"technologies":["cntfet32"],"jobs":[
+		{"name":"bubble","workload":"bubble"},
+		{"name":"gemm","workload":"gemm"}]}`
+	resp, err := http.Post(frontTS.URL+"/v1/suite", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("suite via front: status %d, want 200", resp.StatusCode)
+	}
+	want := map[string]*bench.Outcome{}
+	for _, name := range []string{"bubble", "gemm"} {
+		o, err := bench.Run(mustWorkload(t, name), xlate.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[name] = o
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rows := 0
+	for sc.Scan() {
+		var jr bench.JobReport
+		if err := json.Unmarshal(sc.Bytes(), &jr); err != nil {
+			t.Fatalf("malformed row %q: %v", sc.Bytes(), err)
+		}
+		rows++
+		o, ok := want[jr.Name]
+		if !ok {
+			t.Fatalf("unexpected row %q", jr.Name)
+		}
+		if !jr.OK || jr.Metrics == nil {
+			t.Fatalf("row %s not ok: %s", jr.Name, jr.Error)
+		}
+		if jr.Metrics.Checksum != o.Checksum || jr.Metrics.ART9Cycles != o.ART9Cycles {
+			t.Errorf("row %s metrics %+v disagree with direct run", jr.Name, jr.Metrics)
+		}
+		if len(jr.Implementations) != 1 {
+			t.Errorf("row %s has %d implementations, want 1 (peer-evaluated cntfet32)", jr.Name, len(jr.Implementations))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != 2 {
+		t.Fatalf("front streamed %d rows, want 2", rows)
+	}
+
+	evalResp, err := http.Post(frontTS.URL+"/v1/eval", "application/json",
+		strings.NewReader(`{"name":"sobel","workload":"sobel","technologies":["stratixv"]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer evalResp.Body.Close()
+	if evalResp.StatusCode != http.StatusOK {
+		t.Fatalf("eval via front: status %d, want 200", evalResp.StatusCode)
+	}
+	var jr bench.JobReport
+	if err := json.NewDecoder(evalResp.Body).Decode(&jr); err != nil {
+		t.Fatal(err)
+	}
+	if !jr.OK || jr.Metrics == nil || len(jr.Implementations) != 1 {
+		t.Fatalf("eval via front: report %+v, want ok with one implementation", jr)
 	}
 }
 

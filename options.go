@@ -1,0 +1,75 @@
+package art9
+
+import (
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/remote"
+)
+
+// Option configures the Evaluator built by New.
+type Option func(*evalConfig)
+
+type evalConfig struct {
+	workers    int
+	shards     int
+	queue      int
+	jobTimeout time.Duration
+	peers      []string
+}
+
+// WithWorkers sets the pool size of each local shard (0 selects
+// GOMAXPROCS).
+func WithWorkers(n int) Option { return func(c *evalConfig) { c.workers = n } }
+
+// WithShards sets the number of local engine shards. Left at zero, one
+// local shard is used — unless peers are configured, where zero means
+// remote-only; WithShards(n > 0) adds local shards alongside the peers.
+func WithShards(n int) Option {
+	return func(c *evalConfig) { c.shards = n }
+}
+
+// WithQueue sets each local shard's buffered dispatch-queue depth
+// (0 selects 2× the workers).
+func WithQueue(n int) Option { return func(c *evalConfig) { c.queue = n } }
+
+// WithJobTimeout bounds each local evaluation job; jobs that exceed it
+// fail with ErrTimeout.
+func WithJobTimeout(d time.Duration) Option { return func(c *evalConfig) { c.jobTimeout = d } }
+
+// WithPeers adds one remote backend per art9-serve base URL (e.g.
+// "http://host:9009"). Jobs fanned to a peer must carry a serializable
+// spec — SuiteJobs and the manifest loader attach one; bare closure
+// jobs fail on remote shards with a not-remotable error.
+func WithPeers(urls ...string) Option {
+	return func(c *evalConfig) { c.peers = append(c.peers, urls...) }
+}
+
+// New builds an Evaluator from functional options — the one constructor
+// behind which every backend topology lives:
+//
+//	art9.New()                                     // one local pool
+//	art9.New(art9.WithWorkers(8))                  // sized local pool
+//	art9.New(art9.WithShards(4))                   // 4 local shards
+//	art9.New(art9.WithPeers("http://h1:9009"))     // remote-only
+//	art9.New(art9.WithShards(2),                   // mixed: 2 local shards
+//	         art9.WithPeers("http://h1:9009"))     //  + 1 remote peer
+//
+// Multiple backends compose behind a ShardSet that partitions batches
+// round-robin and merges completion-order streams. Close the returned
+// Evaluator when done; closing a composite closes every backend. New
+// fails only on an invalid peer URL.
+func New(opts ...Option) (Evaluator, error) {
+	var cfg evalConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	// remote.NewBackend owns the composition rules (shard defaulting,
+	// shared vs private caches, ShardSet wrapping) so this constructor
+	// and serve.New cannot drift.
+	return remote.NewBackend(cfg.shards, engine.Options{
+		Workers:    cfg.workers,
+		Queue:      cfg.queue,
+		JobTimeout: cfg.jobTimeout,
+	}, cfg.peers)
+}

@@ -92,7 +92,7 @@ func TestFacadeShardSet(t *testing.T) {
 			t.Errorf("result %d = %+v, want value %d", i, r, i+1)
 		}
 	}
-	if tot := set.TotalStats(); tot.Submitted != 3 {
-		t.Errorf("TotalStats %+v, want 3 submitted", tot)
+	if tot := set.Stats(); tot.Submitted != 3 {
+		t.Errorf("Stats %+v, want 3 submitted", tot)
 	}
 }
