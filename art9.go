@@ -219,6 +219,14 @@ type (
 	// engines, remote peers, or other shard sets — and merges their
 	// completion-order streams.
 	ShardSet = engine.ShardSet
+	// Balancer is the health-aware failover front: least-loaded
+	// dispatch over any mix of backends, periodic liveness probes, and
+	// bounded job-level failover when a backend dies mid-suite. Build
+	// one with New(WithFailover(), ...).
+	Balancer = engine.Balancer
+	// BackendHealth is one balanced backend's dispatch/failover/probe
+	// scorecard, as reported by Balancer.Health and BENCH reports.
+	BackendHealth = engine.BackendHealth
 )
 
 // Typed evaluation errors, for errors.Is across every backend — the
@@ -229,6 +237,10 @@ var (
 	ErrClosed = engine.ErrClosed
 	// ErrTimeout wraps job failures caused by a per-job timeout.
 	ErrTimeout = engine.ErrTimeout
+	// ErrUnavailable wraps backend-level failures — an unreachable
+	// peer, a severed result stream — the class a failover Balancer
+	// responds to by re-running the job elsewhere.
+	ErrUnavailable = engine.ErrUnavailable
 )
 
 // NewEngine starts a local worker pool (0 workers selects GOMAXPROCS).

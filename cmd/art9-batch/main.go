@@ -13,6 +13,11 @@
 //	                                             # remote art9-serve instances
 //	                                             # (add -shards N to mix in
 //	                                             # local pools)
+//	art9-batch -failover -peers ...              # health-aware dispatch: jobs
+//	                                             # on a dying peer are re-run
+//	                                             # on surviving backends; the
+//	                                             # report gains per-backend
+//	                                             # failover counters
 //
 // A manifest names jobs drawn from the built-in suite, inline RV32
 // sources, or assembly files, plus the technologies to evaluate each
@@ -53,6 +58,9 @@ func main() {
 	workers := flag.Int("workers", 0, "worker-pool size per local shard (0: GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "local engine shards (0: one, or none when -peers is set)")
 	peers := flag.String("peers", "", "comma-separated base URLs of art9-serve instances to fan jobs out to")
+	failover := flag.Bool("failover", false, "health-aware dispatch with job-level failover across the backends")
+	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
+	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
 	timeout := flag.Duration("timeout", 0, "per-job timeout (0: none)")
 	compact := flag.Bool("compact", false, "emit the report without indentation")
 	flag.Parse()
@@ -69,6 +77,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	// Stamp the flag onto each job (manifest timeout_ms wins): a job's
+	// own Timeout rides the wire spec, so the bound holds on remote
+	// peers too — the engine option below only covers local shards.
+	bench.ApplyJobTimeout(jobs, *timeout)
 
 	peerURLs := remote.SplitPeerList(*peers)
 	opts := []art9.Option{
@@ -78,6 +90,10 @@ func main() {
 	}
 	if *shards > 0 {
 		opts = append(opts, art9.WithShards(*shards))
+	}
+	if *failover {
+		opts = append(opts, art9.WithFailover(),
+			art9.WithHealthInterval(*healthInterval), art9.WithMaxRetries(*maxRetries))
 	}
 	ev, err := art9.New(opts...)
 	if err != nil {
@@ -108,6 +124,9 @@ func main() {
 	// pools; remote capacity is the peers field.
 	rep.Engine = bench.RunReportFor(ev)
 	rep.Workers = rep.Engine.Workers
+	// With -failover, record the fleet behaviour: which backends
+	// carried the work and how many jobs had to be re-run elsewhere.
+	rep.Balancer = bench.BalancerReportFor(ev)
 
 	if err := emit(*out, rep, !*compact); err != nil {
 		fatal(err)

@@ -11,6 +11,11 @@
 //	                                            # front a fleet: fan jobs out to
 //	                                            # downstream art9-serve instances
 //	                                            # (-shards 0 for proxy-only)
+//	art9-serve -failover -peers ...             # health-aware fleet front:
+//	                                            # peers are probed, jobs go to
+//	                                            # the least-loaded live backend,
+//	                                            # and a dying peer's jobs are
+//	                                            # re-run on the survivors
 //
 // Endpoints:
 //
@@ -48,13 +53,20 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 10*time.Second, "HTTP read-header timeout")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "graceful-shutdown drain budget")
 	peers := flag.String("peers", "", "comma-separated base URLs of downstream art9-serve instances to fan jobs out to")
+	failover := flag.Bool("failover", false, "health-aware dispatch with job-level failover across the backends")
+	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
+	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
 	flag.Parse()
 
+	peerURLs := remote.SplitPeerList(*peers)
 	srv, err := serve.New(serve.Config{
-		Shards:     *shards,
-		Workers:    *workers,
-		JobTimeout: *jobTimeout,
-		Peers:      remote.SplitPeerList(*peers),
+		Shards:         *shards,
+		Workers:        *workers,
+		JobTimeout:     *jobTimeout,
+		Peers:          peerURLs,
+		Failover:       *failover,
+		HealthInterval: *healthInterval,
+		MaxRetries:     *maxRetries,
 	})
 	if err != nil {
 		fatal(err)
@@ -69,7 +81,7 @@ func main() {
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	fmt.Fprintf(os.Stderr, "art9-serve: listening on %s (%d local shard(s), %d peer(s))\n",
-		*addr, *shards, len(remote.SplitPeerList(*peers)))
+		*addr, *shards, len(peerURLs))
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -164,6 +164,23 @@ func (m *Manifest) EngineJobs(dir string, opts xlate.Options) ([]engine.Job, err
 	return jobs, nil
 }
 
+// ApplyJobTimeout stamps a default per-job bound onto jobs that carry
+// none — a manifest entry's own timeout_ms always wins. The job's
+// Timeout rides the wire spec (wireJobOf forwards it), so stamping here
+// is what makes a front end's timeout flag hold on remote peers, where
+// a local engine option cannot reach. Shared by art9-batch and
+// internal/serve so the precedence rule cannot drift between them.
+func ApplyJobTimeout(jobs []engine.Job, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	for i := range jobs {
+		if jobs[i].Timeout == 0 {
+			jobs[i].Timeout = d
+		}
+	}
+}
+
 // ResolveTechnologies maps manifest technology names to their models.
 func (m *Manifest) ResolveTechnologies() ([]*gate.Technology, error) {
 	return Technologies(m.Technologies)

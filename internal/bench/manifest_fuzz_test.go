@@ -1,0 +1,66 @@
+package bench
+
+import (
+	"testing"
+	"unicode/utf8"
+
+	"repro/internal/xlate"
+)
+
+// FuzzParseManifest throws arbitrary bytes at the one manifest loader
+// shared by art9-batch (files from disk) and art9-serve (HTTP request
+// bodies — attacker-reachable input). The invariants: never panic, an
+// accepted manifest always has jobs, and everything downstream of an
+// accepted manifest (entry resolution with file jobs forbidden,
+// technology mapping, engine-job construction) stays panic-free too.
+// Seed corpus: f.Add cases below plus testdata/fuzz/FuzzParseManifest.
+func FuzzParseManifest(f *testing.F) {
+	f.Add([]byte(`{"technologies":["cntfet32"],"jobs":[{"name":"b","workload":"bubble"}]}`))
+	f.Add([]byte(`{"jobs":[{"name":"s","source":"li a0, 1\nebreak","iterations":3,"timeout_ms":10}]}`))
+	f.Add([]byte(`{"jobs":[{"name":"f","file":"../secret.s"}]}`))
+	f.Add([]byte(`{"jobs":[]}`))
+	f.Add([]byte(`{"jobs":[{"name":"two","workload":"bubble","source":"x"}]}`))
+	f.Add([]byte(`{"technologies":["nand"],"jobs":[{"workload":"bubble"}]}`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(`{"jobs": 3}`))
+	f.Add([]byte(`{"jobs":[{"iterations":-9000000000000000000}]}`))
+	f.Add([]byte("{\"jobs\":[{\"name\":\"\xff\xfe\",\"workload\":\"bubble\"}]}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := ParseManifest(data)
+		if err != nil {
+			if m != nil {
+				t.Fatalf("ParseManifest returned both a manifest and error %v", err)
+			}
+			return
+		}
+		if len(m.Jobs) == 0 {
+			t.Fatalf("ParseManifest accepted a manifest with no jobs: %q", data)
+		}
+		// Everything a server does with an accepted manifest must be
+		// panic-free: per-entry resolution (dir "" forbids file jobs, so
+		// fuzzed paths can never touch the filesystem), technology
+		// mapping, and engine-job construction.
+		for _, mj := range m.Jobs {
+			if w, err := mj.Resolve(""); err == nil && w.Iterations < 1 {
+				t.Fatalf("Resolve normalised job %q to %d iterations", mj.Name, w.Iterations)
+			}
+		}
+		m.ResolveTechnologies()
+		if jobs, err := m.EngineJobs("", xlate.Options{}); err == nil {
+			for i, j := range jobs {
+				if j.Spec == nil {
+					t.Fatalf("engine job %d of accepted manifest has no spec", i)
+				}
+			}
+			if len(jobs) != len(m.Jobs) {
+				t.Fatalf("EngineJobs built %d jobs for %d entries", len(jobs), len(m.Jobs))
+			}
+		}
+		// Accepted names survive a JSON round trip (NDJSON rows key on
+		// them); invalid UTF-8 is legal JSON-in-Go but worth knowing.
+		for _, mj := range m.Jobs {
+			_ = utf8.ValidString(mj.Name)
+		}
+	})
+}

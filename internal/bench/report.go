@@ -22,10 +22,48 @@ type Report struct {
 	Jobs    []JobReport `json:"jobs"`
 	// Peers counts remote art9-serve backends the batch fanned out to
 	// (0 for a purely local run, the historical shape).
-	Peers    int          `json:"peers,omitempty"`
-	Cache    CacheReport  `json:"cache"`
-	Engine   EngineReport `json:"engine"`
-	Failures int          `json:"failures"`
+	Peers  int          `json:"peers,omitempty"`
+	Cache  CacheReport  `json:"cache"`
+	Engine EngineReport `json:"engine"`
+	// Balancer is present exactly when the batch ran behind a
+	// health-aware failover front: per-backend dispatch, failover and
+	// health-probe counters, so BENCH artifacts record fleet behaviour
+	// (which backends carried the work, which dropped jobs that were
+	// re-run elsewhere).
+	Balancer *BalancerReport `json:"balancer,omitempty"`
+	Failures int             `json:"failures"`
+}
+
+// BalancerReport snapshots an engine.Balancer's failover behaviour:
+// the budget it ran with, how many re-dispatches it performed, and one
+// scorecard per backend.
+type BalancerReport struct {
+	MaxRetries int `json:"max_retries"`
+	// Retries counts re-dispatches (attempts after each job's first);
+	// Failovers counts backend-level failures that caused them, summed
+	// over the backends.
+	Retries   uint64                 `json:"retries"`
+	Failovers uint64                 `json:"failovers"`
+	Backends  []engine.BackendHealth `json:"backends"`
+}
+
+// BalancerReportFor renders the failover scorecard of a Balancer-fronted
+// backend, or nil when ev is any other Evaluator — callers attach it to
+// a Report exactly when it exists.
+func BalancerReportFor(ev engine.Evaluator) *BalancerReport {
+	b, ok := ev.(*engine.Balancer)
+	if !ok {
+		return nil
+	}
+	rep := &BalancerReport{
+		MaxRetries: b.MaxRetries(),
+		Retries:    b.Retries(),
+		Backends:   b.Health(),
+	}
+	for _, h := range rep.Backends {
+		rep.Failovers += h.Failovers
+	}
+	return rep
 }
 
 // JobReport carries one job's result. Metrics is present exactly when
@@ -35,9 +73,11 @@ type JobReport struct {
 	Name  string `json:"name"`
 	OK    bool   `json:"ok"`
 	Error string `json:"error,omitempty"`
-	// ErrorKind classifies a failure ("closed", "timeout"; empty for
-	// anything else) so the engine's typed errors survive the NDJSON
-	// wire — the remote client maps it back to ErrClosed/ErrTimeout.
+	// ErrorKind classifies a failure ("closed", "timeout",
+	// "unavailable"; empty for anything else) so the engine's typed
+	// errors survive the NDJSON wire — the remote client maps it back
+	// to ErrClosed/ErrTimeout/ErrUnavailable, which is what lets
+	// job-level failover compose across serve→serve tiers.
 	ErrorKind string  `json:"error_kind,omitempty"`
 	ElapsedMS float64 `json:"elapsed_ms"`
 	Worker    int     `json:"worker"`
@@ -118,12 +158,7 @@ func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
 	}
 	if r.Err != nil {
 		jr.Error = r.Err.Error()
-		switch {
-		case errors.Is(r.Err, engine.ErrClosed):
-			jr.ErrorKind = "closed"
-		case errors.Is(r.Err, engine.ErrTimeout), errors.Is(r.Err, context.DeadlineExceeded):
-			jr.ErrorKind = "timeout"
-		}
+		jr.ErrorKind = ErrorKindOf(r.Err)
 		return jr
 	}
 	o := r.Value.(*Outcome)
@@ -140,6 +175,24 @@ func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
 	}
 	jr.Implementations = ImplReports(o, techs)
 	return jr
+}
+
+// ErrorKindOf classifies a job failure for the wire ("closed",
+// "timeout", "unavailable"; empty for job-level failures) — the one
+// classifier behind JobReport.ErrorKind and the serve layer's typed
+// error bodies, so every hop of a serve→serve tier re-types the same
+// way.
+func ErrorKindOf(err error) string {
+	switch {
+	case errors.Is(err, engine.ErrClosed):
+		return "closed"
+	case errors.Is(err, engine.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, engine.ErrUnavailable):
+		return "unavailable"
+	default:
+		return ""
+	}
 }
 
 // ImplReports evaluates one outcome against every requested technology
@@ -203,19 +256,15 @@ func EngineReportFrom(st engine.Stats, shards int) EngineReport {
 }
 
 // EngineReportFor renders any Evaluator backend's counters, resolving
-// the shard count for the two composite-aware local types and falling
-// back to a single logical shard for anything else (a remote client,
-// a custom backend). Remote backends answer with their peer's lifetime
+// the shard count through engine.Composite and falling back to a
+// single logical shard for anything else (a remote client, a custom
+// backend). Remote backends answer with their peer's lifetime
 // counters; for a report scoped to one run, use RunReportFor.
 func EngineReportFor(ev engine.Evaluator) EngineReport {
-	switch b := ev.(type) {
-	case *engine.Engine:
-		return EngineReportOf(b)
-	case *engine.ShardSet:
-		return ShardSetReportOf(b)
-	default:
-		return engineReport(ev.Stats(), 1)
+	if c, ok := ev.(engine.Composite); ok {
+		return engineReport(c.Stats(), c.Size())
 	}
+	return engineReport(ev.Stats(), 1)
 }
 
 // RunReportFor renders only the counters attributable to this process's
@@ -226,8 +275,8 @@ func EngineReportFor(ev engine.Evaluator) EngineReport {
 // peers field.
 func RunReportFor(ev engine.Evaluator) EngineReport {
 	shards := 1
-	if ss, ok := ev.(*engine.ShardSet); ok {
-		shards = ss.Shards()
+	if c, ok := ev.(engine.Composite); ok {
+		shards = c.Size()
 	}
 	return engineReport(engine.LocalStats(ev), shards)
 }

@@ -1,0 +1,688 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Balancer is the health-aware front of the Evaluator stack: it wraps a
+// set of backends — local pools, remote peers, shard sets, in any mix —
+// and dispatches each job to the least-loaded healthy one, failing jobs
+// over to another backend when the one that held them dies. Where a
+// ShardSet partitions a batch blindly (round-robin, wire-efficient, no
+// second chances), a Balancer places every job individually and keeps a
+// suite complete through mid-stream backend deaths:
+//
+//   - Health: a periodic loop probes every backend that implements
+//     Prober (local engines answer from their closed flag, remote
+//     clients GET /v1/healthz) and each job result updates the score
+//     reactively — a backend-level failure (Retryable: ErrClosed or
+//     ErrUnavailable) marks the backend down immediately, the next
+//     success or clean probe revives it.
+//   - Dispatch: each job takes a slot on the healthy backend with the
+//     fewest in-flight jobs (ties rotate), bounded per backend by its
+//     local worker count (or Width for backends that report none, i.e.
+//     remote peers), so a slow backend holds only the jobs it is
+//     actually running while the rest of the suite flows around it.
+//   - Failover: a job whose result is a backend-level failure is re-run
+//     on another backend — bounded by MaxRetries, excluding backends
+//     already tried until every one has been — and resolves exactly
+//     once, so merged Run/Stream output stays deduplicated. Job-level
+//     failures (a bad program, a per-job timeout, the caller's context
+//     ending) are never retried.
+//
+// Failover re-runs jobs, so jobs must be idempotent — true of the whole
+// evaluation suite (pure simulation), and the same assumption the remote
+// client's dial retry already makes. Jobs reach remote backends through
+// their serializable Job.Spec exactly as with a ShardSet; spec-less
+// closure jobs fail on remote backends with a not-remotable error and
+// are not retried (placement cannot fix a job that cannot travel).
+//
+// The wire tradeoff is explicit: dispatch is job-granular, so remote
+// jobs travel as individual /v1/eval requests (at most width concurrent
+// per peer) rather than the ShardSet's chunked /v1/suite streams —
+// placement precision and per-job failover bought with per-request
+// overhead. Wire-efficiency-critical batch sweeps over a healthy fleet
+// belong on a ShardSet; fleets that must survive member deaths belong
+// here.
+type Balancer struct {
+	members      []*member
+	maxRetries   int
+	interval     time.Duration
+	probeTimeout time.Duration
+	threshold    int
+	// slots is the fleet's total dispatch width — the admission cap on
+	// concurrently-placed jobs, so a huge batch doesn't park one cond
+	// waiter per job (see dispatch).
+	slots int
+
+	retries atomic.Uint64
+
+	// mu guards every member's mutable state plus closed and rr; cond
+	// (on mu) wakes acquire waiters when a slot frees, a probe changes a
+	// backend's health, or the balancer closes. Dispatch contexts get a
+	// watcher goroutine that broadcasts on cancellation so waiters
+	// observe it.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	closed bool
+	rr     int
+
+	// revived is closed (and replaced) whenever any member transitions
+	// to healthy; last-resort attempts on unhealthy backends watch it
+	// so a recovery elsewhere rescues jobs stuck on a wedged backend.
+	revived chan struct{}
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// member is one backend plus the balancer's book-keeping about it. All
+// mutable fields are guarded by Balancer.mu.
+type member struct {
+	ev    Evaluator
+	name  string
+	width int // max concurrent jobs dispatched to this backend
+
+	healthy     bool
+	inflight    int
+	consecutive int // consecutive backend-level failures
+	lastErr     string
+	// down is closed when the member transitions to unhealthy and
+	// replaced with a fresh channel on revival; in-flight attempts
+	// watch it so a backend declared dead (by a probe, or by another
+	// job's failure) does not hold its jobs hostage.
+	down chan struct{}
+
+	dispatched    uint64
+	completed     uint64
+	failed        uint64
+	failovers     uint64 // backend-level failures: jobs moved away from here
+	probes        uint64
+	probeFailures uint64
+}
+
+// setHealthLocked applies a health transition (callers hold b.mu):
+// going down closes the member's down channel so in-flight attempts
+// abandon the backend; coming up replaces it, clears the failure
+// streak, and fires the balancer-wide revived signal so last-resort
+// attempts stuck on other dead backends re-dispatch here.
+func (b *Balancer) setHealthLocked(m *member, h bool) {
+	if m.healthy == h {
+		if h {
+			m.consecutive = 0
+		}
+		return
+	}
+	m.healthy = h
+	if h {
+		m.consecutive = 0
+		m.down = make(chan struct{})
+		close(b.revived)
+		b.revived = make(chan struct{})
+	} else {
+		close(m.down)
+	}
+}
+
+// BackendHealth is one backend's point-in-time scorecard — the
+// fleet-behaviour record BENCH reports and /v1/stats carry.
+type BackendHealth struct {
+	Name     string `json:"name"`
+	Healthy  bool   `json:"healthy"`
+	Width    int    `json:"width"`
+	Inflight int    `json:"inflight"`
+	// Dispatched counts jobs handed to this backend (including retries
+	// of jobs other backends dropped). Completed counts successes;
+	// Failed counts failures that ended the job here (its own fault, or
+	// a backend-level failure with the retry budget spent); Failovers
+	// counts backend-level failures whose job was re-queued elsewhere.
+	Dispatched    uint64 `json:"dispatched"`
+	Completed     uint64 `json:"completed"`
+	Failed        uint64 `json:"failed"`
+	Failovers     uint64 `json:"failovers"`
+	Probes        uint64 `json:"probes"`
+	ProbeFailures uint64 `json:"probe_failures"`
+	LastError     string `json:"last_error,omitempty"`
+}
+
+// BalancerOptions tune a Balancer. The zero value selects the defaults
+// documented per field.
+type BalancerOptions struct {
+	// MaxRetries is how many times one job is re-dispatched after a
+	// backend-level failure (0 selects 2; negative disables failover).
+	MaxRetries int
+	// HealthInterval is the period of the background probe loop
+	// (0 selects 2s; negative disables the loop — probes then only run
+	// through ProbeNow, which tests use for determinism).
+	HealthInterval time.Duration
+	// ProbeTimeout bounds one backend's probe (0 selects 2s).
+	ProbeTimeout time.Duration
+	// FailThreshold is how many consecutive backend-level failures mark
+	// a backend unhealthy (0 selects 1: the first failure downs it).
+	FailThreshold int
+	// Width caps concurrent dispatch to backends that report no local
+	// workers — remote peers, whose pool lives on the other machine
+	// (0 selects 8). Backends with a local pool are capped at its size.
+	Width int
+}
+
+// Retryable reports whether a job result's error is a backend-level
+// failure — the class a Balancer responds to by re-running the job on
+// another backend. Job-level failures (the job ran and was wrong, timed
+// out, or the caller cancelled) are not retryable.
+func Retryable(err error) bool {
+	return err != nil && (errors.Is(err, ErrClosed) || errors.Is(err, ErrUnavailable))
+}
+
+// NewBalancer builds a health-aware front over the given backends and
+// takes ownership of them (Close closes every one). An empty call
+// selects one default local engine, mirroring NewShardSetOf.
+func NewBalancer(opts BalancerOptions, backends ...Evaluator) *Balancer {
+	if len(backends) == 0 {
+		backends = []Evaluator{New(Options{PrivateCaches: true})}
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	if opts.HealthInterval == 0 {
+		opts.HealthInterval = 2 * time.Second
+	}
+	if opts.ProbeTimeout <= 0 {
+		opts.ProbeTimeout = 2 * time.Second
+	}
+	if opts.FailThreshold <= 0 {
+		opts.FailThreshold = 1
+	}
+	if opts.Width <= 0 {
+		opts.Width = 8
+	}
+	b := &Balancer{
+		maxRetries:   opts.MaxRetries,
+		interval:     opts.HealthInterval,
+		probeTimeout: opts.ProbeTimeout,
+		threshold:    opts.FailThreshold,
+		revived:      make(chan struct{}),
+		stop:         make(chan struct{}),
+	}
+	b.cond = sync.NewCond(&b.mu)
+	for i, ev := range backends {
+		w := LocalStats(ev).Workers
+		if w <= 0 {
+			w = opts.Width
+		}
+		b.members = append(b.members, &member{
+			ev:      ev,
+			name:    backendName(ev, i),
+			width:   w,
+			healthy: true,
+			down:    make(chan struct{}),
+		})
+		b.slots += w
+	}
+	if b.interval > 0 {
+		go b.healthLoop()
+	}
+	return b
+}
+
+// backendName labels one backend for health reports: its peer URL when
+// it has one (the remote client), its self-reported name, or a
+// positional fallback.
+func backendName(ev Evaluator, i int) string {
+	if p, ok := ev.(interface{ Peer() string }); ok {
+		return p.Peer()
+	}
+	if n, ok := ev.(interface{ Name() string }); ok {
+		return n.Name()
+	}
+	switch ev.(type) {
+	case *Engine:
+		return fmt.Sprintf("local/%d", i)
+	case *ShardSet:
+		return fmt.Sprintf("shards/%d", i)
+	default:
+		return fmt.Sprintf("backend/%d", i)
+	}
+}
+
+// Size returns the number of backends behind the balancer.
+func (b *Balancer) Size() int { return len(b.members) }
+
+// Backend returns backend i, for stats drill-down and tests.
+func (b *Balancer) Backend(i int) Evaluator { return b.members[i].ev }
+
+// MaxRetries returns the per-job failover budget.
+func (b *Balancer) MaxRetries() int { return b.maxRetries }
+
+// Retries returns how many re-dispatches (attempts after each job's
+// first) the balancer has performed over its lifetime.
+func (b *Balancer) Retries() uint64 { return b.retries.Load() }
+
+// Health snapshots every backend's scorecard, in backend order. It
+// reads only balancer-local state — no network I/O — so it is safe in
+// liveness paths.
+func (b *Balancer) Health() []BackendHealth {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BackendHealth, len(b.members))
+	for i, m := range b.members {
+		out[i] = BackendHealth{
+			Name:          m.name,
+			Healthy:       m.healthy,
+			Width:         m.width,
+			Inflight:      m.inflight,
+			Dispatched:    m.dispatched,
+			Completed:     m.completed,
+			Failed:        m.failed,
+			Failovers:     m.failovers,
+			Probes:        m.probes,
+			ProbeFailures: m.probeFailures,
+			LastError:     m.lastErr,
+		}
+	}
+	return out
+}
+
+// Stats sums the backends' own counters — the Evaluator view, matching
+// ShardSet.Stats. Remote backends answer with a peer scrape; for the
+// balancer's dispatch/failover view use Health.
+func (b *Balancer) Stats() Stats {
+	var t Stats
+	for _, st := range b.BackendStats() {
+		t = t.Add(st)
+	}
+	return t
+}
+
+// BackendStats returns one stats snapshot per backend, in backend
+// order, queried concurrently (a remote backend's Stats is a network
+// scrape, so the set pays the slowest backend, not the sum).
+func (b *Balancer) BackendStats() []Stats { return BackendStats(b) }
+
+// Close stops the health loop, wakes every dispatch waiting for a slot
+// (they resolve their jobs with ErrClosed), and closes every backend
+// concurrently, joining their errors. Idempotent.
+func (b *Balancer) Close() error {
+	var err error
+	b.stopOnce.Do(func() {
+		b.mu.Lock()
+		b.closed = true
+		b.mu.Unlock()
+		close(b.stop)
+		b.cond.Broadcast()
+		errs := make([]error, len(b.members))
+		var wg sync.WaitGroup
+		for i, m := range b.members {
+			wg.Add(1)
+			go func(i int, ev Evaluator) {
+				defer wg.Done()
+				errs[i] = ev.Close()
+			}(i, m.ev)
+		}
+		wg.Wait()
+		err = errors.Join(errs...)
+	})
+	return err
+}
+
+// Run dispatches every job to the healthiest least-loaded backend,
+// failing over on backend-level errors, and returns results in
+// submission order — Engine.Run semantics over the set.
+func (b *Balancer) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	out := make([]Result, len(jobs))
+	b.dispatch(ctx, jobs, func(i int, r Result) { out[i] = r })
+	return out, ctx.Err()
+}
+
+// RunAll is Run under the engine's historical batch name.
+func (b *Balancer) RunAll(ctx context.Context, jobs []Job) ([]Result, error) {
+	return b.Run(ctx, jobs)
+}
+
+// Stream dispatches like Run but yields each result the moment its job
+// resolves (after any failover), in completion order. The channel is
+// buffered to len(jobs) and always closes — the Evaluator contract.
+func (b *Balancer) Stream(ctx context.Context, jobs []Job) <-chan Result {
+	out := make(chan Result, len(jobs))
+	if len(jobs) == 0 {
+		close(out)
+		return out
+	}
+	go func() {
+		defer close(out)
+		b.dispatch(ctx, jobs, func(_ int, r Result) { out <- r })
+	}()
+	return out
+}
+
+// dispatch resolves every job exactly once through emit(jobIndex,
+// result). Placement goroutines are admitted up to the fleet's total
+// slot count: beyond that a batch waits cheaply on the admission
+// channel instead of parking one cond waiter per job, which would cost
+// O(jobs²) wakeups on big manifests (every completion broadcasts to
+// every waiter). A watcher broadcasts on the context ending so slot
+// waiters observe the cancellation.
+func (b *Balancer) dispatch(ctx context.Context, jobs []Job, emit func(int, Result)) {
+	if len(jobs) == 0 {
+		return
+	}
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Broadcast under mu: a waiter that checked ctx.Err() just
+			// before the cancellation still holds mu until its Wait
+			// parks it, so taking the lock here orders this wakeup
+			// after that park — an unlocked Broadcast could fire into
+			// the gap and strand the waiter forever.
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	sem := make(chan struct{}, b.slots)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			emit(i, Result{ID: jobs[i].ID, Err: ctx.Err(), Worker: -1})
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			emit(i, b.runJob(ctx, jobs[i]))
+		}(i)
+	}
+	wg.Wait()
+	close(watchDone)
+}
+
+// runJob places one job, retrying backend-level failures on other
+// backends within the failover budget. Backends already tried are
+// excluded until every backend has been — a budget larger than the set
+// then starts a fresh pass, so a revived backend gets another chance.
+func (b *Balancer) runJob(ctx context.Context, j Job) Result {
+	exclude := make(map[*member]bool)
+	var last Result
+	for attempt := 0; ; attempt++ {
+		m, err := b.acquire(ctx, exclude)
+		if err == errAllTried {
+			exclude = make(map[*member]bool)
+			m, err = b.acquire(ctx, exclude)
+		}
+		if err != nil {
+			return Result{ID: j.ID, Err: err, Worker: -1}
+		}
+		if attempt > 0 {
+			b.retries.Add(1)
+		}
+		last = b.attempt(ctx, m, j)
+		if !Retryable(last.Err) {
+			return last
+		}
+		// Backend-level failure: book it as a failover exactly when the
+		// job is re-dispatched, as a terminal failure when the budget
+		// is spent — so the scorecards mean what they say.
+		b.mu.Lock()
+		if attempt >= b.maxRetries {
+			m.failed++
+			b.mu.Unlock()
+			return last
+		}
+		m.failovers++
+		b.mu.Unlock()
+		exclude[m] = true
+	}
+}
+
+// errAllTried is acquire's signal that every backend is excluded for
+// this job — the caller decides whether the retry budget allows a fresh
+// pass.
+var errAllTried = errors.New("engine: every backend already tried")
+
+// acquire reserves a dispatch slot: the healthy non-excluded backend
+// with the fewest in-flight jobs and a free slot, ties rotated. When
+// every non-excluded backend is unhealthy, the least-loaded unhealthy
+// one is used as a last resort (its failure re-confirms it is down and
+// keeps all-backends-down batches resolving instead of hanging). When
+// eligible backends exist but all slots are taken, acquire waits for a
+// release, a health change, cancellation, or Close.
+func (b *Balancer) acquire(ctx context.Context, exclude map[*member]bool) (*member, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if b.closed {
+			return nil, ErrClosed
+		}
+		start := b.rr
+		b.rr++
+		var best *member
+		allTried, healthyLeft := true, false
+		for k := range b.members {
+			m := b.members[(start+k)%len(b.members)]
+			if exclude[m] {
+				continue
+			}
+			allTried = false
+			if m.healthy {
+				healthyLeft = true
+				if m.inflight < m.width && (best == nil || m.inflight < best.inflight) {
+					best = m
+				}
+			}
+		}
+		if allTried {
+			return nil, errAllTried
+		}
+		if best == nil && !healthyLeft {
+			for k := range b.members {
+				m := b.members[(start+k)%len(b.members)]
+				if exclude[m] || m.inflight >= m.width {
+					continue
+				}
+				if best == nil || m.inflight < best.inflight {
+					best = m
+				}
+			}
+		}
+		if best != nil {
+			best.inflight++
+			best.dispatched++
+			return best, nil
+		}
+		b.cond.Wait()
+	}
+}
+
+// attempt runs one job on one backend as a single-job batch — the
+// granularity at which placement and failover operate — then releases
+// the slot and scores the outcome.
+//
+// While the attempt is in flight it watches an abandonment signal: for
+// a healthy member, its down channel — a backend declared dead
+// mid-attempt (a failed probe, another job's backend-level failure)
+// has its attempt abandoned and re-classified ErrUnavailable, so a
+// wedged-but-connected peer — a network partition, a stopped process
+// holding its TCP connections open — cannot hold the job hostage past
+// the health verdict. For a member already unhealthy at dispatch (the
+// all-backends-down last resort) the watch is the balancer-wide
+// revived signal instead: the attempt runs (there is nowhere better to
+// go, and a success redeems the backend) until some other backend
+// comes back, at which point the job abandons the wedge and
+// re-dispatches to the survivor.
+func (b *Balancer) attempt(ctx context.Context, m *member, j Job) Result {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	defer close(stop)
+	go b.watchAttempt(m, stop, cancel)
+
+	rs, _ := m.ev.Run(actx, []Job{j})
+	var r Result
+	if len(rs) >= 1 {
+		r = rs[0]
+	} else {
+		r = Result{ID: j.ID, Worker: -1,
+			Err: fmt.Errorf("engine: backend %s returned no result: %w", m.name, ErrUnavailable)}
+	}
+	if r.Err != nil && actx.Err() != nil && ctx.Err() == nil {
+		// The balancer abandoned the attempt, not the caller: make the
+		// failure backend-level so the job is re-run elsewhere.
+		r.Err = fmt.Errorf("engine: attempt on %s abandoned after the fleet's health changed: %w", m.name, ErrUnavailable)
+		r.Worker = -1
+	}
+
+	b.mu.Lock()
+	m.inflight--
+	switch {
+	case r.Err == nil:
+		m.completed++
+		b.setHealthLocked(m, true)
+	case Retryable(r.Err):
+		// Health scoring only — whether this failure becomes a
+		// failover (re-dispatched) or a terminal failure is runJob's
+		// call, which owns the retry budget.
+		m.consecutive++
+		m.lastErr = r.Err.Error()
+		if m.consecutive >= b.threshold {
+			b.setHealthLocked(m, false)
+		}
+	default:
+		// The job ran and failed on its own terms; the backend is fine.
+		m.failed++
+		m.consecutive = 0
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	return r
+}
+
+// watchAttempt watches one in-flight attempt on m and cancels it when
+// the fleet's health says the job should move: a healthy member's
+// attempt abandons when that member goes down; a last-resort attempt on
+// an unhealthy member abandons when some OTHER member becomes healthy.
+// The member's own recovery mid-attempt is not an abandonment — the
+// running job is the evidence it recovered — so the watch re-arms on
+// the member's fresh down channel instead of cancelling.
+func (b *Balancer) watchAttempt(m *member, stop <-chan struct{}, cancel context.CancelFunc) {
+	for {
+		b.mu.Lock()
+		wasHealthy := m.healthy
+		ch := m.down
+		if !wasHealthy {
+			ch = b.revived
+		}
+		b.mu.Unlock()
+		select {
+		case <-stop:
+			return
+		case <-ch:
+		}
+		b.mu.Lock()
+		abandon := wasHealthy // the member we were running on went down
+		if !wasHealthy && !m.healthy {
+			// A revival fired elsewhere while m stayed down: move the
+			// job if somewhere healthy actually exists right now.
+			for _, o := range b.members {
+				if o != m && o.healthy {
+					abandon = true
+					break
+				}
+			}
+		}
+		b.mu.Unlock()
+		if abandon {
+			cancel()
+			return
+		}
+	}
+}
+
+// healthLoop drives periodic probing until Close.
+func (b *Balancer) healthLoop() {
+	t := time.NewTicker(b.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.stop:
+			return
+		case <-t.C:
+			b.ProbeNow(context.Background())
+		}
+	}
+}
+
+// ProbeNow probes every backend once, concurrently, and applies the
+// verdicts — the health loop's body, exported so tests (and callers
+// that just revived a peer) can force a deterministic round.
+func (b *Balancer) ProbeNow(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, m := range b.members {
+		wg.Add(1)
+		go func(m *member) {
+			defer wg.Done()
+			b.probe(ctx, m)
+		}(m)
+	}
+	wg.Wait()
+}
+
+// probe checks one backend's liveness under the probe timeout and
+// applies the verdict. A clean probe revives a backend that job
+// results had marked down; waiters are woken either way, since a
+// health change can unblock placement. Backends without a Prober are
+// left untouched: fabricating health with no evidence would revive a
+// reactively-down backend and route fresh jobs into it — their
+// verdicts come from job results alone (and from the last-resort
+// dispatch path, where a success redeems them).
+func (b *Balancer) probe(ctx context.Context, m *member) {
+	p, ok := m.ev.(Prober)
+	if !ok {
+		return
+	}
+	pctx, cancel := context.WithTimeout(ctx, b.probeTimeout)
+	err := p.Probe(pctx)
+	cancel()
+	b.mu.Lock()
+	m.probes++
+	if err != nil {
+		m.probeFailures++
+		m.lastErr = err.Error()
+		b.setHealthLocked(m, false)
+	} else {
+		b.setHealthLocked(m, true)
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Probe reports the balancer's own aggregate verdict — alive while any
+// backend is marked healthy — so balancers nest behind other balancers.
+// It reads only tracked state; no backend is contacted.
+func (b *Balancer) Probe(context.Context) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return ErrClosed
+	}
+	for _, m := range b.members {
+		if m.healthy {
+			return nil
+		}
+	}
+	return fmt.Errorf("%w: all %d backends unhealthy", ErrUnavailable, len(b.members))
+}

@@ -27,6 +27,14 @@ import (
 // ErrClosed is returned for jobs submitted to a closed engine.
 var ErrClosed = errors.New("engine: closed")
 
+// ErrUnavailable marks a backend-level failure: the backend could not
+// carry the job at all — a peer was unreachable, a result stream was
+// severed mid-suite — as opposed to the job itself running and failing.
+// Backends wrap transport-class errors with it (internal/remote does for
+// dial failures, severed NDJSON streams and truncated responses) so a
+// Balancer can tell "re-run this job elsewhere" from "this job is bad".
+var ErrUnavailable = errors.New("engine: backend unavailable")
+
 // ErrTimeout wraps a job failure caused by the per-job timeout (the
 // job's own Timeout or the engine's JobTimeout) expiring while the job
 // ran. A deadline or cancellation that arrived on the caller's context
@@ -182,6 +190,18 @@ func New(opts Options) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// Probe answers the Prober liveness check locally: a running pool is
+// healthy, a closed one reports ErrClosed so a Balancer stops routing
+// jobs at it.
+func (e *Engine) Probe(context.Context) error {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.closed {
+		return ErrClosed
+	}
+	return nil
+}
 
 // Close stops the workers. Jobs already executing finish, and workers
 // drain jobs already sitting in the dispatch queue before exiting; any

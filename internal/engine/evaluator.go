@@ -1,6 +1,9 @@
 package engine
 
-import "context"
+import (
+	"context"
+	"sync"
+)
 
 // Evaluator is the one backend interface of the evaluation stack: a thing
 // that runs batches of Jobs and reports lifetime counters. Every way of
@@ -33,11 +36,70 @@ type Evaluator interface {
 	Close() error
 }
 
-// The two local backends satisfy the interface; internal/remote.Client
+// The local backends satisfy the interface; internal/remote.Client
 // asserts its own conformance next to its definition.
 var (
 	_ Evaluator = (*Engine)(nil)
 	_ Evaluator = (*ShardSet)(nil)
+	_ Evaluator = (*Balancer)(nil)
+)
+
+// Composite is implemented by backends that front an ordered set of
+// other backends — ShardSet and Balancer. Generic consumers (stats
+// drill-downs, per-shard reports, LocalStats) introspect through it
+// instead of enumerating concrete types, so a new composite backend
+// works with all of them unmodified.
+type Composite interface {
+	Evaluator
+	// Size returns the number of fronted backends.
+	Size() int
+	// Backend returns fronted backend i.
+	Backend(i int) Evaluator
+}
+
+var (
+	_ Composite = (*ShardSet)(nil)
+	_ Composite = (*Balancer)(nil)
+)
+
+// BackendStats returns one Stats snapshot per fronted backend of a
+// composite, in backend order — queried concurrently, since a remote
+// backend's Stats is a network scrape — or a single-element slice for
+// a non-composite backend.
+func BackendStats(ev Evaluator) []Stats {
+	c, ok := ev.(Composite)
+	if !ok {
+		return []Stats{ev.Stats()}
+	}
+	out := make([]Stats, c.Size())
+	var wg sync.WaitGroup
+	for i := range out {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out[i] = c.Backend(i).Stats()
+		}(i)
+	}
+	wg.Wait()
+	return out
+}
+
+// Prober is implemented by backends that can answer a cheap liveness
+// check: nil means the backend is fit to take jobs, an error explains
+// why it is not. Local engines answer from their closed flag; the
+// remote client performs a bounded GET /v1/healthz. The Balancer's
+// health loop probes every backend that implements it and treats the
+// rest as always-alive (their failures still surface reactively through
+// job results).
+type Prober interface {
+	Probe(ctx context.Context) error
+}
+
+// Every local backend carries its own liveness oracle.
+var (
+	_ Prober = (*Engine)(nil)
+	_ Prober = (*ShardSet)(nil)
+	_ Prober = (*Balancer)(nil)
 )
 
 // LocalStatser is implemented by backends whose Stats involves network
@@ -53,17 +115,15 @@ type LocalStatser interface {
 // on a peer is unacceptable (liveness probes) or where only this
 // process's submissions should be counted (per-run reports).
 func LocalStats(ev Evaluator) Stats {
-	switch b := ev.(type) {
-	case *ShardSet:
+	if c, ok := ev.(Composite); ok {
 		var t Stats
-		for _, be := range b.backends {
-			t = t.Add(LocalStats(be))
+		for i := 0; i < c.Size(); i++ {
+			t = t.Add(LocalStats(c.Backend(i)))
 		}
 		return t
-	default:
-		if ls, ok := ev.(LocalStatser); ok {
-			return ls.LocalStats()
-		}
-		return ev.Stats()
 	}
+	if ls, ok := ev.(LocalStatser); ok {
+		return ls.LocalStats()
+	}
+	return ev.Stats()
 }

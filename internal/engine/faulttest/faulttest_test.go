@@ -1,0 +1,136 @@
+package faulttest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+)
+
+func jobs(n int) []engine.Job {
+	out := make([]engine.Job, n)
+	for i := range out {
+		i := i
+		out[i] = engine.Job{ID: fmt.Sprintf("j%d", i),
+			Fn: func(context.Context) (any, error) { return i, nil }}
+	}
+	return out
+}
+
+// TestHealthyFlakyIsAConformingEvaluator pins the no-script baseline:
+// results in submission order, correct values, balanced stats, passing
+// probe.
+func TestHealthyFlakyIsAConformingEvaluator(t *testing.T) {
+	f := New("ok")
+	rs, err := f.Run(context.Background(), jobs(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range rs {
+		if r.Err != nil || r.Value.(int) != i {
+			t.Errorf("result %d = %+v, want value %d", i, r, i)
+		}
+	}
+	if st := f.Stats(); st.Submitted != 5 || st.Completed != 5 {
+		t.Errorf("stats %+v, want 5 submitted and completed", st)
+	}
+	if err := f.Probe(context.Background()); err != nil {
+		t.Errorf("healthy probe failed: %v", err)
+	}
+	n := 0
+	for range f.Stream(context.Background(), jobs(3)) {
+		n++
+	}
+	if n != 3 {
+		t.Errorf("stream yielded %d results, want 3", n)
+	}
+}
+
+// TestFailAfterDiesMidBatch pins the mid-stream death: exactly n jobs
+// execute, the rest fail with a retryable error, and the probe reports
+// the death.
+func TestFailAfterDiesMidBatch(t *testing.T) {
+	f := New("dying").FailAfter(2, nil)
+	rs, _ := f.Run(context.Background(), jobs(5))
+	for i, r := range rs {
+		if i < 2 && r.Err != nil {
+			t.Errorf("job %d failed before the scripted death: %v", i, r.Err)
+		}
+		if i >= 2 && !engine.Retryable(r.Err) {
+			t.Errorf("job %d after death resolved with %v, want retryable", i, r.Err)
+		}
+	}
+	if f.Executed() != 2 {
+		t.Errorf("executed %d jobs, want exactly 2", f.Executed())
+	}
+	if f.Probe(context.Background()) == nil {
+		t.Error("probe passed on a dead backend")
+	}
+
+	f.Revive()
+	if f.Probe(context.Background()) != nil {
+		t.Error("probe failed after revival")
+	}
+	if rs, _ := f.Run(context.Background(), jobs(1)); rs[0].Err != nil {
+		t.Errorf("revived backend failed a job: %v", rs[0].Err)
+	}
+}
+
+// TestStallAndRelease pins the wedge script: a stalled job blocks until
+// Release, or resolves with the context error on cancellation.
+func TestStallAndRelease(t *testing.T) {
+	f := New("wedged").StallAfter(0)
+	done := make(chan engine.Result, 1)
+	go func() {
+		rs, _ := f.Run(context.Background(), jobs(1))
+		done <- rs[0]
+	}()
+	select {
+	case r := <-done:
+		t.Fatalf("stalled job resolved early: %+v", r)
+	case <-time.After(50 * time.Millisecond):
+	}
+	f.Release()
+	select {
+	case r := <-done:
+		if r.Err != nil {
+			t.Errorf("released job failed: %v", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Release did not unblock the stalled job")
+	}
+
+	g := New("wedged-2").StallAfter(0)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := g.Stream(ctx, jobs(1))
+	cancel()
+	select {
+	case r := <-ch:
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Errorf("cancelled stalled job resolved with %v, want context.Canceled", r.Err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancel did not unblock the stalled job")
+	}
+}
+
+// TestCloseIsKill pins Close semantics: jobs after Close resolve with
+// engine.ErrClosed, the error a Balancer treats as retryable.
+func TestCloseIsKill(t *testing.T) {
+	f := New("closing")
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rs, _ := f.Run(context.Background(), jobs(2))
+	for _, r := range rs {
+		if !errors.Is(r.Err, engine.ErrClosed) {
+			t.Errorf("job %s after Close resolved with %v, want ErrClosed", r.ID, r.Err)
+		}
+	}
+	if st := f.Stats(); st.Rejected != 2 {
+		t.Errorf("stats %+v, want 2 rejected", st)
+	}
+}

@@ -54,6 +54,9 @@ func NewShardSetOf(backends ...Evaluator) *ShardSet {
 // Shards returns the number of backends in the set.
 func (s *ShardSet) Shards() int { return len(s.backends) }
 
+// Size is Shards under the Composite interface's name.
+func (s *ShardSet) Size() int { return len(s.backends) }
+
 // Backend returns shard i, for callers that need direct access (tests,
 // stats drill-down).
 func (s *ShardSet) Backend(i int) Evaluator { return s.backends[i] }
@@ -64,6 +67,27 @@ func (s *ShardSet) Backend(i int) Evaluator { return s.backends[i] }
 func (s *ShardSet) Engine(i int) *Engine {
 	e, _ := s.backends[i].(*Engine)
 	return e
+}
+
+// Probe answers the Prober liveness check for the set: alive while at
+// least one backend is, since round-robin still lands jobs on the live
+// shards. Backends that do not implement Prober count as alive (their
+// health is only observable through job results); when every backend
+// is probeable and down, the joined errors are returned.
+func (s *ShardSet) Probe(ctx context.Context) error {
+	var errs []error
+	for _, b := range s.backends {
+		p, ok := b.(Prober)
+		if !ok {
+			return nil
+		}
+		err := p.Probe(ctx)
+		if err == nil {
+			return nil
+		}
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
 }
 
 // Close stops every backend, concurrently, and joins their errors. Each
@@ -97,19 +121,7 @@ func (s *ShardSet) Stats() Stats {
 // backends are queried concurrently: a remote shard's Stats is a
 // network scrape, so a set with slow peers pays the slowest one, not
 // the sum.
-func (s *ShardSet) ShardStats() []Stats {
-	out := make([]Stats, len(s.backends))
-	var wg sync.WaitGroup
-	for i, b := range s.backends {
-		wg.Add(1)
-		go func(i int, b Evaluator) {
-			defer wg.Done()
-			out[i] = b.Stats()
-		}(i, b)
-	}
-	wg.Wait()
-	return out
-}
+func (s *ShardSet) ShardStats() []Stats { return BackendStats(s) }
 
 // TotalStats is Stats under its historical name.
 //

@@ -1,0 +1,87 @@
+package engine_test
+
+// Fault injection against the round-robin ShardSet, reusing the same
+// scripted faulttest backends the Balancer suite drives. The pinned
+// contrast motivates the Balancer: a ShardSet resolves every job
+// exactly once even when a shard dies mid-batch, but the dead shard's
+// jobs FAIL — no second chances — whereas the Balancer re-runs them.
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/engine/faulttest"
+)
+
+// TestShardSetDeadShardFailsItsShareOnly pins the no-failover baseline:
+// with one of two shards dead mid-batch, its jobs resolve with the
+// backend error while the live shard's share is untouched — and the
+// same jobs behind a Balancer all succeed.
+func TestShardSetDeadShardFailsItsShareOnly(t *testing.T) {
+	const n = 10
+	flaky := faulttest.New("dying-shard").FailAfter(2, nil)
+	live := engine.New(engine.Options{Workers: 2, PrivateCaches: true})
+	s := engine.NewShardSetOf(flaky, live)
+	defer s.Close()
+
+	rs, err := s.Run(context.Background(), balancerJobs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != n {
+		t.Fatalf("resolved %d results for %d jobs", len(rs), n)
+	}
+	var failed, ok int
+	for i, r := range rs {
+		if r.ID != balancerJobs(n)[i].ID {
+			t.Errorf("result %d out of submission order: %s", i, r.ID)
+		}
+		if r.Err != nil {
+			if !engine.Retryable(r.Err) {
+				t.Errorf("job %s failed with non-backend error %v", r.ID, r.Err)
+			}
+			failed++
+			continue
+		}
+		ok++
+	}
+	// Round-robin gives the dying shard 5 of 10 jobs; it executes 2 and
+	// drops 3. The live shard's 5 all succeed.
+	if failed != 3 || ok != 7 {
+		t.Errorf("dead shard run: %d ok / %d failed, want 7/3 (no failover in a ShardSet)", ok, failed)
+	}
+
+	// The identical fault behind a Balancer loses nothing.
+	b := engine.NewBalancer(engine.BalancerOptions{HealthInterval: -1},
+		faulttest.New("dying-shard").FailAfter(2, nil),
+		engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
+	defer b.Close()
+	brs, err := b.Run(context.Background(), balancerJobs(n))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range brs {
+		if r.Err != nil {
+			t.Errorf("balancer lost job %s to the dying backend: %v", r.ID, r.Err)
+		}
+	}
+}
+
+// TestShardSetStreamWithDeadShardStillCloses pins the merge contract
+// under faults: the merged stream yields one result per job and closes
+// even when a shard is dead on arrival.
+func TestShardSetStreamWithDeadShardStillCloses(t *testing.T) {
+	s := engine.NewShardSetOf(
+		faulttest.New("doa").FailAfter(0, nil),
+		engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
+	defer s.Close()
+
+	seen := 0
+	for range s.Stream(context.Background(), balancerJobs(8)) {
+		seen++
+	}
+	if seen != 8 {
+		t.Errorf("merged stream yielded %d results, want 8", seen)
+	}
+}

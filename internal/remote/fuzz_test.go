@@ -1,0 +1,56 @@
+package remote
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// FuzzScanRows throws arbitrary peer bytes at the client's NDJSON row
+// parser — the surface a malicious or dying art9-serve peer writes to.
+// Invariants: never panic, never error on blank input, stop cleanly
+// when the row handler is satisfied, and decode every row it reports.
+// Seed corpus: f.Add cases below plus testdata/fuzz/FuzzScanRows.
+func FuzzScanRows(f *testing.F) {
+	f.Add([]byte(`{"name":"a","ok":true,"elapsed_ms":1.5,"worker":3}` + "\n"))
+	f.Add([]byte("{\"name\":\"a\",\"ok\":true}\n\n{\"name\":\"b\",\"ok\":false,\"error\":\"boom\",\"error_kind\":\"timeout\"}\n"))
+	f.Add([]byte(`{"name": nonsense`))
+	f.Add([]byte("\n\n  \n"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`"just a string"`))
+	f.Add([]byte(`{"name":"dup"}` + "\n" + `{"name":"dup"}` + "\n"))
+	f.Add([]byte(`{"name":"a","metrics":{"checksum":-1},"implementations":[{"tech":"cntfet32"}]}`))
+	f.Add(bytes.Repeat([]byte("x"), 70<<10))                // one over-long unterminated token
+	f.Add([]byte(strings.Repeat("{\"name\":\"r\"}\n", 64))) // many rows
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := 0
+		err := scanRows(bytes.NewReader(data), func(jr bench.JobReport) bool {
+			rows++
+			return true
+		})
+		if err == nil && rows == 0 && len(bytes.TrimSpace(data)) > 0 {
+			// Every non-blank line must either decode into a row or
+			// stop the scan with an error; swallowing peer bytes
+			// silently would let a dying peer's suite "succeed" short.
+			t.Fatalf("input %.80q produced neither rows nor an error", data)
+		}
+		if err != nil && len(bytes.TrimSpace(data)) == 0 {
+			t.Fatalf("blank input errored: %v", err)
+		}
+
+		// The early-stop path must never error: the first row decided.
+		stopped := 0
+		if stopErr := scanRows(bytes.NewReader(data), func(bench.JobReport) bool {
+			stopped++
+			return false
+		}); stopped > 0 && stopErr != nil {
+			t.Fatalf("satisfied scan still errored: %v", stopErr)
+		}
+		if stopped > 1 {
+			t.Fatalf("scan continued after the handler was satisfied (%d rows)", stopped)
+		}
+	})
+}

@@ -163,3 +163,87 @@ func TestMixedShardSetStream(t *testing.T) {
 		t.Errorf("stream saw %d local outcomes and %d remote reports, want 2 and 2", outcomes, reports)
 	}
 }
+
+// TestBalancerFleetSurvivesDeadPeer is the fleet-level acceptance pin
+// of the failover scheduler: a Balancer fronting one live remote peer
+// (a real httptest art9-serve), one peer that is already dead, and one
+// local engine must complete the whole manifest with sorted rows
+// byte-identical to a purely local run — the dead peer's jobs re-run on
+// the survivors — and must record the failovers it performed.
+func TestBalancerFleetSurvivesDeadPeer(t *testing.T) {
+	m := &bench.Manifest{
+		Technologies: []string{"cntfet32"},
+		Jobs: []bench.ManifestJob{
+			{Name: "bubble", Workload: "bubble"},
+			{Name: "gemm", Workload: "gemm"},
+			{Name: "sobel", Workload: "sobel"},
+			{Name: "dhrystone", Workload: "dhrystone"},
+			{Name: "strsearch", Workload: "strsearch"},
+			{Name: "inline", Source: "li a0, 21\nadd a0, a0, a0\nebreak", Iterations: 2},
+		},
+	}
+	techs, err := m.ResolveTechnologies()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	peerSrv, err := serve.New(serve.Config{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peerTS := httptest.NewServer(peerSrv.Handler())
+	defer func() {
+		peerTS.Close()
+		peerSrv.Close()
+	}()
+	live, err := remote.New(peerTS.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A peer that died before the batch: grab a URL, then close it.
+	deadTS := httptest.NewServer(nil)
+	deadURL := deadTS.URL
+	deadTS.Close()
+	dead, err := remote.New(deadURL, remote.WithRetries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fleet := engine.NewBalancer(engine.BalancerOptions{HealthInterval: -1},
+		live, dead, engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
+	defer fleet.Close()
+	local := engine.New(engine.Options{Workers: 2, PrivateCaches: true})
+	defer local.Close()
+
+	fleetRows := suiteRows(t, fleet, m, techs)
+	localRows := suiteRows(t, local, m, techs)
+
+	if len(fleetRows) != len(m.Jobs) {
+		t.Fatalf("fleet run yielded %d rows, want %d", len(fleetRows), len(m.Jobs))
+	}
+	for i := range localRows {
+		if !bytes.Equal([]byte(fleetRows[i]), []byte(localRows[i])) {
+			t.Errorf("sorted row %d differs:\n fleet: %s\n local: %s", i, fleetRows[i], localRows[i])
+		}
+	}
+
+	var deadHealth engine.BackendHealth
+	for _, h := range fleet.Health() {
+		if h.Name == deadURL {
+			deadHealth = h
+		}
+	}
+	if deadHealth.Name == "" {
+		t.Fatal("dead peer missing from the balancer's health scorecards")
+	}
+	if deadHealth.Failovers == 0 {
+		t.Error("no failovers recorded for the dead peer, though the suite completed")
+	}
+	if deadHealth.Healthy {
+		t.Error("dead peer still marked healthy after failing its jobs")
+	}
+	if fleet.Retries() == 0 {
+		t.Error("balancer recorded no retries")
+	}
+}

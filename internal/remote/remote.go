@@ -49,6 +49,13 @@ import (
 // Client without a serializable spec (engine.Job.Spec).
 var ErrNotRemotable = errors.New("remote: job carries no serializable spec")
 
+// ErrStatsUnavailable marks a failed peer stats scrape: the peer was
+// unreachable, answered a non-200, or sent a malformed body. PeerStats
+// wraps every failure with it, and Stats — whose Evaluator signature
+// cannot carry an error — records it for StatsErr instead of silently
+// hiding the transport failure behind the local-counter fallback.
+var ErrStatsUnavailable = errors.New("remote: peer stats unavailable")
+
 // maxRow bounds one NDJSON line from the peer.
 const maxRow = 1 << 20
 
@@ -92,6 +99,11 @@ type Client struct {
 
 	closed atomic.Bool
 
+	// statsMu guards lastStatsErr, the outcome of the most recent
+	// Stats() scrape (see StatsErr).
+	statsMu      sync.Mutex
+	lastStatsErr error
+
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
@@ -100,7 +112,10 @@ type Client struct {
 	streams   atomic.Uint64
 }
 
-var _ engine.Evaluator = (*Client)(nil)
+var (
+	_ engine.Evaluator = (*Client)(nil)
+	_ engine.Prober    = (*Client)(nil)
+)
 
 // New builds a client for one art9-serve base URL (e.g.
 // "http://host:9009"). The URL is validated here so a misconfigured
@@ -176,16 +191,55 @@ func (c *Client) Stream(ctx context.Context, jobs []engine.Job) <-chan engine.Re
 }
 
 // Stats scrapes the peer's /v1/stats and reports the peer's engine
-// counters — the fleet view a front end aggregates. When the peer is
-// unreachable it falls back to this client's local counters (Workers 0,
-// marking the shard as contributing no live pool).
+// counters — the fleet view a front end aggregates. When the scrape
+// fails it falls back to this client's local counters (Workers 0,
+// marking the shard as contributing no live pool) and records the
+// typed failure for StatsErr, so a fallback is observable rather than
+// silently indistinguishable from a healthy scrape.
 func (c *Client) Stats() engine.Stats {
 	ctx, cancel := context.WithTimeout(context.Background(), c.statsTimeout)
 	defer cancel()
-	if st, err := c.PeerStats(ctx); err == nil {
-		return st
+	st, err := c.PeerStats(ctx)
+	c.statsMu.Lock()
+	c.lastStatsErr = err
+	c.statsMu.Unlock()
+	if err != nil {
+		return c.LocalStats()
 	}
-	return c.LocalStats()
+	return st
+}
+
+// StatsErr returns the outcome of the most recent Stats scrape: nil
+// after a clean peer scrape, an ErrStatsUnavailable-wrapped error when
+// Stats fell back to local counters. It is nil before the first scrape.
+func (c *Client) StatsErr() error {
+	c.statsMu.Lock()
+	defer c.statsMu.Unlock()
+	return c.lastStatsErr
+}
+
+// Probe answers the engine.Prober liveness check with a GET
+// /v1/healthz, bounded by ctx. A closed client reports engine.ErrClosed
+// without touching the network; an unreachable or unhealthy peer
+// reports an engine.ErrUnavailable-wrapped error.
+func (c *Client) Probe(ctx context.Context) error {
+	if c.closed.Load() {
+		return engine.ErrClosed
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/healthz", nil)
+	if err != nil {
+		return fmt.Errorf("remote %s: healthz: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("remote %s: healthz: %w: %w", c.base, engine.ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("remote %s: healthz: %w: %s", c.base, engine.ErrUnavailable, resp.Status)
+	}
+	return nil
 }
 
 // LocalStats returns the counters of work submitted through this client
@@ -210,17 +264,17 @@ func (c *Client) PeerStats(ctx context.Context) (engine.Stats, error) {
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return engine.Stats{}, fmt.Errorf("remote %s: stats: %w", c.base, err)
+		return engine.Stats{}, fmt.Errorf("%w (%s): %w", ErrStatsUnavailable, c.base, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return engine.Stats{}, fmt.Errorf("remote %s: stats: %s", c.base, resp.Status)
+		return engine.Stats{}, fmt.Errorf("%w (%s): %s", ErrStatsUnavailable, c.base, resp.Status)
 	}
 	var body struct {
 		Engine bench.EngineReport `json:"engine"`
 	}
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&body); err != nil {
-		return engine.Stats{}, fmt.Errorf("remote %s: stats: %w", c.base, err)
+		return engine.Stats{}, fmt.Errorf("%w (%s): decode: %w", ErrStatsUnavailable, c.base, err)
 	}
 	return engine.Stats{
 		Workers:   body.Engine.Workers,
@@ -315,8 +369,12 @@ func (c *Client) evalOne(ctx context.Context, j engine.Job, spec *bench.JobSpec)
 	}
 	var jr bench.JobReport
 	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&jr); err != nil {
-		c.failed.Add(1)
-		return engine.Result{ID: j.ID, Err: fmt.Errorf("remote %s: decode report: %w", c.base, err), Worker: -1}
+		// A truncated or garbled 200 body is transport-class (the peer
+		// died mid-response), so classify it retryable like a severed
+		// stream.
+		err = c.classify(ctx, fmt.Errorf("remote %s: decode report: %w", c.base, err))
+		c.countFailure(err)
+		return engine.Result{ID: j.ID, Err: err, Worker: -1}
 	}
 	return c.rowResult(j.ID, &jr)
 }
@@ -435,34 +493,21 @@ func (c *Client) suitePost(ctx context.Context, techs []string, entries []wireEn
 		return
 	}
 
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 64<<10), maxRow)
-	var streamErr error
-	for len(pending) > 0 && sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var jr bench.JobReport
-		if err := json.Unmarshal(line, &jr); err != nil {
-			streamErr = fmt.Errorf("remote %s: malformed NDJSON row %.80q: %w", c.base, line, err)
-			break
-		}
+	streamErr := scanRows(resp.Body, func(jr bench.JobReport) bool {
 		p, ok := pending[jr.Name]
 		if !ok {
 			// A row for a job we never sent (or already resolved):
 			// ignore it rather than mis-crediting some other job.
-			continue
+			return true
 		}
 		delete(pending, jr.Name)
 		row := jr
 		row.Name = p.name // undo any wire-level "#n" deduplication
 		emit(p.index, c.rowResult(jobs[p.index].ID, &row))
-	}
-	if streamErr == nil {
-		if err := sc.Err(); err != nil {
-			streamErr = fmt.Errorf("remote %s: suite stream: %w", c.base, err)
-		}
+		return len(pending) > 0
+	})
+	if streamErr != nil {
+		streamErr = fmt.Errorf("remote %s: suite stream: %w", c.base, streamErr)
 	}
 	if len(pending) > 0 {
 		if streamErr == nil {
@@ -470,6 +515,31 @@ func (c *Client) suitePost(ctx context.Context, techs []string, entries []wireEn
 		}
 		c.fail(jobs, pending, emit, c.classify(ctx, streamErr))
 	}
+}
+
+// scanRows consumes an NDJSON report stream, calling fn for each
+// decoded row until fn returns false (the caller is satisfied) or the
+// input ends. Blank lines are skipped; a malformed row or an over-long
+// line (> maxRow) stops the scan with an error. This is the one row
+// parser of the client, extracted so it can be fuzzed directly against
+// arbitrary peer bytes.
+func scanRows(r io.Reader, fn func(bench.JobReport) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxRow)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var jr bench.JobReport
+		if err := json.Unmarshal(line, &jr); err != nil {
+			return fmt.Errorf("malformed NDJSON row %.80q: %w", line, err)
+		}
+		if !fn(jr) {
+			return nil
+		}
+	}
+	return sc.Err()
 }
 
 // wireJobOf renders one job as the manifest entry shipped to the peer:
@@ -500,13 +570,17 @@ func (c *Client) rowResult(id string, jr *bench.JobReport) engine.Result {
 		return r
 	}
 	c.failed.Add(1)
-	// Re-type the two classified failures so errors.Is works the same
-	// whether the job failed in-process or in a peer's NDJSON row.
+	// Re-type the classified failures so errors.Is works the same
+	// whether the job failed in-process or in a peer's NDJSON row —
+	// "unavailable" in particular keeps failover composing across
+	// serve→serve tiers (an upper Balancer re-runs the job elsewhere).
 	switch jr.ErrorKind {
 	case "closed":
 		r.Err = fmt.Errorf("remote %s: job %q: %w: %s", c.base, jr.Name, engine.ErrClosed, jr.Error)
 	case "timeout":
 		r.Err = fmt.Errorf("remote %s: job %q: %w: %s", c.base, jr.Name, engine.ErrTimeout, jr.Error)
+	case "unavailable":
+		r.Err = fmt.Errorf("remote %s: job %q: %w: %s", c.base, jr.Name, engine.ErrUnavailable, jr.Error)
 	default:
 		r.Err = fmt.Errorf("remote %s: job %q: %s", c.base, jr.Name, jr.Error)
 	}
@@ -533,30 +607,43 @@ func (c *Client) countFailure(err error) {
 }
 
 // classify folds the caller's context ending into the context's own
-// error, counting it canceled; anything else is a peer failure.
+// error; anything else is a peer failure, wrapped with
+// engine.ErrUnavailable (unless already carrying a typed verdict) so a
+// Balancer knows the job itself never got a verdict and may be re-run
+// on another backend.
 func (c *Client) classify(ctx context.Context, err error) error {
 	if ctxErr := ctx.Err(); ctxErr != nil {
 		return fmt.Errorf("remote %s: %w", c.base, ctxErr)
 	}
-	return err
+	if errors.Is(err, engine.ErrClosed) || errors.Is(err, engine.ErrTimeout) ||
+		errors.Is(err, engine.ErrUnavailable) || errors.Is(err, ErrNotRemotable) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", engine.ErrUnavailable, err)
 }
 
-// statusErr renders a non-200 peer response, unwrapping the two typed
-// conditions the serve layer maps: 503 (peer draining/closed) and 504
-// (peer-side evaluation timeout).
+// statusErr renders a non-200 peer response, unwrapping the typed
+// conditions the serve layer maps: 503 (peer draining/closed, or —
+// when the body's error_kind says "unavailable" — a peer whose own
+// backends are unreachable) and 504 (peer-side evaluation timeout).
+// Distinguishing the two 503 kinds keeps errors.Is answers identical
+// across serve→serve tiers.
 func (c *Client) statusErr(resp *http.Response) error {
 	var body struct {
-		Error string `json:"error"`
+		Error     string `json:"error"`
+		ErrorKind string `json:"error_kind"`
 	}
 	json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&body)
 	msg := body.Error
 	if msg == "" {
 		msg = resp.Status
 	}
-	switch resp.StatusCode {
-	case http.StatusServiceUnavailable:
+	switch {
+	case resp.StatusCode == http.StatusServiceUnavailable && body.ErrorKind == "unavailable":
+		return fmt.Errorf("remote %s: %w: %s", c.base, engine.ErrUnavailable, msg)
+	case resp.StatusCode == http.StatusServiceUnavailable:
 		return fmt.Errorf("remote %s: %w: %s", c.base, engine.ErrClosed, msg)
-	case http.StatusGatewayTimeout:
+	case resp.StatusCode == http.StatusGatewayTimeout:
 		return fmt.Errorf("remote %s: %w: %s", c.base, engine.ErrTimeout, msg)
 	default:
 		return fmt.Errorf("remote %s: peer returned %d: %s", c.base, resp.StatusCode, msg)
@@ -615,6 +702,27 @@ func SplitPeerList(s string) []string {
 	return out
 }
 
+// BackendConfig describes the backend topology NewBackendWith builds —
+// the one place the composition rules live so art9.New and serve.New
+// cannot drift.
+type BackendConfig struct {
+	// Shards is the number of local engines (0: one, unless Peers makes
+	// a proxy-only topology meaningful).
+	Shards int
+	// Engine configures each local shard.
+	Engine engine.Options
+	// Peers lists art9-serve base URLs, one remote Client each.
+	Peers []string
+	// Failover fronts the backends with a health-aware engine.Balancer
+	// (least-loaded dispatch, probe loop, job-level failover) instead of
+	// the round-robin ShardSet.
+	Failover bool
+	// HealthInterval and MaxRetries tune the Balancer (engine defaults
+	// apply at zero); ignored without Failover.
+	HealthInterval time.Duration
+	MaxRetries     int
+}
+
 // NewBackend assembles the standard backend topology shared by art9.New
 // and serve.New: localShards engines configured by opts plus one Client
 // per peer URL, composed behind a ShardSet when there is more than one
@@ -622,18 +730,26 @@ func SplitPeerList(s string) []string {
 // solitary local pool keeps the process-wide shared caches. With zero
 // shards and zero peers it falls back to one local engine.
 func NewBackend(localShards int, opts engine.Options, peers []string) (engine.Evaluator, error) {
+	return NewBackendWith(BackendConfig{Shards: localShards, Engine: opts, Peers: peers})
+}
+
+// NewBackendWith is NewBackend with the full topology configuration,
+// including the health-aware failover front.
+func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
+	localShards := cfg.Shards
 	if localShards < 0 {
 		localShards = 0
 	}
-	if localShards == 0 && len(peers) == 0 {
+	if localShards == 0 && len(cfg.Peers) == 0 {
 		localShards = 1
 	}
-	opts.PrivateCaches = localShards+len(peers) > 1
+	opts := cfg.Engine
+	opts.PrivateCaches = localShards+len(cfg.Peers) > 1
 	var backends []engine.Evaluator
 	for i := 0; i < localShards; i++ {
 		backends = append(backends, engine.New(opts))
 	}
-	for _, p := range peers {
+	for _, p := range cfg.Peers {
 		client, err := New(p)
 		if err != nil {
 			for _, b := range backends {
@@ -642,6 +758,12 @@ func NewBackend(localShards int, opts engine.Options, peers []string) (engine.Ev
 			return nil, err
 		}
 		backends = append(backends, client)
+	}
+	if cfg.Failover {
+		return engine.NewBalancer(engine.BalancerOptions{
+			MaxRetries:     cfg.MaxRetries,
+			HealthInterval: cfg.HealthInterval,
+		}, backends...), nil
 	}
 	if len(backends) == 1 {
 		return backends[0], nil

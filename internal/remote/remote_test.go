@@ -646,3 +646,194 @@ func TestStatsScrape(t *testing.T) {
 		t.Errorf("fallback stats %+v, want zeroed local counters", st)
 	}
 }
+
+// TestStatsScrapeFailureIsTyped pins the fixed latent bug: a failed
+// /v1/stats scrape must not vanish behind the local-counter fallback —
+// PeerStats wraps it in ErrStatsUnavailable and Stats records it for
+// StatsErr, clearing it again after a clean scrape.
+func TestStatsScrapeFailureIsTyped(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/stats" {
+			fmt.Fprint(w, `{"engine":{"workers":7,"submitted":3}}`)
+		}
+	}))
+	c := mustClient(t, ts.URL, remote.WithRetries(0))
+
+	// Healthy scrape: typed error absent.
+	if st := c.Stats(); st.Workers != 7 {
+		t.Fatalf("scraped stats %+v, want workers 7", st)
+	}
+	if err := c.StatsErr(); err != nil {
+		t.Fatalf("StatsErr after clean scrape = %v, want nil", err)
+	}
+
+	// Dead peer: fallback to local counters plus a typed, visible error.
+	ts.Close()
+	if _, err := c.PeerStats(context.Background()); !errors.Is(err, remote.ErrStatsUnavailable) {
+		t.Errorf("PeerStats error %v, want ErrStatsUnavailable", err)
+	}
+	if st := c.Stats(); st.Workers != 0 {
+		t.Errorf("fallback stats %+v, want local view (workers 0)", st)
+	}
+	if err := c.StatsErr(); !errors.Is(err, remote.ErrStatsUnavailable) {
+		t.Errorf("StatsErr after failed scrape = %v, want ErrStatsUnavailable", err)
+	}
+}
+
+// TestStatsScrapeBadBodyIsTyped covers the non-transport failure modes:
+// a non-200 status and a malformed body are ErrStatsUnavailable too.
+func TestStatsScrapeBadBodyIsTyped(t *testing.T) {
+	status := atomic.Int32{}
+	status.Store(http.StatusInternalServerError)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		code := int(status.Load())
+		w.WriteHeader(code)
+		if code == http.StatusOK {
+			fmt.Fprint(w, `{"engine": nonsense`)
+		}
+	}))
+	defer ts.Close()
+	c := mustClient(t, ts.URL)
+
+	if _, err := c.PeerStats(context.Background()); !errors.Is(err, remote.ErrStatsUnavailable) {
+		t.Errorf("non-200 scrape error %v, want ErrStatsUnavailable", err)
+	}
+	status.Store(http.StatusOK)
+	if _, err := c.PeerStats(context.Background()); !errors.Is(err, remote.ErrStatsUnavailable) {
+		t.Errorf("malformed-body scrape error %v, want ErrStatsUnavailable", err)
+	}
+}
+
+// TestProbe pins the Prober surface: 200 healthz is healthy, a dead
+// peer is ErrUnavailable, a closed client is ErrClosed without network.
+func TestProbe(t *testing.T) {
+	var path atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		path.Store(r.URL.Path)
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	c := mustClient(t, ts.URL)
+	if err := c.Probe(context.Background()); err != nil {
+		t.Fatalf("probe against live peer: %v", err)
+	}
+	if p, _ := path.Load().(string); p != "/v1/healthz" {
+		t.Errorf("probe hit %q, want /v1/healthz", p)
+	}
+
+	ts.Close()
+	if err := c.Probe(context.Background()); !errors.Is(err, engine.ErrUnavailable) {
+		t.Errorf("probe against dead peer = %v, want ErrUnavailable", err)
+	}
+
+	c.Close()
+	if err := c.Probe(context.Background()); !errors.Is(err, engine.ErrClosed) {
+		t.Errorf("probe on closed client = %v, want ErrClosed", err)
+	}
+}
+
+// TestTransportFailuresAreUnavailable pins the failover contract: every
+// transport-class failure — dead peer at dial, severed mid-stream,
+// truncated eval body — wraps engine.ErrUnavailable so a Balancer
+// re-runs the job, while a caller's cancellation does not.
+func TestTransportFailuresAreUnavailable(t *testing.T) {
+	t.Run("dial", func(t *testing.T) {
+		ts := httptest.NewServer(nil)
+		url := ts.URL
+		ts.Close()
+		c := mustClient(t, url, remote.WithRetries(0))
+		rs, _ := c.Run(context.Background(), []engine.Job{specJob("a")})
+		if !errors.Is(rs[0].Err, engine.ErrUnavailable) {
+			t.Errorf("dial failure %v, want ErrUnavailable", rs[0].Err)
+		}
+	})
+
+	t.Run("mid-stream", func(t *testing.T) {
+		ts := httptest.NewServer(ndjsonHandler([]string{okRow("a")},
+			func(http.ResponseWriter, *http.Request) { panic(http.ErrAbortHandler) }))
+		defer ts.Close()
+		c := mustClient(t, ts.URL)
+		byID := map[string]engine.Result{}
+		for r := range c.Stream(context.Background(), []engine.Job{specJob("a"), specJob("b")}) {
+			byID[r.ID] = r
+		}
+		if byID["a"].Err != nil {
+			t.Errorf("flushed row a failed: %v", byID["a"].Err)
+		}
+		if !errors.Is(byID["b"].Err, engine.ErrUnavailable) {
+			t.Errorf("severed-stream failure %v, want ErrUnavailable", byID["b"].Err)
+		}
+	})
+
+	t.Run("cancel-is-not-unavailable", func(t *testing.T) {
+		release := make(chan struct{})
+		defer close(release)
+		ts := httptest.NewServer(ndjsonHandler(nil,
+			func(w http.ResponseWriter, r *http.Request) {
+				select {
+				case <-r.Context().Done():
+				case <-release:
+				}
+			}))
+		defer ts.Close()
+		c := mustClient(t, ts.URL)
+		ctx, cancel := context.WithCancel(context.Background())
+		out := c.Stream(ctx, []engine.Job{specJob("a"), specJob("b")})
+		cancel()
+		for r := range out {
+			if engine.Retryable(r.Err) {
+				t.Errorf("cancelled job %s classified retryable (%v) — a balancer would re-run it", r.ID, r.Err)
+			}
+			if !errors.Is(r.Err, context.Canceled) {
+				t.Errorf("cancelled job %s error %v, want context.Canceled", r.ID, r.Err)
+			}
+		}
+	})
+}
+
+// TestUnavailableKindSurvivesSuiteRows pins the tier-composition wire
+// contract: a peer row classified "unavailable" re-types to
+// engine.ErrUnavailable on this side, so an upper balancer treats the
+// failure as retryable and re-runs the job on another front.
+func TestUnavailableKindSurvivesSuiteRows(t *testing.T) {
+	row := `{"name":"a","ok":false,"error":"leaf died","error_kind":"unavailable","worker":-1}`
+	ts := httptest.NewServer(ndjsonHandler([]string{row}, nil))
+	defer ts.Close()
+
+	c := mustClient(t, ts.URL)
+	rs, _ := c.Run(context.Background(), []engine.Job{specJob("a"), specJob("b")})
+	if !errors.Is(rs[0].Err, engine.ErrUnavailable) {
+		t.Errorf("unavailable row error %v, want engine.ErrUnavailable", rs[0].Err)
+	}
+	if !engine.Retryable(rs[0].Err) {
+		t.Error("unavailable row not classified retryable — tiered failover would drop the job")
+	}
+}
+
+// TestUnavailableKindSurvives503 pins the typed-error round trip on the
+// single-job path: a 503 whose body carries error_kind "unavailable"
+// (a front whose own backends are unreachable) re-types to
+// engine.ErrUnavailable, while a bare 503 stays ErrClosed.
+func TestUnavailableKindSurvives503(t *testing.T) {
+	kind := atomic.Value{}
+	kind.Store("unavailable")
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		if k, _ := kind.Load().(string); k != "" {
+			fmt.Fprintf(w, `{"error":"backends down","error_kind":%q}`, k)
+			return
+		}
+		fmt.Fprint(w, `{"error":"draining"}`)
+	}))
+	defer ts.Close()
+	c := mustClient(t, ts.URL)
+
+	rs, _ := c.Run(context.Background(), []engine.Job{specJob("a")})
+	if !errors.Is(rs[0].Err, engine.ErrUnavailable) {
+		t.Errorf("503+unavailable error %v, want engine.ErrUnavailable", rs[0].Err)
+	}
+	kind.Store("")
+	rs, _ = c.Run(context.Background(), []engine.Job{specJob("b")})
+	if !errors.Is(rs[0].Err, engine.ErrClosed) || errors.Is(rs[0].Err, engine.ErrUnavailable) {
+		t.Errorf("bare 503 error %v, want engine.ErrClosed only", rs[0].Err)
+	}
+}

@@ -68,15 +68,29 @@ type Config struct {
 	// jobs out to alongside the local shards (serve→serve proxying).
 	// Do not point a fleet at itself — a cycle proxies forever.
 	Peers []string
+	// Failover fronts the backends with a health-aware engine.Balancer:
+	// least-loaded dispatch, a periodic health-probe loop, and job-level
+	// failover re-running jobs a dying backend dropped. Without it the
+	// backends sit behind the round-robin ShardSet.
+	Failover bool
+	// HealthInterval is the Balancer's probe period and MaxRetries its
+	// per-job failover budget (engine defaults at zero); both ignored
+	// without Failover.
+	HealthInterval time.Duration
+	MaxRetries     int
 }
 
 // Server owns an Evaluator backend and serves the /v1 API. Create with
 // New, mount via Handler, release with Close.
 type Server struct {
-	backend  engine.Evaluator
-	peers    int
-	started  time.Time
-	requests atomic.Uint64
+	backend engine.Evaluator
+	peers   int
+	// jobTimeout is Config.JobTimeout, stamped onto jobs that carry no
+	// bound of their own so the deadline rides the wire spec to peer
+	// backends — the engine option only covers local shards.
+	jobTimeout time.Duration
+	started    time.Time
+	requests   atomic.Uint64
 }
 
 // New starts the evaluation back end: local engine shards, remote
@@ -85,20 +99,38 @@ type Server struct {
 // for the server's lifetime, so every request after the first reuses
 // prior work. Fails only on an invalid peer URL.
 func New(cfg Config) (*Server, error) {
-	// remote.NewBackend owns the defaulting (one local shard unless
-	// peers make a proxy-only topology meaningful).
-	backend, err := remote.NewBackend(cfg.Shards, engine.Options{
-		Workers:    cfg.Workers,
-		JobTimeout: cfg.JobTimeout,
-	}, cfg.Peers)
+	// remote.NewBackendWith owns the defaulting (one local shard unless
+	// peers make a proxy-only topology meaningful) and the failover
+	// composition.
+	backend, err := remote.NewBackendWith(remote.BackendConfig{
+		Shards: cfg.Shards,
+		Engine: engine.Options{
+			Workers:    cfg.Workers,
+			JobTimeout: cfg.JobTimeout,
+		},
+		Peers:          cfg.Peers,
+		Failover:       cfg.Failover,
+		HealthInterval: cfg.HealthInterval,
+		MaxRetries:     cfg.MaxRetries,
+	})
 	if err != nil {
 		return nil, err
 	}
+	s := NewWithBackend(backend)
+	s.peers = len(cfg.Peers)
+	s.jobTimeout = cfg.JobTimeout
+	return s, nil
+}
+
+// NewWithBackend wraps a caller-supplied Evaluator — any topology, e.g.
+// a Balancer mixing custom backends — and takes ownership of it (the
+// server's Close closes it). Fault-injection tests use it to serve
+// suites from scripted backends.
+func NewWithBackend(backend engine.Evaluator) *Server {
 	return &Server{
 		backend: backend,
-		peers:   len(cfg.Peers),
 		started: time.Now(),
-	}, nil
+	}
 }
 
 // Backend exposes the evaluation backend (stats drill-down, tests).
@@ -117,8 +149,8 @@ func (s *Server) Shards() *engine.ShardSet {
 // shardCount reports how many shards the backend spans (1 for a
 // non-composite backend).
 func (s *Server) shardCount() int {
-	if ss, ok := s.backend.(*engine.ShardSet); ok {
-		return ss.Shards()
+	if c, ok := s.backend.(engine.Composite); ok {
+		return c.Size()
 	}
 	return 1
 }
@@ -126,10 +158,7 @@ func (s *Server) shardCount() int {
 // shardStats reports per-shard counters (one entry for a non-composite
 // backend).
 func (s *Server) shardStats() []engine.Stats {
-	if ss, ok := s.backend.(*engine.ShardSet); ok {
-		return ss.ShardStats()
-	}
-	return []engine.Stats{s.backend.Stats()}
+	return engine.BackendStats(s.backend)
 }
 
 // Close stops the backend. In-flight jobs finish, queued jobs resolve
@@ -155,13 +184,16 @@ type EvalRequest struct {
 	Technologies []string `json:"technologies,omitempty"`
 }
 
-// StatsReply is the GET /v1/stats body.
+// StatsReply is the GET /v1/stats body. Balancer is present exactly
+// when the backend is a health-aware Balancer: one scorecard per
+// backend with dispatch/failover/probe counters.
 type StatsReply struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Requests      uint64             `json:"requests"`
-	Engine        bench.EngineReport `json:"engine"`
-	ShardStats    []engine.Stats     `json:"shard_stats"`
-	Cache         bench.CacheReport  `json:"cache"`
+	UptimeSeconds float64                `json:"uptime_seconds"`
+	Requests      uint64                 `json:"requests"`
+	Engine        bench.EngineReport     `json:"engine"`
+	ShardStats    []engine.Stats         `json:"shard_stats"`
+	Cache         bench.CacheReport      `json:"cache"`
+	Balancer      []engine.BackendHealth `json:"balancer,omitempty"`
 }
 
 // healthzReply is the GET /v1/healthz body. Workers counts local pool
@@ -172,6 +204,9 @@ type healthzReply struct {
 	Shards  int    `json:"shards"`
 	Workers int    `json:"workers"`
 	Peers   int    `json:"peers,omitempty"`
+	// Failover reports whether a health-aware Balancer fronts the
+	// backends; its per-backend scorecards live in /v1/stats.
+	Failover bool `json:"failover,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -180,12 +215,26 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		methodNotAllowed(w, http.MethodGet)
 		return
 	}
-	writeJSON(w, http.StatusOK, healthzReply{
+	reply := healthzReply{
 		Status:  "ok",
 		Shards:  s.shardCount(),
 		Workers: engine.LocalStats(s.backend).Workers,
 		Peers:   s.peers,
-	})
+	}
+	status := http.StatusOK
+	// A Balancer front answers with its tracked aggregate verdict — no
+	// network, so liveness still never blocks on a peer — and a front
+	// whose backends are all down reports 503: an upper failover tier
+	// probing this endpoint then routes around the whole front, which
+	// is how balancers nest across serve→serve tiers.
+	if bal, ok := s.backend.(*engine.Balancer); ok {
+		reply.Failover = true
+		if err := bal.Probe(r.Context()); err != nil {
+			reply.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	}
+	writeJSON(w, status, reply)
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -202,13 +251,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, st := range per {
 		total = total.Add(st)
 	}
-	writeJSON(w, http.StatusOK, StatsReply{
+	reply := StatsReply{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Requests:      s.requests.Load(),
 		Engine:        bench.EngineReportFrom(total, s.shardCount()),
 		ShardStats:    per,
 		Cache:         bench.SharedCacheReport(),
-	})
+	}
+	if bal, ok := s.backend.(*engine.Balancer); ok {
+		reply.Balancer = bal.Health()
+	}
+	writeJSON(w, http.StatusOK, reply)
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -243,18 +296,21 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		jobs[0].Timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
+	bench.ApplyJobTimeout(jobs, s.jobTimeout)
 	results, _ := s.backend.Run(r.Context(), jobs)
 	res := results[0]
-	// The two typed evaluation failures get distinct statuses: a
-	// draining/closed backend is 503 (retry elsewhere), a per-job
-	// timeout is 504. Everything else is a job-level failure reported
-	// in the 200 row, matching the NDJSON suite contract.
+	// The typed evaluation failures get distinct statuses: a
+	// draining/closed or unavailable backend is 503 (retry elsewhere —
+	// this is what lets an upper failover tier re-run the job on a
+	// different front), a per-job timeout is 504. Everything else is a
+	// job-level failure reported in the 200 row, matching the NDJSON
+	// suite contract.
 	switch {
-	case errors.Is(res.Err, engine.ErrClosed):
-		writeError(w, http.StatusServiceUnavailable, res.Err)
+	case errors.Is(res.Err, engine.ErrClosed), errors.Is(res.Err, engine.ErrUnavailable):
+		writeTypedError(w, http.StatusServiceUnavailable, res.Err)
 		return
 	case errors.Is(res.Err, engine.ErrTimeout) || errors.Is(res.Err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, res.Err)
+		writeTypedError(w, http.StatusGatewayTimeout, res.Err)
 		return
 	}
 	writeJSON(w, http.StatusOK, bench.JobReportOf(res, techs))
@@ -291,6 +347,7 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	bench.ApplyJobTimeout(jobs, s.jobTimeout)
 	capSharedCaches()
 
 	// Everything below is NDJSON: one JobReport line the moment each
@@ -373,6 +430,17 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// writeTypedError renders an evaluation failure with its wire kind, so
+// a remote client on the next tier up re-types it exactly — "closed"
+// and "unavailable" both travel as 503, and without the kind the
+// client could not tell a draining peer from an unreachable one.
+func writeTypedError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{
+		"error":      err.Error(),
+		"error_kind": bench.ErrorKindOf(err),
+	})
 }
 
 func methodNotAllowed(w http.ResponseWriter, allow string) {

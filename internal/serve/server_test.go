@@ -13,6 +13,8 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/engine/faulttest"
 	"repro/internal/xlate"
 )
 
@@ -529,4 +531,201 @@ func mustWorkload(t *testing.T, name string) bench.Workload {
 		t.Fatalf("workload %q missing from suite", name)
 	}
 	return w
+}
+
+// TestSuiteFailoverSurvivesDyingBackend drives the failover stack
+// through the HTTP surface: the server's backend is a Balancer over a
+// scripted backend that dies after one job and a live local engine.
+// The streamed NDJSON suite must still carry every row, each row's
+// metrics identical to a healthy serial run, and the stats endpoint
+// must expose the nonzero failover scorecard.
+func TestSuiteFailoverSurvivesDyingBackend(t *testing.T) {
+	// Width 2 guarantees the initial burst hands the dying backend two
+	// jobs: one executes, the second trips the scripted death — a
+	// deterministic mid-suite failure under any scheduling.
+	flaky := faulttest.New("dying-leaf").Width(2).FailAfter(1, nil)
+	bal := engine.NewBalancer(engine.BalancerOptions{HealthInterval: -1},
+		flaky, engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
+	s := NewWithBackend(bal)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+
+	// Three copies of each workload: enough jobs that the dying backend
+	// is guaranteed a dispatch after its first job completes (the 4-job
+	// suite can drain through the live engine before that happens).
+	var m bench.Manifest
+	m.Technologies = []string{"cntfet32"}
+	for c := 0; c < 3; c++ {
+		for _, w := range bench.Workloads {
+			m.Jobs = append(m.Jobs, bench.ManifestJob{
+				Name: fmt.Sprintf("%s-%d", w.Name, c), Workload: w.Name})
+		}
+	}
+	body, _ := json.Marshal(m)
+
+	resp, err := http.Post(ts.URL+"/v1/suite", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+
+	got := map[string]bench.JobReport{}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var jr bench.JobReport
+		if err := json.Unmarshal(sc.Bytes(), &jr); err != nil {
+			t.Fatalf("malformed NDJSON line %q: %v", sc.Bytes(), err)
+		}
+		if !jr.OK {
+			t.Fatalf("job %s lost to the dying backend: %s", jr.Name, jr.Error)
+		}
+		got[jr.Name] = jr
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(m.Jobs) {
+		t.Fatalf("streamed %d rows for %d jobs (dropped or duplicated under failover)", len(got), len(m.Jobs))
+	}
+
+	// Byte-identical to a healthy run: every row's metrics must match
+	// the serial oracle exactly (rows are named workload-copy; every
+	// copy of a workload carries its workload's metrics).
+	serial, err := bench.RunAllSerial()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mj := range m.Jobs {
+		jr, ok := got[mj.Name]
+		if !ok {
+			t.Fatalf("job %s missing from failover stream", mj.Name)
+		}
+		o := serial[mj.Workload]
+		wantMetrics, _ := json.Marshal(&bench.MetricsReport{
+			Checksum:   o.Checksum,
+			RVInsts:    o.RVInsts,
+			RVBits:     o.RVBits,
+			ARTInsts:   o.ARTInsts,
+			ARTTrits:   o.ARTTrits,
+			ART9Cycles: o.ART9Cycles,
+			VexCycles:  o.VexCycles,
+			PicoCycles: o.PicoCycles,
+			Removed:    o.Removed,
+		})
+		gotMetrics, _ := json.Marshal(jr.Metrics)
+		if !bytes.Equal(gotMetrics, wantMetrics) {
+			t.Errorf("%s: failover metrics %s != healthy serial %s", mj.Name, gotMetrics, wantMetrics)
+		}
+	}
+
+	// The health scorecard must record the failovers and reach clients
+	// through /v1/stats; /v1/healthz must advertise the failover front.
+	var failovers uint64
+	for _, h := range bal.Health() {
+		failovers += h.Failovers
+	}
+	if failovers == 0 {
+		t.Error("balancer recorded no failovers though its backend died mid-suite")
+	}
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var stats StatsReply
+	if err := json.NewDecoder(statsResp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if len(stats.Balancer) != 2 {
+		t.Fatalf("stats balancer scorecards = %d, want 2", len(stats.Balancer))
+	}
+	var statFailovers uint64
+	for _, h := range stats.Balancer {
+		statFailovers += h.Failovers
+	}
+	if statFailovers == 0 {
+		t.Error("/v1/stats balancer scorecard shows no failovers")
+	}
+	hResp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hResp.Body.Close()
+	var h struct {
+		Failover bool `json:"failover"`
+	}
+	if err := json.NewDecoder(hResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if !h.Failover {
+		t.Error("healthz does not advertise the failover front")
+	}
+}
+
+// TestNewFailoverConfig pins the Config wiring: Failover selects a
+// Balancer backend.
+func TestNewFailoverConfig(t *testing.T) {
+	s, err := New(Config{Shards: 2, Workers: 1, Failover: true, HealthInterval: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, ok := s.Backend().(*engine.Balancer); !ok {
+		t.Fatalf("Failover config built %T, want *engine.Balancer", s.Backend())
+	}
+	if s.shardCount() != 2 {
+		t.Errorf("shardCount = %d, want 2", s.shardCount())
+	}
+}
+
+// TestDegradedFailoverFrontIsVisible pins the tier-composition story: a
+// failover front whose backends are all down answers 503 on both
+// /v1/healthz (so an upper balancer's probe routes around it) and
+// /v1/eval (so an upper tier re-runs the job elsewhere), with the
+// unavailable kind stamped on suite rows.
+func TestDegradedFailoverFrontIsVisible(t *testing.T) {
+	dead := faulttest.New("dead-leaf")
+	bal := engine.NewBalancer(engine.BalancerOptions{HealthInterval: -1, MaxRetries: -1}, dead)
+	s := NewWithBackend(bal)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	dead.Kill(nil)
+	// One failed round marks the backend down reactively.
+	resp, err := http.Post(ts.URL+"/v1/eval", "application/json",
+		strings.NewReader(`{"name":"bubble","workload":"bubble"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("eval against all-dead failover front: status %d, want 503", resp.StatusCode)
+	}
+
+	hResp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hResp.Body.Close()
+	if hResp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz of degraded front: status %d, want 503", hResp.StatusCode)
+	}
+	var h struct {
+		Status string `json:"status"`
+	}
+	if err := json.NewDecoder(hResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Errorf("healthz status %q, want degraded", h.Status)
+	}
 }

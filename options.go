@@ -11,11 +11,14 @@ import (
 type Option func(*evalConfig)
 
 type evalConfig struct {
-	workers    int
-	shards     int
-	queue      int
-	jobTimeout time.Duration
-	peers      []string
+	workers        int
+	shards         int
+	queue          int
+	jobTimeout     time.Duration
+	peers          []string
+	failover       bool
+	healthInterval time.Duration
+	maxRetries     int
 }
 
 // WithWorkers sets the pool size of each local shard (0 selects
@@ -45,6 +48,27 @@ func WithPeers(urls ...string) Option {
 	return func(c *evalConfig) { c.peers = append(c.peers, urls...) }
 }
 
+// WithFailover fronts the backends with a health-aware Balancer instead
+// of the round-robin ShardSet: each job goes to the least-loaded healthy
+// backend (liveness from local state and remote /v1/healthz probes), and
+// jobs dropped by a dying backend — engine-closed results, severed
+// streams, unreachable peers — are re-run on another backend within a
+// bounded retry budget, so a suite completes as long as any backend
+// survives. Tune with WithHealthInterval and WithMaxRetries.
+func WithFailover() Option { return func(c *evalConfig) { c.failover = true } }
+
+// WithHealthInterval sets the failover Balancer's health-probe period
+// (0 selects 2s; negative disables the background loop). Only
+// meaningful with WithFailover.
+func WithHealthInterval(d time.Duration) Option {
+	return func(c *evalConfig) { c.healthInterval = d }
+}
+
+// WithMaxRetries bounds how many times one job is re-dispatched after a
+// backend-level failure (0 selects 2; negative disables failover
+// retries). Only meaningful with WithFailover.
+func WithMaxRetries(n int) Option { return func(c *evalConfig) { c.maxRetries = n } }
+
 // New builds an Evaluator from functional options — the one constructor
 // behind which every backend topology lives:
 //
@@ -54,6 +78,9 @@ func WithPeers(urls ...string) Option {
 //	art9.New(art9.WithPeers("http://h1:9009"))     // remote-only
 //	art9.New(art9.WithShards(2),                   // mixed: 2 local shards
 //	         art9.WithPeers("http://h1:9009"))     //  + 1 remote peer
+//	art9.New(art9.WithFailover(),                  // health-aware fleet with
+//	         art9.WithPeers("http://h1:9009",      //  least-loaded dispatch
+//	                        "http://h2:9009"))     //  and job failover
 //
 // Multiple backends compose behind a ShardSet that partitions batches
 // round-robin and merges completion-order streams. Close the returned
@@ -64,12 +91,19 @@ func New(opts ...Option) (Evaluator, error) {
 	for _, o := range opts {
 		o(&cfg)
 	}
-	// remote.NewBackend owns the composition rules (shard defaulting,
-	// shared vs private caches, ShardSet wrapping) so this constructor
-	// and serve.New cannot drift.
-	return remote.NewBackend(cfg.shards, engine.Options{
-		Workers:    cfg.workers,
-		Queue:      cfg.queue,
-		JobTimeout: cfg.jobTimeout,
-	}, cfg.peers)
+	// remote.NewBackendWith owns the composition rules (shard
+	// defaulting, shared vs private caches, ShardSet or Balancer
+	// wrapping) so this constructor and serve.New cannot drift.
+	return remote.NewBackendWith(remote.BackendConfig{
+		Shards: cfg.shards,
+		Engine: engine.Options{
+			Workers:    cfg.workers,
+			Queue:      cfg.queue,
+			JobTimeout: cfg.jobTimeout,
+		},
+		Peers:          cfg.peers,
+		Failover:       cfg.failover,
+		HealthInterval: cfg.healthInterval,
+		MaxRetries:     cfg.maxRetries,
+	})
 }
