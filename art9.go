@@ -227,6 +227,11 @@ type (
 	// BackendHealth is one balanced backend's dispatch/failover/probe
 	// scorecard, as reported by Balancer.Health and BENCH reports.
 	BackendHealth = engine.BackendHealth
+	// Capacity is a backend's point-in-time load snapshot (live
+	// workers, busy, free, queue depth) — served by GET /v1/capacity,
+	// scraped by the Balancer's probe loop, and used to size chunked
+	// dispatch (New(WithFailover(), WithChunk(n), ...)).
+	Capacity = engine.Capacity
 )
 
 // Typed evaluation errors, for errors.Is across every backend — the

@@ -18,6 +18,13 @@
 //	                                             # on surviving backends; the
 //	                                             # report gains per-backend
 //	                                             # failover counters
+//	art9-batch -failover -chunk 32 -peers ...    # chunked dispatch: up to 32
+//	                                             # jobs per backend travel as
+//	                                             # one acknowledged suite
+//	                                             # stream, sized by scraped
+//	                                             # capacity; a severed chunk
+//	                                             # re-runs only its
+//	                                             # unresolved jobs
 //
 // A manifest names jobs drawn from the built-in suite, inline RV32
 // sources, or assembly files, plus the technologies to evaluate each
@@ -61,9 +68,19 @@ func main() {
 	failover := flag.Bool("failover", false, "health-aware dispatch with job-level failover across the backends")
 	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
 	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
+	chunk := flag.Int("chunk", 0, "failover chunk size: dispatch up to N jobs per backend as one acknowledged suite stream (0: per-job)")
 	timeout := flag.Duration("timeout", 0, "per-job timeout (0: none)")
 	compact := flag.Bool("compact", false, "emit the report without indentation")
 	flag.Parse()
+
+	peerURLs := remote.SplitPeerList(*peers)
+	warn, err := validateFleetFlags(*failover, *chunk, *maxRetries, *healthInterval, *shards, len(peerURLs))
+	if err != nil {
+		fatal(err)
+	}
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "art9-batch: warning:", warn)
+	}
 
 	m, err := bench.LoadManifest(*manifest)
 	if err != nil {
@@ -82,7 +99,6 @@ func main() {
 	// peers too — the engine option below only covers local shards.
 	bench.ApplyJobTimeout(jobs, *timeout)
 
-	peerURLs := remote.SplitPeerList(*peers)
 	opts := []art9.Option{
 		art9.WithWorkers(*workers),
 		art9.WithJobTimeout(*timeout),
@@ -92,7 +108,7 @@ func main() {
 		opts = append(opts, art9.WithShards(*shards))
 	}
 	if *failover {
-		opts = append(opts, art9.WithFailover(),
+		opts = append(opts, art9.WithFailover(), art9.WithChunk(*chunk),
 			art9.WithHealthInterval(*healthInterval), art9.WithMaxRetries(*maxRetries))
 	}
 	ev, err := art9.New(opts...)
@@ -153,6 +169,13 @@ func emit(dest string, rep bench.Report, indent bool) error {
 		return err
 	}
 	return os.WriteFile(dest, raw, 0o644)
+}
+
+// validateFleetFlags applies the shared fleet-flag rules
+// (remote.ValidateFleetFlags) to this CLI's flag values: tuning flags
+// without -failover error out, single-backend failover warns.
+func validateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
+	return remote.ValidateFleetFlags(failover, chunk, maxRetries, healthInterval, shards, peers)
 }
 
 func fatal(err error) {

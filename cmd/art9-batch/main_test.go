@@ -1,0 +1,59 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFleetFlags pins the CLI flag-validation contract: failover
+// tuning flags without -failover are an error naming the flags (never a
+// silent no-op), -failover over a single backend warns, and well-formed
+// topologies pass clean.
+func TestValidateFleetFlags(t *testing.T) {
+	tests := []struct {
+		name           string
+		failover       bool
+		chunk          int
+		maxRetries     int
+		healthInterval time.Duration
+		shards, peers  int
+		wantErr        string
+		wantWarn       string
+	}{
+		{name: "default run is clean"},
+		{name: "chunk without failover", chunk: 8, wantErr: "-chunk"},
+		{name: "max-retries without failover", maxRetries: 3, wantErr: "-max-retries"},
+		{name: "health-interval without failover", healthInterval: time.Second, wantErr: "-health-interval"},
+		{name: "all orphans named together", chunk: 8, maxRetries: 3, healthInterval: time.Second,
+			wantErr: "-chunk, -max-retries, -health-interval"},
+		{name: "negative chunk rejected", failover: true, chunk: -1, peers: 2, wantErr: "-chunk must be >= 0"},
+		{name: "failover with nothing to fail over to", failover: true, wantWarn: "single backend"},
+		{name: "failover with one explicit shard", failover: true, shards: 1, wantWarn: "single backend"},
+		{name: "failover across peers", failover: true, peers: 2},
+		{name: "failover across local shards", failover: true, shards: 2},
+		{name: "chunked failover fleet", failover: true, chunk: 16, maxRetries: 1, peers: 2},
+		{name: "negative tuning values still need failover", maxRetries: -1, healthInterval: -1,
+			wantErr: "-max-retries, -health-interval"},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			warn, err := validateFleetFlags(tt.failover, tt.chunk, tt.maxRetries, tt.healthInterval, tt.shards, tt.peers)
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tt.wantWarn == "" && warn != "" {
+				t.Fatalf("unexpected warning %q", warn)
+			}
+			if tt.wantWarn != "" && !strings.Contains(warn, tt.wantWarn) {
+				t.Fatalf("warning %q, want containing %q", warn, tt.wantWarn)
+			}
+		})
+	}
+}

@@ -16,13 +16,20 @@
 //	                                            # the least-loaded live backend,
 //	                                            # and a dying peer's jobs are
 //	                                            # re-run on the survivors
+//	art9-serve -failover -chunk 32 -peers ...   # chunked dispatch: up to 32
+//	                                            # jobs per peer ride one
+//	                                            # acknowledged suite stream,
+//	                                            # sized by scraped capacity
 //
 // Endpoints:
 //
 //	GET  /v1/healthz  liveness + pool shape
 //	GET  /v1/stats    engine + cache counters
+//	GET  /v1/capacity process-local free workers + queue depth
 //	POST /v1/eval     one job (workload or inline source) → one report
 //	POST /v1/suite    manifest → NDJSON report lines in completion order
+//	                  (?ack=1: start/end acknowledgement rows for chunked
+//	                  failover dispatch)
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
 // requests (bounded by -shutdown-timeout) — each NDJSON stream runs to
@@ -56,9 +63,17 @@ func main() {
 	failover := flag.Bool("failover", false, "health-aware dispatch with job-level failover across the backends")
 	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
 	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
+	chunk := flag.Int("chunk", 0, "failover chunk size: dispatch up to N jobs per backend as one acknowledged suite stream (0: per-job)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
+	warn, err := validateFleetFlags(*failover, *chunk, *maxRetries, *healthInterval, *shards, len(peerURLs))
+	if err != nil {
+		fatal(err)
+	}
+	if warn != "" {
+		fmt.Fprintln(os.Stderr, "art9-serve: warning:", warn)
+	}
 	srv, err := serve.New(serve.Config{
 		Shards:         *shards,
 		Workers:        *workers,
@@ -67,6 +82,7 @@ func main() {
 		Failover:       *failover,
 		HealthInterval: *healthInterval,
 		MaxRetries:     *maxRetries,
+		Chunk:          *chunk,
 	})
 	if err != nil {
 		fatal(err)
@@ -99,6 +115,14 @@ func main() {
 	}
 	srv.Close() // handlers are done submitting; drain the engines
 	fmt.Fprintln(os.Stderr, "art9-serve: stopped")
+}
+
+// validateFleetFlags applies the shared fleet-flag rules
+// (remote.ValidateFleetFlags) to this CLI's flag values — the -shards
+// default of 1 rides in as the shards argument; tuning flags without
+// -failover error out, single-backend failover warns.
+func validateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
+	return remote.ValidateFleetFlags(failover, chunk, maxRetries, healthInterval, shards, peers)
 }
 
 func fatal(err error) {

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestValidateFleetFlags pins the server's flag-validation contract,
+// which differs from art9-batch only in its -shards default (1): the
+// balancer tuning flags require -failover, a single-backend failover
+// topology warns, and multi-backend fleets pass clean.
+func TestValidateFleetFlags(t *testing.T) {
+	tests := []struct {
+		name           string
+		failover       bool
+		chunk          int
+		maxRetries     int
+		healthInterval time.Duration
+		shards, peers  int
+		wantErr        string
+		wantWarn       string
+	}{
+		{name: "default server is clean", shards: 1},
+		{name: "chunk without failover", shards: 1, chunk: 4, wantErr: "-chunk"},
+		{name: "max-retries without failover", shards: 1, maxRetries: 1, wantErr: "-max-retries"},
+		{name: "health-interval without failover", shards: 1, healthInterval: 5 * time.Second,
+			wantErr: "-health-interval"},
+		{name: "negative chunk rejected", failover: true, chunk: -3, peers: 2, wantErr: "-chunk must be >= 0"},
+		{name: "failover on the default single shard", failover: true, shards: 1, wantWarn: "single backend"},
+		{name: "failover proxy-only front", failover: true, shards: 0, peers: 2},
+		{name: "failover mixed fleet", failover: true, shards: 1, peers: 1},
+		{name: "chunked failover fleet", failover: true, chunk: 8, shards: 0, peers: 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			warn, err := validateFleetFlags(tt.failover, tt.chunk, tt.maxRetries, tt.healthInterval, tt.shards, tt.peers)
+			if tt.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tt.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tt.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if tt.wantWarn == "" && warn != "" {
+				t.Fatalf("unexpected warning %q", warn)
+			}
+			if tt.wantWarn != "" && !strings.Contains(warn, tt.wantWarn) {
+				t.Fatalf("warning %q, want containing %q", warn, tt.wantWarn)
+			}
+		})
+	}
+}

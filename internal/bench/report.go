@@ -42,9 +42,17 @@ type BalancerReport struct {
 	// Retries counts re-dispatches (attempts after each job's first);
 	// Failovers counts backend-level failures that caused them, summed
 	// over the backends.
-	Retries   uint64                 `json:"retries"`
-	Failovers uint64                 `json:"failovers"`
-	Backends  []engine.BackendHealth `json:"backends"`
+	Retries   uint64 `json:"retries"`
+	Failovers uint64 `json:"failovers"`
+	// Chunk is the configured chunked-dispatch cap (0: per-job
+	// placement); Chunks counts dispatch units issued and ChunkResumes
+	// the chunks severed mid-stream whose unresolved jobs were
+	// re-chunked onto survivors — the wire-overhead trajectory the
+	// BENCH artifacts track.
+	Chunk        int                    `json:"chunk,omitempty"`
+	Chunks       uint64                 `json:"chunks,omitempty"`
+	ChunkResumes uint64                 `json:"chunk_resumes,omitempty"`
+	Backends     []engine.BackendHealth `json:"backends"`
 }
 
 // BalancerReportFor renders the failover scorecard of a Balancer-fronted
@@ -56,9 +64,12 @@ func BalancerReportFor(ev engine.Evaluator) *BalancerReport {
 		return nil
 	}
 	rep := &BalancerReport{
-		MaxRetries: b.MaxRetries(),
-		Retries:    b.Retries(),
-		Backends:   b.Health(),
+		MaxRetries:   b.MaxRetries(),
+		Retries:      b.Retries(),
+		Chunk:        b.Chunk(),
+		Chunks:       b.Chunks(),
+		ChunkResumes: b.ChunkResumes(),
+		Backends:     b.Health(),
 	}
 	for _, h := range rep.Backends {
 		rep.Failovers += h.Failovers
@@ -162,7 +173,16 @@ func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
 		return jr
 	}
 	o := r.Value.(*Outcome)
-	jr.Metrics = &MetricsReport{
+	jr.Metrics = MetricsReportOf(o)
+	jr.Implementations = ImplReports(o, techs)
+	return jr
+}
+
+// MetricsReportOf renders one outcome's metrics row — the one
+// Outcome→MetricsReport mapping, shared with tests that compare
+// streamed rows against a serial oracle.
+func MetricsReportOf(o *Outcome) *MetricsReport {
+	return &MetricsReport{
 		Checksum:   o.Checksum,
 		RVInsts:    o.RVInsts,
 		RVBits:     o.RVBits,
@@ -173,8 +193,6 @@ func JobReportOf(r engine.Result, techs []*gate.Technology) JobReport {
 		PicoCycles: o.PicoCycles,
 		Removed:    o.Removed,
 	}
-	jr.Implementations = ImplReports(o, techs)
-	return jr
 }
 
 // ErrorKindOf classifies a job failure for the wire ("closed",

@@ -59,8 +59,13 @@ type Balancer struct {
 	// concurrently-placed jobs, so a huge batch doesn't park one cond
 	// waiter per job (see dispatch).
 	slots int
+	// chunk caps one chunked dispatch unit; 0 selects the historical
+	// per-job placement (see dispatchChunked).
+	chunk int
 
-	retries atomic.Uint64
+	retries      atomic.Uint64
+	chunks       atomic.Uint64
+	chunkResumes atomic.Uint64
 
 	// mu guards every member's mutable state plus closed and rr; cond
 	// (on mu) wakes acquire waiters when a slot frees, a probe changes a
@@ -104,6 +109,27 @@ type member struct {
 	failovers     uint64 // backend-level failures: jobs moved away from here
 	probes        uint64
 	probeFailures uint64
+
+	chunks       uint64 // chunks dispatched to this backend
+	chunkResumes uint64 // chunks severed here with unresolved jobs re-queued
+
+	// cap is the most recent capacity scrape (nil until the first one
+	// succeeds); chunk sizing and effective width read it so a busy
+	// peer sheds load before it wedges.
+	cap        *Capacity
+	capScrapes uint64
+}
+
+// freeSlotsLocked reports how many more jobs this member can take right
+// now: its static width — refined down to the live worker count when a
+// capacity scrape has reported one — minus the jobs already in flight.
+// Callers hold b.mu.
+func (m *member) freeSlotsLocked() int {
+	w := m.width
+	if m.cap != nil && m.cap.Workers > 0 && m.cap.Workers < w {
+		w = m.cap.Workers
+	}
+	return w - m.inflight
 }
 
 // setHealthLocked applies a health transition (callers hold b.mu):
@@ -147,7 +173,17 @@ type BackendHealth struct {
 	Failovers     uint64 `json:"failovers"`
 	Probes        uint64 `json:"probes"`
 	ProbeFailures uint64 `json:"probe_failures"`
-	LastError     string `json:"last_error,omitempty"`
+	// Chunks counts chunked dispatch units handed to this backend;
+	// ChunkResumes counts chunks severed here whose unresolved jobs
+	// were re-chunked onto other backends.
+	Chunks       uint64 `json:"chunks,omitempty"`
+	ChunkResumes uint64 `json:"chunk_resumes,omitempty"`
+	// Capacity is the backend's most recent scraped load snapshot (nil
+	// until a probe round's capacity query has succeeded);
+	// CapacityScrapes counts the successful scrapes.
+	Capacity        *Capacity `json:"capacity,omitempty"`
+	CapacityScrapes uint64    `json:"capacity_scrapes,omitempty"`
+	LastError       string    `json:"last_error,omitempty"`
 }
 
 // BalancerOptions tune a Balancer. The zero value selects the defaults
@@ -169,6 +205,15 @@ type BalancerOptions struct {
 	// workers — remote peers, whose pool lives on the other machine
 	// (0 selects 8). Backends with a local pool are capped at its size.
 	Width int
+	// Chunk enables chunked dispatch: up to Chunk jobs travel to a
+	// backend as one dispatch unit — over one /v1/suite NDJSON stream
+	// for backends implementing ChunkDispatcher, one Run batch
+	// otherwise — with per-row acknowledgement, so a severed chunk
+	// re-dispatches only its unresolved jobs. Chunks are sized down by
+	// the backend's free slots and scraped live capacity. 0 (or
+	// negative) selects the historical per-job placement; 1 is
+	// equivalent to it and also dispatches per-job.
+	Chunk int
 }
 
 // Retryable reports whether a job result's error is a backend-level
@@ -203,11 +248,15 @@ func NewBalancer(opts BalancerOptions, backends ...Evaluator) *Balancer {
 	if opts.Width <= 0 {
 		opts.Width = 8
 	}
+	if opts.Chunk < 0 {
+		opts.Chunk = 0
+	}
 	b := &Balancer{
 		maxRetries:   opts.MaxRetries,
 		interval:     opts.HealthInterval,
 		probeTimeout: opts.ProbeTimeout,
 		threshold:    opts.FailThreshold,
+		chunk:        opts.Chunk,
 		revived:      make(chan struct{}),
 		stop:         make(chan struct{}),
 	}
@@ -265,6 +314,17 @@ func (b *Balancer) MaxRetries() int { return b.maxRetries }
 // first) the balancer has performed over its lifetime.
 func (b *Balancer) Retries() uint64 { return b.retries.Load() }
 
+// Chunk returns the configured chunk cap (0: per-job dispatch).
+func (b *Balancer) Chunk() int { return b.chunk }
+
+// Chunks returns how many chunked dispatch units the balancer has
+// issued over its lifetime.
+func (b *Balancer) Chunks() uint64 { return b.chunks.Load() }
+
+// ChunkResumes returns how many chunks ended with unresolved jobs that
+// were re-chunked onto other backends — the severed-stream recoveries.
+func (b *Balancer) ChunkResumes() uint64 { return b.chunkResumes.Load() }
+
 // Health snapshots every backend's scorecard, in backend order. It
 // reads only balancer-local state — no network I/O — so it is safe in
 // liveness paths.
@@ -274,17 +334,24 @@ func (b *Balancer) Health() []BackendHealth {
 	out := make([]BackendHealth, len(b.members))
 	for i, m := range b.members {
 		out[i] = BackendHealth{
-			Name:          m.name,
-			Healthy:       m.healthy,
-			Width:         m.width,
-			Inflight:      m.inflight,
-			Dispatched:    m.dispatched,
-			Completed:     m.completed,
-			Failed:        m.failed,
-			Failovers:     m.failovers,
-			Probes:        m.probes,
-			ProbeFailures: m.probeFailures,
-			LastError:     m.lastErr,
+			Name:            m.name,
+			Healthy:         m.healthy,
+			Width:           m.width,
+			Inflight:        m.inflight,
+			Dispatched:      m.dispatched,
+			Completed:       m.completed,
+			Failed:          m.failed,
+			Failovers:       m.failovers,
+			Probes:          m.probes,
+			ProbeFailures:   m.probeFailures,
+			Chunks:          m.chunks,
+			ChunkResumes:    m.chunkResumes,
+			CapacityScrapes: m.capScrapes,
+			LastError:       m.lastErr,
+		}
+		if m.cap != nil {
+			c := *m.cap
+			out[i].Capacity = &c
 		}
 	}
 	return out
@@ -371,6 +438,10 @@ func (b *Balancer) Stream(ctx context.Context, jobs []Job) <-chan Result {
 // waiters observe the cancellation.
 func (b *Balancer) dispatch(ctx context.Context, jobs []Job, emit func(int, Result)) {
 	if len(jobs) == 0 {
+		return
+	}
+	if b.chunk > 1 {
+		b.dispatchChunked(ctx, jobs, emit)
 		return
 	}
 	watchDone := make(chan struct{})
@@ -480,7 +551,10 @@ func (b *Balancer) acquire(ctx context.Context, exclude map[*member]bool) (*memb
 			allTried = false
 			if m.healthy {
 				healthyLeft = true
-				if m.inflight < m.width && (best == nil || m.inflight < best.inflight) {
+				// freeSlotsLocked refines the static width with the live
+				// worker count a capacity scrape reported, so a peer
+				// that shrank sheds load before it wedges.
+				if m.freeSlotsLocked() > 0 && (best == nil || m.inflight < best.inflight) {
 					best = m
 				}
 			}
@@ -491,7 +565,7 @@ func (b *Balancer) acquire(ctx context.Context, exclude map[*member]bool) (*memb
 		if best == nil && !healthyLeft {
 			for k := range b.members {
 				m := b.members[(start+k)%len(b.members)]
-				if exclude[m] || m.inflight >= m.width {
+				if exclude[m] || m.freeSlotsLocked() <= 0 {
 					continue
 				}
 				if best == nil || m.inflight < best.inflight {
@@ -506,6 +580,354 @@ func (b *Balancer) acquire(ctx context.Context, exclude map[*member]bool) (*memb
 		}
 		b.cond.Wait()
 	}
+}
+
+// chunkItem is one job's book-keeping in the chunked dispatch path: its
+// index in the batch, how many attempts it has consumed, and the
+// backends excluded by earlier failures. An item is owned by exactly
+// one party at a time — the dispatch loop while queued, one chunk
+// attempt while in flight — so its fields need no lock of their own.
+type chunkItem struct {
+	idx     int
+	attempt int
+	exclude map[*member]bool
+}
+
+// dispatchChunked resolves every job exactly once through emit, moving
+// jobs in chunks of up to b.chunk instead of one at a time: a chunk
+// rides one dispatch unit (one /v1/suite NDJSON stream on a
+// ChunkDispatcher backend), each arriving row acknowledges its job, and
+// a severed chunk re-queues only its unresolved jobs — so failover
+// costs re-running the jobs a dying backend actually dropped, not the
+// whole chunk, and a healthy sweep pays one request per chunk instead
+// of one per job.
+//
+// A single placement loop owns the queue: it waits for a slot on the
+// best backend (most free slots, refined by scraped capacity), pops the
+// largest admissible chunk, and hands it to a concurrent attempt.
+// Attempts re-queue unresolved or retryable items and wake the loop;
+// the loop exits when the queue is empty and nothing is in flight.
+func (b *Balancer) dispatchChunked(ctx context.Context, jobs []Job, emit func(int, Result)) {
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// See dispatch: Broadcast under mu so a waiter between its
+			// ctx check and its park cannot miss the wakeup.
+			b.mu.Lock()
+			b.cond.Broadcast()
+			b.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	defer close(watchDone)
+
+	var (
+		mu       sync.Mutex
+		queue    = make([]*chunkItem, 0, len(jobs))
+		inflight int
+		wake     = make(chan struct{}, 1)
+	)
+	for i := range jobs {
+		queue = append(queue, &chunkItem{idx: i, exclude: map[*member]bool{}})
+	}
+	signal := func() {
+		select {
+		case wake <- struct{}{}:
+		default:
+		}
+	}
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	for {
+		mu.Lock()
+		if len(queue) == 0 {
+			if inflight == 0 {
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+			<-wake // an attempt always signals on completion
+			continue
+		}
+		front := queue[0]
+		mu.Unlock()
+
+		// Place the front item first — acquire honours its exclusions,
+		// so the oldest re-queued job cannot starve behind fresh ones —
+		// then widen the chunk with other items that admit the same
+		// backend.
+		m, want, err := b.acquireChunk(ctx, front.exclude)
+		if err == errAllTried {
+			clear(front.exclude)
+			continue
+		}
+		if err != nil {
+			// The caller's context ended or the balancer closed: resolve
+			// everything still queued; in-flight attempts resolve their
+			// own items against the same condition.
+			mu.Lock()
+			rest := queue
+			queue = nil
+			mu.Unlock()
+			for _, it := range rest {
+				emit(it.idx, Result{ID: jobs[it.idx].ID, Err: err, Worker: -1})
+			}
+			continue
+		}
+
+		mu.Lock()
+		take := make([]*chunkItem, 0, want)
+		rest := queue[:0]
+		for _, it := range queue {
+			if len(take) < want && !it.exclude[m] {
+				take = append(take, it)
+			} else {
+				rest = append(rest, it)
+			}
+		}
+		queue = rest
+		inflight += len(take)
+		mu.Unlock()
+		if extra := want - len(take); extra > 0 {
+			b.releaseSlots(m, extra)
+		}
+		redispatched := 0
+		for _, it := range take {
+			if it.attempt > 0 {
+				redispatched++
+			}
+		}
+		if redispatched > 0 {
+			b.retries.Add(uint64(redispatched))
+		}
+
+		wg.Add(1)
+		go func(m *member, take []*chunkItem) {
+			defer wg.Done()
+			requeue := b.attemptChunk(ctx, m, jobs, take, emit)
+			mu.Lock()
+			queue = append(queue, requeue...)
+			inflight -= len(take)
+			mu.Unlock()
+			signal()
+		}(m, take)
+	}
+}
+
+// acquireChunk reserves up to b.chunk dispatch slots on one backend:
+// the healthy non-excluded backend with the most free slots (static
+// width refined by the live worker count a capacity scrape reported),
+// the chunk capped further by the peer's scraped free workers so a
+// busy peer sheds load. The same last-resort and errAllTried rules as
+// acquire apply; the caller returns unused reservations through
+// releaseSlots.
+func (b *Balancer) acquireChunk(ctx context.Context, exclude map[*member]bool) (*member, int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, 0, err
+		}
+		if b.closed {
+			return nil, 0, ErrClosed
+		}
+		start := b.rr
+		b.rr++
+		var best *member
+		bestFree := 0
+		allTried, healthyLeft := true, false
+		for k := range b.members {
+			m := b.members[(start+k)%len(b.members)]
+			if exclude[m] {
+				continue
+			}
+			allTried = false
+			if !m.healthy {
+				continue
+			}
+			healthyLeft = true
+			if free := m.freeSlotsLocked(); free > 0 && (best == nil || free > bestFree) {
+				best, bestFree = m, free
+			}
+		}
+		if allTried {
+			return nil, 0, errAllTried
+		}
+		if best == nil && !healthyLeft {
+			for k := range b.members {
+				m := b.members[(start+k)%len(b.members)]
+				if exclude[m] {
+					continue
+				}
+				if free := m.freeSlotsLocked(); free > 0 && (best == nil || free > bestFree) {
+					best, bestFree = m, free
+				}
+			}
+		}
+		if best != nil {
+			n := bestFree
+			if n > b.chunk {
+				n = b.chunk
+			}
+			// Live capacity caps the chunk further — including Free 0,
+			// which caps to the 1-job minimum: a saturated peer must
+			// shed load, not receive the largest chunk. Scrapes with no
+			// reported pool (a proxy-only front's meaningless zeros)
+			// are ignored, like freeSlotsLocked does.
+			if c := best.cap; c != nil && c.Workers > 0 && c.Free < n {
+				n = c.Free
+			}
+			if n < 1 {
+				n = 1
+			}
+			best.inflight += n
+			return best, n, nil
+		}
+		b.cond.Wait()
+	}
+}
+
+// releaseSlots returns n unused dispatch-slot reservations on m and
+// wakes waiters.
+func (b *Balancer) releaseSlots(m *member, n int) {
+	b.mu.Lock()
+	m.inflight -= n
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// attemptChunk runs one chunk on one backend, resolving acknowledged
+// jobs and returning the items the dispatch loop must re-queue: jobs
+// the chunk left unresolved (the stream was severed under them) and
+// jobs whose acknowledged result is a backend-level failure within the
+// retry budget. The same abandonment watch as attempt covers the whole
+// chunk: a backend declared dead mid-chunk has the chunk cancelled,
+// and its unresolved jobs move on without waiting out the wedge.
+func (b *Balancer) attemptChunk(ctx context.Context, m *member, jobs []Job, items []*chunkItem, emit func(int, Result)) []*chunkItem {
+	actx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	stop := make(chan struct{})
+	go b.watchAttempt(m, stop, cancel)
+
+	b.mu.Lock()
+	m.dispatched += uint64(len(items))
+	m.chunks++
+	b.mu.Unlock()
+	b.chunks.Add(1)
+
+	chunkJobs := make([]Job, len(items))
+	for i, it := range items {
+		chunkJobs[i] = jobs[it.idx]
+	}
+	resolved := make([]bool, len(items))
+	results := make([]Result, len(items))
+	var chunkErr error
+	if cd, ok := m.ev.(ChunkDispatcher); ok {
+		chunkErr = cd.DispatchChunk(actx, chunkJobs, func(i int, r Result) {
+			if i < 0 || i >= len(items) || resolved[i] {
+				return
+			}
+			resolved[i], results[i] = true, r
+		})
+	} else {
+		// Backends without the chunk capability run the chunk as one
+		// Run batch — every result arrives together, which is still one
+		// dispatch decision per chunk.
+		rs, _ := m.ev.Run(actx, chunkJobs)
+		for i := range items {
+			if i < len(rs) {
+				resolved[i], results[i] = true, rs[i]
+			}
+		}
+		if len(rs) < len(items) {
+			chunkErr = fmt.Errorf("engine: backend %s returned %d results for a %d-job chunk: %w",
+				m.name, len(rs), len(items), ErrUnavailable)
+		}
+	}
+	close(stop)
+	abandoned := actx.Err() != nil && ctx.Err() == nil
+
+	type pending struct {
+		idx int
+		r   Result
+	}
+	var toEmit []pending
+	var requeue []*chunkItem
+	sawSuccess, sawRetryable, sawJobLevel := false, false, false
+	b.mu.Lock()
+	m.inflight -= len(items)
+	for i, it := range items {
+		r := results[i]
+		if !resolved[i] {
+			err := chunkErr
+			if err == nil {
+				err = fmt.Errorf("engine: chunk on %s ended with job %q unresolved: %w",
+					m.name, chunkJobs[i].ID, ErrUnavailable)
+			}
+			if abandoned {
+				err = fmt.Errorf("engine: chunk on %s abandoned after the fleet's health changed: %w",
+					m.name, ErrUnavailable)
+			}
+			r = Result{ID: chunkJobs[i].ID, Err: err, Worker: -1}
+		} else if r.Err != nil && abandoned {
+			// The balancer abandoned the chunk, not the caller: the
+			// failure is backend-level, so the job may run elsewhere.
+			r.Err = fmt.Errorf("engine: chunk attempt on %s abandoned after the fleet's health changed: %w",
+				m.name, ErrUnavailable)
+			r.Worker = -1
+		}
+		switch {
+		case r.Err == nil:
+			m.completed++
+			sawSuccess = true
+			toEmit = append(toEmit, pending{it.idx, r})
+		case Retryable(r.Err):
+			sawRetryable = true
+			m.lastErr = r.Err.Error()
+			if it.attempt >= b.maxRetries {
+				m.failed++
+				toEmit = append(toEmit, pending{it.idx, r})
+			} else {
+				m.failovers++
+				it.attempt++
+				it.exclude[m] = true
+				requeue = append(requeue, it)
+			}
+		default:
+			// The job ran and failed on its own terms (or the caller's
+			// context ended); the backend is not at fault.
+			m.failed++
+			sawJobLevel = true
+			toEmit = append(toEmit, pending{it.idx, r})
+		}
+	}
+	// Mirror the per-job attempt's health scoring: evidence the backend
+	// ran jobs (a success, or a job-level failure) clears the failure
+	// streak before this chunk's own backend-level failures count
+	// against it, so a live backend is not marked down by stale streaks.
+	if sawSuccess {
+		b.setHealthLocked(m, true)
+	} else if sawJobLevel {
+		m.consecutive = 0
+	}
+	if sawRetryable {
+		m.consecutive++
+		if m.consecutive >= b.threshold {
+			b.setHealthLocked(m, false)
+		}
+	}
+	if len(requeue) > 0 {
+		m.chunkResumes++
+		b.chunkResumes.Add(1)
+	}
+	b.mu.Unlock()
+	b.cond.Broadcast()
+	for _, p := range toEmit {
+		emit(p.idx, p.r)
+	}
+	return requeue
 }
 
 // attempt runs one job on one backend as a single-job batch — the
@@ -668,6 +1090,60 @@ func (b *Balancer) probe(ctx context.Context, m *member) {
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	if err == nil {
+		b.scrapeCapacity(ctx, m)
+	}
+}
+
+// scrapeCapacity refreshes one live backend's capacity snapshot — the
+// probe round's second question, asked only after a clean liveness
+// verdict so a dead peer is not asked twice. A failed scrape keeps the
+// previous snapshot: stale capacity still beats the static width hint,
+// and liveness is the probe's verdict to give, not this one's.
+func (b *Balancer) scrapeCapacity(ctx context.Context, m *member) {
+	cr, ok := m.ev.(CapacityReporter)
+	if !ok {
+		return
+	}
+	cctx, cancel := context.WithTimeout(ctx, b.probeTimeout)
+	c, err := cr.Capacity(cctx)
+	cancel()
+	if err != nil {
+		return
+	}
+	b.mu.Lock()
+	m.cap = &c
+	m.capScrapes++
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Capacity answers the CapacityReporter query from the balancer's
+// tracked state — the members' most recent scrapes where one exists,
+// local counters otherwise — so nested balancers report fleet capacity
+// without a fresh network round.
+func (b *Balancer) Capacity(context.Context) (Capacity, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return Capacity{}, ErrClosed
+	}
+	var t Capacity
+	for _, m := range b.members {
+		if m.cap != nil {
+			t.Workers += m.cap.Workers
+			t.Busy += m.cap.Busy
+			t.Free += m.cap.Free
+			t.Queue += m.cap.Queue
+			continue
+		}
+		c := CapacityFromStats(LocalStats(m.ev))
+		t.Workers += c.Workers
+		t.Busy += c.Busy
+		t.Free += c.Free
+		t.Queue += c.Queue
+	}
+	return t, nil
 }
 
 // Probe reports the balancer's own aggregate verdict — alive while any

@@ -5,78 +5,24 @@ package engine_test
 // all-down, slow, wedged) and asserts the property the balancer exists
 // for — the merged result set of a faulty fleet is identical to a
 // healthy single-engine run, resolved exactly once per job, within a
-// bounded retry budget. Run under -race in CI, twice (-count=2).
+// bounded retry budget. Job sets, result rendering and the healthy
+// reference come from the shared scenariotest harness — which also runs
+// the full topology × fault matrix — leaving this file the
+// balancer-specific property tests. Run under -race in CI, twice
+// (-count=2).
 
 import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
-	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
 	"repro/internal/engine/faulttest"
+	"repro/internal/engine/scenariotest"
 )
-
-// balancerJobs builds n deterministic jobs; job i resolves to i*i.
-func balancerJobs(n int) []engine.Job {
-	return slowJobs(n, 0)
-}
-
-// slowJobs builds the same deterministic jobs with a per-job execution
-// time, so dispatch rounds are stable under any scheduling — scenarios
-// that need a backend to receive work across several rounds (e.g. to
-// hit a scripted mid-suite death) use these.
-func slowJobs(n int, d time.Duration) []engine.Job {
-	jobs := make([]engine.Job, n)
-	for i := range jobs {
-		i := i
-		jobs[i] = engine.Job{ID: fmt.Sprintf("job-%02d", i),
-			Fn: func(ctx context.Context) (any, error) {
-				if d > 0 {
-					select {
-					case <-ctx.Done():
-						return nil, ctx.Err()
-					case <-time.After(d):
-					}
-				}
-				return i * i, nil
-			}}
-	}
-	return jobs
-}
-
-// renderResults canonicalizes a result set for byte-identical
-// comparison: one "id=value" line per result, sorted. Errors render as
-// their message so a faulty run can never masquerade as a healthy one.
-func renderResults(t *testing.T, rs []engine.Result) string {
-	t.Helper()
-	lines := make([]string, len(rs))
-	for i, r := range rs {
-		if r.Err != nil {
-			lines[i] = fmt.Sprintf("%s=ERR(%v)", r.ID, r.Err)
-			continue
-		}
-		lines[i] = fmt.Sprintf("%s=%v", r.ID, r.Value)
-	}
-	sort.Strings(lines)
-	return strings.Join(lines, "\n")
-}
-
-// healthyReference runs jobs on a plain single engine — the oracle
-// every fault scenario's merged output must match byte for byte.
-func healthyReference(t *testing.T, n int) string {
-	t.Helper()
-	eng := engine.New(engine.Options{Workers: 2, PrivateCaches: true})
-	defer eng.Close()
-	rs, err := eng.Run(context.Background(), balancerJobs(n))
-	if err != nil {
-		t.Fatal(err)
-	}
-	return renderResults(t, rs)
-}
 
 func newBalancer(t *testing.T, opts engine.BalancerOptions, backends ...engine.Evaluator) *engine.Balancer {
 	t.Helper()
@@ -93,25 +39,25 @@ func newBalancer(t *testing.T, opts engine.BalancerOptions, backends ...engine.E
 // single-engine result set, via both Run and Stream.
 func TestBalancerHealthyMatchesSingleEngine(t *testing.T) {
 	const n = 12
-	want := healthyReference(t, n)
+	want := scenariotest.Reference(t, scenariotest.Jobs(n))
 
 	b := newBalancer(t, engine.BalancerOptions{},
 		engine.New(engine.Options{Workers: 2, PrivateCaches: true}),
 		engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
 
-	rs, err := b.Run(context.Background(), balancerJobs(n))
+	rs, err := b.Run(context.Background(), scenariotest.Jobs(n))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := renderResults(t, rs); got != want {
+	if got := scenariotest.Render(t, rs); got != want {
 		t.Errorf("Run result set diverged from healthy single engine:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 
 	var streamed []engine.Result
-	for r := range b.Stream(context.Background(), balancerJobs(n)) {
+	for r := range b.Stream(context.Background(), scenariotest.Jobs(n)) {
 		streamed = append(streamed, r)
 	}
-	if got := renderResults(t, streamed); got != want {
+	if got := scenariotest.Render(t, streamed); got != want {
 		t.Errorf("Stream result set diverged from healthy single engine:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
@@ -122,7 +68,7 @@ func TestBalancerHealthyMatchesSingleEngine(t *testing.T) {
 // healthy run, and the balancer must record the failovers.
 func TestBalancerFailoverBackendDiesMidSuite(t *testing.T) {
 	const n = 16
-	want := healthyReference(t, n)
+	want := scenariotest.Reference(t, scenariotest.Jobs(n))
 
 	for _, mode := range []string{"run", "stream"} {
 		t.Run(mode, func(t *testing.T) {
@@ -139,12 +85,12 @@ func TestBalancerFailoverBackendDiesMidSuite(t *testing.T) {
 			var rs []engine.Result
 			if mode == "run" {
 				var err error
-				rs, err = b.Run(context.Background(), slowJobs(n, 10*time.Millisecond))
+				rs, err = b.Run(context.Background(), scenariotest.SlowJobs(n, 10*time.Millisecond))
 				if err != nil {
 					t.Fatal(err)
 				}
 			} else {
-				for r := range b.Stream(context.Background(), slowJobs(n, 10*time.Millisecond)) {
+				for r := range b.Stream(context.Background(), scenariotest.SlowJobs(n, 10*time.Millisecond)) {
 					rs = append(rs, r)
 				}
 			}
@@ -161,7 +107,7 @@ func TestBalancerFailoverBackendDiesMidSuite(t *testing.T) {
 					t.Errorf("job %s resolved %d times, want exactly once", id, c)
 				}
 			}
-			if got := renderResults(t, rs); got != want {
+			if got := scenariotest.Render(t, rs); got != want {
 				t.Errorf("faulty-fleet result set diverged from healthy run:\ngot:\n%s\nwant:\n%s", got, want)
 			}
 
@@ -199,7 +145,7 @@ func TestBalancerAllBackendsDown(t *testing.T) {
 	var rs []engine.Result
 	go func() {
 		defer close(done)
-		rs, _ = b.Run(context.Background(), balancerJobs(n))
+		rs, _ = b.Run(context.Background(), scenariotest.Jobs(n))
 	}()
 	select {
 	case <-done:
@@ -232,20 +178,20 @@ func TestBalancerAllBackendsDown(t *testing.T) {
 // suite finishes far sooner than the slow backend serializing it would.
 func TestBalancerSlowBackendDoesNotStarveSuite(t *testing.T) {
 	const n = 20
-	want := healthyReference(t, n)
+	want := scenariotest.Reference(t, scenariotest.Jobs(n))
 	slow := faulttest.New("slow-peer").Delay(150 * time.Millisecond).Width(1)
 	b := newBalancer(t, engine.BalancerOptions{},
 		slow,
 		engine.New(engine.Options{Workers: 4, PrivateCaches: true}))
 
 	start := time.Now()
-	rs, err := b.Run(context.Background(), balancerJobs(n))
+	rs, err := b.Run(context.Background(), scenariotest.Jobs(n))
 	if err != nil {
 		t.Fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	if got := renderResults(t, rs); got != want {
+	if got := scenariotest.Render(t, rs); got != want {
 		t.Errorf("slow-peer result set diverged from healthy run:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 	// Serialized through the slow peer the suite would take n×150ms = 3s.
@@ -269,7 +215,7 @@ func TestBalancerCancelDuringFailover(t *testing.T) {
 	b := newBalancer(t, engine.BalancerOptions{MaxRetries: 3}, dead, wedged)
 
 	ctx, cancel := context.WithCancel(context.Background())
-	ch := b.Stream(ctx, balancerJobs(n))
+	ch := b.Stream(ctx, scenariotest.Jobs(n))
 	// Let dispatch reach the wedged backend, then cancel mid-failover.
 	time.Sleep(50 * time.Millisecond)
 	cancel()
@@ -310,7 +256,7 @@ func TestBalancerProbeRevivesBackend(t *testing.T) {
 	b := newBalancer(t, engine.BalancerOptions{}, flaky, eng)
 
 	// Healthy round-trip first, then kill and mark down via a probe.
-	if rs, _ := b.Run(context.Background(), balancerJobs(4)); len(rs) != 4 {
+	if rs, _ := b.Run(context.Background(), scenariotest.Jobs(4)); len(rs) != 4 {
 		t.Fatalf("warm-up run resolved %d of 4 jobs", len(rs))
 	}
 	flaky.Kill(nil)
@@ -321,7 +267,7 @@ func TestBalancerProbeRevivesBackend(t *testing.T) {
 
 	// While down, everything lands on the live engine.
 	before := flaky.Stats().Submitted
-	if rs, _ := b.Run(context.Background(), balancerJobs(6)); len(rs) != 6 {
+	if rs, _ := b.Run(context.Background(), scenariotest.Jobs(6)); len(rs) != 6 {
 		t.Fatal("run against degraded fleet did not resolve")
 	}
 	if after := flaky.Stats().Submitted; after != before {
@@ -334,7 +280,7 @@ func TestBalancerProbeRevivesBackend(t *testing.T) {
 	if h := b.Health(); !h[0].Healthy {
 		t.Fatal("probe did not revive a healthy backend")
 	}
-	b.Run(context.Background(), balancerJobs(8))
+	b.Run(context.Background(), scenariotest.Jobs(8))
 	if flaky.Executed() == 0 {
 		t.Error("revived backend received no work")
 	}
@@ -351,13 +297,13 @@ func TestBalancerClosedResolvesJobs(t *testing.T) {
 	if err := b.Close(); err != nil {
 		t.Fatalf("second Close: %v", err)
 	}
-	rs, _ := b.Run(context.Background(), balancerJobs(3))
+	rs, _ := b.Run(context.Background(), scenariotest.Jobs(3))
 	for _, r := range rs {
 		if !errors.Is(r.Err, engine.ErrClosed) {
 			t.Errorf("job %s after Close resolved with %v, want ErrClosed", r.ID, r.Err)
 		}
 	}
-	for r := range b.Stream(context.Background(), balancerJobs(2)) {
+	for r := range b.Stream(context.Background(), scenariotest.Jobs(2)) {
 		if !errors.Is(r.Err, engine.ErrClosed) {
 			t.Errorf("streamed job %s after Close resolved with %v, want ErrClosed", r.ID, r.Err)
 		}
@@ -370,7 +316,7 @@ func TestBalancerLocalStats(t *testing.T) {
 	b := newBalancer(t, engine.BalancerOptions{},
 		engine.New(engine.Options{Workers: 2, PrivateCaches: true}),
 		engine.New(engine.Options{Workers: 3, PrivateCaches: true}))
-	b.Run(context.Background(), balancerJobs(5))
+	b.Run(context.Background(), scenariotest.Jobs(5))
 	st := engine.LocalStats(b)
 	if st.Workers != 5 {
 		t.Errorf("LocalStats workers = %d, want 5", st.Workers)
@@ -387,7 +333,7 @@ func TestBalancerLocalStats(t *testing.T) {
 // the survivor — the suite must not hang on its caller's context.
 func TestBalancerAbandonsWedgedBackend(t *testing.T) {
 	const n = 6
-	want := healthyReference(t, n)
+	want := scenariotest.Reference(t, scenariotest.Jobs(n))
 	wedged := faulttest.New("wedged-peer").StallAfter(0).
 		ProbeSick(errors.New("healthz timed out"))
 	b := newBalancer(t, engine.BalancerOptions{},
@@ -396,7 +342,7 @@ func TestBalancerAbandonsWedgedBackend(t *testing.T) {
 
 	done := make(chan []engine.Result, 1)
 	go func() {
-		rs, _ := b.Run(context.Background(), balancerJobs(n))
+		rs, _ := b.Run(context.Background(), scenariotest.Jobs(n))
 		done <- rs
 	}()
 	// Let dispatch trap at least one job on the wedged backend, then
@@ -410,7 +356,7 @@ func TestBalancerAbandonsWedgedBackend(t *testing.T) {
 	case <-time.After(10 * time.Second):
 		t.Fatal("suite hung on the wedged backend despite the probe verdict")
 	}
-	if got := renderResults(t, rs); got != want {
+	if got := scenariotest.Render(t, rs); got != want {
 		t.Errorf("wedged-backend result set diverged from healthy run:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 	var h engine.BackendHealth
@@ -440,7 +386,7 @@ func TestBalancerProbeLeavesNonProberAlone(t *testing.T) {
 		dead,
 		engine.New(engine.Options{Workers: 1, PrivateCaches: true}))
 
-	if rs, _ := b.Run(context.Background(), balancerJobs(4)); len(rs) != 4 {
+	if rs, _ := b.Run(context.Background(), scenariotest.Jobs(4)); len(rs) != 4 {
 		t.Fatal("run did not resolve")
 	}
 	h := b.Health()
@@ -505,7 +451,7 @@ func TestBalancerRevivalRescuesLastResortAttempt(t *testing.T) {
 	// lands there deterministically and stalls.
 	done := make(chan engine.Result, 1)
 	go func() {
-		rs, _ := b.Run(context.Background(), balancerJobs(1))
+		rs, _ := b.Run(context.Background(), scenariotest.Jobs(1))
 		done <- rs[0]
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -539,7 +485,7 @@ func TestBalancerFailoverAccounting(t *testing.T) {
 	dead := faulttest.New("dead").FailAfter(0, nil)
 	b := newBalancer(t, engine.BalancerOptions{MaxRetries: retries}, dead)
 
-	b.Run(context.Background(), balancerJobs(n))
+	b.Run(context.Background(), scenariotest.Jobs(n))
 	h := b.Health()[0]
 	if h.Dispatched != h.Completed+h.Failed+h.Failovers {
 		t.Errorf("scorecard does not balance: dispatched %d != completed %d + failed %d + failovers %d",
@@ -570,7 +516,7 @@ func TestBalancerOwnRecoveryDoesNotAbortAttempt(t *testing.T) {
 
 	done := make(chan engine.Result, 1)
 	go func() {
-		rs, _ := b.Run(context.Background(), balancerJobs(1))
+		rs, _ := b.Run(context.Background(), scenariotest.Jobs(1))
 		done <- rs[0]
 	}()
 	time.Sleep(50 * time.Millisecond)
@@ -587,5 +533,103 @@ func TestBalancerOwnRecoveryDoesNotAbortAttempt(t *testing.T) {
 	}
 	if !b.Health()[0].Healthy {
 		t.Error("recovered backend marked down again by its own surviving attempt")
+	}
+}
+
+// capacityBackend is a correct backend that reports a scripted capacity
+// snapshot and records the largest batch handed to it — the probe for
+// capacity-aware chunk sizing.
+type capacityBackend struct {
+	snap engine.Capacity
+
+	mu       sync.Mutex
+	maxBatch int
+}
+
+func (c *capacityBackend) Run(ctx context.Context, jobs []engine.Job) ([]engine.Result, error) {
+	c.mu.Lock()
+	if len(jobs) > c.maxBatch {
+		c.maxBatch = len(jobs)
+	}
+	c.mu.Unlock()
+	out := make([]engine.Result, len(jobs))
+	for i, j := range jobs {
+		v, err := j.Fn(ctx)
+		out[i] = engine.Result{ID: j.ID, Value: v, Err: err, Worker: 0}
+	}
+	return out, ctx.Err()
+}
+
+func (c *capacityBackend) Stream(ctx context.Context, jobs []engine.Job) <-chan engine.Result {
+	out := make(chan engine.Result, len(jobs))
+	rs, _ := c.Run(ctx, jobs)
+	for _, r := range rs {
+		out <- r
+	}
+	close(out)
+	return out
+}
+
+func (c *capacityBackend) Stats() engine.Stats { return engine.Stats{Workers: c.snap.Workers} }
+func (c *capacityBackend) Close() error        { return nil }
+
+func (c *capacityBackend) Probe(context.Context) error { return nil }
+
+func (c *capacityBackend) Capacity(context.Context) (engine.Capacity, error) {
+	return c.snap, nil
+}
+
+func (c *capacityBackend) max() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxBatch
+}
+
+// TestBalancerCapacitySizesChunks pins capacity-aware chunk sizing: a
+// probe round scrapes the backend's capacity into its scorecard, and
+// subsequent chunks are capped at the scraped free workers — a busy
+// peer sheds load — even when the configured chunk and the static
+// width would both allow more.
+func TestBalancerCapacitySizesChunks(t *testing.T) {
+	tests := []struct {
+		name     string
+		snap     engine.Capacity
+		maxChunk int
+	}{
+		{"free workers cap the chunk", engine.Capacity{Workers: 8, Busy: 6, Free: 2}, 2},
+		// A saturated peer (zero free, deep queue) must shed down to
+		// the 1-job minimum, not bypass the cap and take full chunks.
+		{"saturated peer sheds to one job", engine.Capacity{Workers: 8, Busy: 8, Queue: 12}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cb := &capacityBackend{snap: tt.snap}
+			b := newBalancer(t, engine.BalancerOptions{Chunk: 6}, cb)
+
+			b.ProbeNow(context.Background())
+			h := b.Health()[0]
+			if h.CapacityScrapes == 0 || h.Capacity == nil {
+				t.Fatalf("probe round did not scrape capacity: %+v", h)
+			}
+			if h.Capacity.Free != tt.snap.Free {
+				t.Fatalf("scorecard capacity %+v, want the scripted snapshot", h.Capacity)
+			}
+
+			rs, err := b.Run(context.Background(), scenariotest.Jobs(12))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range rs {
+				if r.Err != nil {
+					t.Fatalf("job %s failed: %v", r.ID, r.Err)
+				}
+			}
+			if got := cb.max(); got > tt.maxChunk {
+				t.Errorf("largest chunk was %d jobs; scraped capacity should cap it at %d", got, tt.maxChunk)
+			}
+			if want := uint64(12 / tt.maxChunk); b.Chunks() < want {
+				t.Errorf("12 jobs dispatched as %d chunks, want at least %d", b.Chunks(), want)
+			}
+		})
 	}
 }

@@ -203,6 +203,18 @@ func (e *Engine) Probe(context.Context) error {
 	return nil
 }
 
+// Capacity answers the CapacityReporter query from the pool's own
+// counters — no I/O, so a probe round over local backends stays cheap.
+func (e *Engine) Capacity(context.Context) (Capacity, error) {
+	e.mu.RLock()
+	closed := e.closed
+	e.mu.RUnlock()
+	if closed {
+		return Capacity{}, ErrClosed
+	}
+	return CapacityFromStats(e.Stats()), nil
+}
+
 // Close stops the workers. Jobs already executing finish, and workers
 // drain jobs already sitting in the dispatch queue before exiting; any
 // task still undispatched when the pool is gone — plus everything

@@ -102,6 +102,77 @@ var (
 	_ Prober = (*Balancer)(nil)
 )
 
+// ChunkDispatcher is implemented by backends that can run a whole chunk
+// of jobs as one dispatch unit with per-job acknowledgement — the
+// capability a chunking Balancer detects on internal/remote.Client so a
+// chunk travels as one /v1/suite NDJSON stream instead of per-job
+// /v1/eval requests.
+//
+// DispatchChunk resolves jobs through ack(i, result), where i indexes
+// the chunk slice; ack is called at most once per index, from a single
+// goroutine. A nil return means every job was acknowledged. A non-nil
+// return is a chunk-level failure (the stream was severed, the peer
+// unreachable): jobs not yet acknowledged received no verdict at all,
+// and the caller owns re-dispatching exactly those — which is how a
+// severed chunk resumes on survivors without re-running rows that
+// already arrived.
+type ChunkDispatcher interface {
+	DispatchChunk(ctx context.Context, jobs []Job, ack func(i int, r Result)) error
+}
+
+// Capacity is a backend's point-in-time load snapshot: live pool size,
+// jobs in flight, free workers, and queue depth beyond the pool. A
+// chunking Balancer sizes chunks from it so a busy peer sheds load
+// before it wedges — the scraped replacement for the static width hint.
+type Capacity struct {
+	Workers int `json:"workers"`
+	Busy    int `json:"busy"`
+	Free    int `json:"free"`
+	Queue   int `json:"queue"`
+}
+
+// CapacityReporter is implemented by backends that can answer a cheap
+// capacity query: local backends derive it from their own counters, the
+// remote client scrapes the peer's /v1/capacity fast path. The
+// Balancer's probe loop folds the answer into BackendHealth and chunk
+// sizing; backends without one are dispatched by static width alone.
+type CapacityReporter interface {
+	Capacity(ctx context.Context) (Capacity, error)
+}
+
+// The local backends answer capacity from their own counters.
+var (
+	_ CapacityReporter = (*Engine)(nil)
+	_ CapacityReporter = (*ShardSet)(nil)
+	_ CapacityReporter = (*Balancer)(nil)
+)
+
+// CapacityFromStats derives a Capacity snapshot from lifetime counters:
+// busy is the in-flight count (submitted minus every terminal verdict),
+// free is the idle remainder of the pool, queue is whatever in-flight
+// work exceeds it.
+func CapacityFromStats(st Stats) Capacity {
+	resolved := st.Completed + st.Failed + st.Canceled + st.Rejected
+	busy := 0
+	if st.Submitted > resolved {
+		busy = int(st.Submitted - resolved)
+	}
+	c := Capacity{Workers: st.Workers, Busy: busy}
+	if busy < st.Workers {
+		c.Free = st.Workers - busy
+	} else {
+		c.Queue = busy - st.Workers
+	}
+	return c
+}
+
+// LocalCapacity snapshots ev's capacity without any network I/O — the
+// view the serve layer's /v1/capacity endpoint reports, so a capacity
+// scrape never blocks on a further peer.
+func LocalCapacity(ev Evaluator) Capacity {
+	return CapacityFromStats(LocalStats(ev))
+}
+
 // LocalStatser is implemented by backends whose Stats involves network
 // I/O (the remote client scrapes its peer) and that can also report a
 // cheap process-local view of the work submitted through them.

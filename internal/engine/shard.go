@@ -90,6 +90,13 @@ func (s *ShardSet) Probe(ctx context.Context) error {
 	return errors.Join(errs...)
 }
 
+// Capacity answers the CapacityReporter query from the set's local
+// counters (remote shards contribute the work submitted through them,
+// not a peer scrape), keeping the query I/O-free.
+func (s *ShardSet) Capacity(context.Context) (Capacity, error) {
+	return LocalCapacity(s), nil
+}
+
 // Close stops every backend, concurrently, and joins their errors. Each
 // local shard's Close drains its own queue, so every Submit channel
 // across the set resolves.

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/engine/faulttest"
+	"repro/internal/engine/scenariotest"
 )
 
 // TestShardSetDeadShardFailsItsShareOnly pins the no-failover baseline:
@@ -25,7 +26,7 @@ func TestShardSetDeadShardFailsItsShareOnly(t *testing.T) {
 	s := engine.NewShardSetOf(flaky, live)
 	defer s.Close()
 
-	rs, err := s.Run(context.Background(), balancerJobs(n))
+	rs, err := s.Run(context.Background(), scenariotest.Jobs(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -34,7 +35,7 @@ func TestShardSetDeadShardFailsItsShareOnly(t *testing.T) {
 	}
 	var failed, ok int
 	for i, r := range rs {
-		if r.ID != balancerJobs(n)[i].ID {
+		if r.ID != scenariotest.Jobs(n)[i].ID {
 			t.Errorf("result %d out of submission order: %s", i, r.ID)
 		}
 		if r.Err != nil {
@@ -57,7 +58,7 @@ func TestShardSetDeadShardFailsItsShareOnly(t *testing.T) {
 		faulttest.New("dying-shard").FailAfter(2, nil),
 		engine.New(engine.Options{Workers: 2, PrivateCaches: true}))
 	defer b.Close()
-	brs, err := b.Run(context.Background(), balancerJobs(n))
+	brs, err := b.Run(context.Background(), scenariotest.Jobs(n))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,7 +79,7 @@ func TestShardSetStreamWithDeadShardStillCloses(t *testing.T) {
 	defer s.Close()
 
 	seen := 0
-	for range s.Stream(context.Background(), balancerJobs(8)) {
+	for range s.Stream(context.Background(), scenariotest.Jobs(8)) {
 		seen++
 	}
 	if seen != 8 {

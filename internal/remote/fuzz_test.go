@@ -54,3 +54,55 @@ func FuzzScanRows(f *testing.F) {
 		}
 	})
 }
+
+// FuzzScanAckRows throws arbitrary peer bytes at the acknowledged
+// stream variant's parser — the surface a malicious or dying peer
+// writes to during chunked dispatch, where a mis-parsed line could
+// resolve the wrong job or fake a clean chunk end. Invariants: never
+// panic, never error on blank input, classify every non-blank line as
+// exactly one of ack row / result row / scan error, and stop cleanly
+// when a handler is satisfied. Seed corpus: f.Add cases below plus
+// testdata/fuzz/FuzzScanAckRows.
+func FuzzScanAckRows(f *testing.F) {
+	f.Add([]byte("{\"ack\":\"start\",\"jobs\":2}\n{\"name\":\"a\",\"ok\":true}\n{\"name\":\"b\",\"ok\":true}\n{\"ack\":\"end\",\"rows\":2}\n"))
+	f.Add([]byte(`{"ack":"start","jobs":3}` + "\n" + `{"name":"a","ok":true}`)) // severed before the end ack
+	f.Add([]byte(`{"ack":"end","rows":0}`))
+	f.Add([]byte(`{"ack":"flush"}` + "\n")) // unknown ack kinds must pass through, not error
+	f.Add([]byte(`{"ack":5}`))              // wrong ack type
+	f.Add([]byte(`{"ack":""}` + "\n"))      // empty ack is a result row, not an ack
+	f.Add([]byte(`{"name":"a","ack":"end"}`))
+	f.Add([]byte("{\"name\": nonsense"))
+	f.Add([]byte("\n  \n\n"))
+	f.Add([]byte(strings.Repeat("{\"ack\":\"start\"}\n{\"name\":\"r\"}\n", 32)))
+	f.Add(bytes.Repeat([]byte("y"), 70<<10)) // one over-long unterminated token
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows, acks := 0, 0
+		err := scanAckRows(bytes.NewReader(data),
+			func(bench.JobReport) bool { rows++; return true },
+			func(a ackRow) bool {
+				if a.Ack == "" {
+					t.Fatal("ack handler called with an empty ack kind")
+				}
+				acks++
+				return true
+			})
+		if err == nil && rows == 0 && acks == 0 && len(bytes.TrimSpace(data)) > 0 {
+			t.Fatalf("input %.80q produced neither rows, acks, nor an error", data)
+		}
+		if err != nil && len(bytes.TrimSpace(data)) == 0 {
+			t.Fatalf("blank input errored: %v", err)
+		}
+
+		// Either handler returning false must stop the scan cleanly.
+		stopped := 0
+		if stopErr := scanAckRows(bytes.NewReader(data),
+			func(bench.JobReport) bool { stopped++; return false },
+			func(ackRow) bool { stopped++; return false }); stopped > 0 && stopErr != nil {
+			t.Fatalf("satisfied scan still errored: %v", stopErr)
+		}
+		if stopped > 1 {
+			t.Fatalf("scan continued after a handler was satisfied (%d lines)", stopped)
+		}
+	})
+}

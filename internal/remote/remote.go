@@ -113,8 +113,10 @@ type Client struct {
 }
 
 var (
-	_ engine.Evaluator = (*Client)(nil)
-	_ engine.Prober    = (*Client)(nil)
+	_ engine.Evaluator        = (*Client)(nil)
+	_ engine.Prober           = (*Client)(nil)
+	_ engine.ChunkDispatcher  = (*Client)(nil)
+	_ engine.CapacityReporter = (*Client)(nil)
 )
 
 // New builds a client for one art9-serve base URL (e.g.
@@ -424,12 +426,32 @@ type wireEntry struct {
 
 // suiteGroup ships jobs sharing a technology list, chunked so no single
 // request exceeds the peer's per-request job or body caps; chunks run
-// concurrently. Wire names are made unique across the whole group
+// concurrently.
+func (c *Client) suiteGroup(ctx context.Context, jobs []engine.Job, specs []*bench.JobSpec, idx []int, emit func(int, engine.Result)) {
+	techs := specs[idx[0]].Technologies
+	chunks := buildWireChunks(jobs, specs, idx)
+	if len(chunks) == 1 {
+		c.suitePost(ctx, techs, chunks[0], jobs, emit)
+		return
+	}
+	var wg sync.WaitGroup
+	for _, ch := range chunks {
+		wg.Add(1)
+		go func(ch []wireEntry) {
+			defer wg.Done()
+			c.suitePost(ctx, techs, ch, jobs, emit)
+		}(ch)
+	}
+	wg.Wait()
+}
+
+// buildWireChunks renders the jobs at idx as manifest entries and
+// splits them so no single request exceeds the peer's per-request job
+// or body caps. Wire names are made unique across the whole group
 // (duplicates get a "#n" suffix, undone before the row is emitted), so
 // every row correlates to exactly the job that produced it even when a
 // batch repeats a name with different work attached.
-func (c *Client) suiteGroup(ctx context.Context, jobs []engine.Job, specs []*bench.JobSpec, idx []int, emit func(int, engine.Result)) {
-	techs := specs[idx[0]].Technologies
+func buildWireChunks(jobs []engine.Job, specs []*bench.JobSpec, idx []int) [][]wireEntry {
 	used := make(map[string]bool, len(idx))
 	var chunks [][]wireEntry
 	var cur []wireEntry
@@ -451,20 +473,7 @@ func (c *Client) suiteGroup(ctx context.Context, jobs []engine.Job, specs []*ben
 		cur = append(cur, wireEntry{mj: mj, pj: pendingJob{index: i, name: orig}})
 		size += esz
 	}
-	chunks = append(chunks, cur)
-	if len(chunks) == 1 {
-		c.suitePost(ctx, techs, chunks[0], jobs, emit)
-		return
-	}
-	var wg sync.WaitGroup
-	for _, ch := range chunks {
-		wg.Add(1)
-		go func(ch []wireEntry) {
-			defer wg.Done()
-			c.suitePost(ctx, techs, ch, jobs, emit)
-		}(ch)
-	}
-	wg.Wait()
+	return append(chunks, cur)
 }
 
 // suitePost issues one POST /v1/suite for a chunk, resolving each job
@@ -515,6 +524,234 @@ func (c *Client) suitePost(ctx context.Context, techs []string, entries []wireEn
 		}
 		c.fail(jobs, pending, emit, c.classify(ctx, streamErr))
 	}
+}
+
+// DispatchChunk implements engine.ChunkDispatcher: the chunk travels
+// over the acknowledged /v1/suite stream variant (?ack=1) — one request
+// per distinct technology list, split further only if the chunk
+// exceeds the peer's per-request caps — and every arriving NDJSON row
+// acknowledges its job through ack. On a chunk-level failure (the peer
+// unreachable, the stream severed before the peer's end
+// acknowledgement) the unacknowledged jobs are left entirely
+// unresolved and the classified error is returned: the caller — a
+// chunking engine.Balancer — owns re-dispatching exactly those jobs,
+// so rows that already arrived are never re-run.
+func (c *Client) DispatchChunk(ctx context.Context, jobs []engine.Job, ack func(int, engine.Result)) error {
+	c.submitted.Add(uint64(len(jobs)))
+	if c.closed.Load() {
+		c.rejected.Add(uint64(len(jobs)))
+		return engine.ErrClosed
+	}
+	acked := make([]bool, len(jobs))
+	wrap := func(i int, r engine.Result) {
+		if i >= 0 && i < len(jobs) && !acked[i] {
+			acked[i] = true
+			ack(i, r)
+		}
+	}
+	var valid []int
+	specs := make([]*bench.JobSpec, len(jobs))
+	for i, j := range jobs {
+		spec, err := specOf(j)
+		if err != nil {
+			// Spec-less jobs cannot travel at all: acknowledge the
+			// job-level failure inline so the balancer does not re-try
+			// a job that can never reach a peer.
+			c.failed.Add(1)
+			wrap(i, engine.Result{ID: j.ID, Err: err, Worker: -1})
+			continue
+		}
+		specs[i] = spec
+		valid = append(valid, i)
+	}
+	groups := map[string][]int{}
+	var order []string
+	for _, i := range valid {
+		key := strings.Join(specs[i].Technologies, "\x00")
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	// Groups run sequentially: one chunk is one dispatch decision, and
+	// concurrency across chunks belongs to the balancer placing them.
+	var chunkErr error
+	for _, key := range order {
+		idx := groups[key]
+		techs := specs[idx[0]].Technologies
+		for _, entries := range buildWireChunks(jobs, specs, idx) {
+			if chunkErr = c.ackPost(ctx, techs, entries, jobs, wrap); chunkErr != nil {
+				break
+			}
+		}
+		if chunkErr != nil {
+			break
+		}
+	}
+	if chunkErr != nil {
+		// Book the jobs this client never resolved so LocalStats stays
+		// balanced; their verdicts belong to whichever backend re-runs
+		// them.
+		for i := range jobs {
+			if !acked[i] {
+				c.countFailure(chunkErr)
+			}
+		}
+	}
+	return chunkErr
+}
+
+// ackPost ships one wire chunk through POST /v1/suite?ack=1, resolving
+// each job as its row arrives and watching for the peer's end
+// acknowledgement — the marker that distinguishes a complete stream
+// from a severed one.
+func (c *Client) ackPost(ctx context.Context, techs []string, entries []wireEntry, jobs []engine.Job, ack func(int, engine.Result)) error {
+	m := bench.Manifest{Technologies: techs}
+	pending := make(map[string]pendingJob, len(entries))
+	for _, e := range entries {
+		m.Jobs = append(m.Jobs, e.mj)
+		pending[e.mj.Name] = e.pj
+	}
+	body, err := json.Marshal(&m)
+	if err != nil {
+		return fmt.Errorf("remote %s: encode manifest: %w", c.base, err)
+	}
+	resp, err := c.post(ctx, "/v1/suite?ack=1", body)
+	if err != nil {
+		return c.classify(ctx, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return c.statusErr(resp)
+	}
+	ended := false
+	streamErr := scanAckRows(resp.Body,
+		func(jr bench.JobReport) bool {
+			p, ok := pending[jr.Name]
+			if !ok {
+				// A row for a job we never sent (or already resolved):
+				// ignore it rather than mis-crediting some other job.
+				return true
+			}
+			delete(pending, jr.Name)
+			row := jr
+			row.Name = p.name // undo any wire-level "#n" deduplication
+			ack(p.index, c.rowResult(jobs[p.index].ID, &row))
+			return true // scan on to the end ack
+		},
+		func(a ackRow) bool {
+			if a.Ack == "end" {
+				ended = true
+				return false
+			}
+			return true // "start" (and future kinds) just confirm liveness
+		})
+	switch {
+	case streamErr != nil:
+		return c.classify(ctx, fmt.Errorf("remote %s: chunk stream: %w", c.base, streamErr))
+	case !ended && len(pending) > 0:
+		return c.classify(ctx, fmt.Errorf("remote %s: chunk stream severed with %d jobs unacknowledged: %w",
+			c.base, len(pending), engine.ErrUnavailable))
+	case len(pending) > 0:
+		// The peer signalled a clean end yet skipped rows — a peer-side
+		// fault, resolved as backend-level failures so a balancer may
+		// re-run them elsewhere.
+		missErr := c.classify(ctx, fmt.Errorf("remote %s: peer ended chunk stream with %d jobs unresolved: %w",
+			c.base, len(pending), engine.ErrUnavailable))
+		for _, p := range pending {
+			c.countFailure(missErr)
+			ack(p.index, engine.Result{ID: jobs[p.index].ID, Err: missErr, Worker: -1})
+		}
+	}
+	return nil
+}
+
+// ackRow is one acknowledgement line of the ?ack=1 /v1/suite stream
+// variant (internal/serve's suiteAck, redefined here to keep
+// serve → remote a one-way dependency): "start" when the peer accepted
+// the chunk, "end" after the last result row. The end ack's absence is
+// how a severed stream is told apart from a complete one.
+type ackRow struct {
+	Ack  string `json:"ack"`
+	Jobs int    `json:"jobs,omitempty"`
+	Rows int    `json:"rows,omitempty"`
+}
+
+// scanAckRows consumes the acknowledged NDJSON stream variant: result
+// rows go to onRow, acknowledgement rows to onAck, and either handler
+// returning false stops the scan cleanly. The row kind is detected by
+// the "ack" field, which a JobReport never carries. Blank lines are
+// skipped; a malformed or over-long line stops the scan with an error.
+// Like scanRows this is the one parser of its stream, extracted so it
+// can be fuzzed directly against arbitrary peer bytes.
+func scanAckRows(r io.Reader, onRow func(bench.JobReport) bool, onAck func(ackRow) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxRow)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			Ack string `json:"ack"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return fmt.Errorf("malformed NDJSON row %.80q: %w", line, err)
+		}
+		if probe.Ack != "" {
+			var a ackRow
+			if err := json.Unmarshal(line, &a); err != nil {
+				return fmt.Errorf("malformed ack row %.80q: %w", line, err)
+			}
+			if !onAck(a) {
+				return nil
+			}
+			continue
+		}
+		var jr bench.JobReport
+		if err := json.Unmarshal(line, &jr); err != nil {
+			return fmt.Errorf("malformed NDJSON row %.80q: %w", line, err)
+		}
+		if !onRow(jr) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// Capacity implements engine.CapacityReporter with a GET /v1/capacity
+// scrape — the lightweight fast path the balancer's probe loop folds
+// into chunk sizing — falling back to deriving the snapshot from
+// /v1/stats for peers that predate the endpoint.
+func (c *Client) Capacity(ctx context.Context) (engine.Capacity, error) {
+	if c.closed.Load() {
+		return engine.Capacity{}, engine.ErrClosed
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/capacity", nil)
+	if err != nil {
+		return engine.Capacity{}, fmt.Errorf("remote %s: capacity: %w", c.base, err)
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return engine.Capacity{}, fmt.Errorf("remote %s: capacity: %w: %w", c.base, engine.ErrUnavailable, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+		st, err := c.PeerStats(ctx)
+		if err != nil {
+			return engine.Capacity{}, err
+		}
+		return engine.CapacityFromStats(st), nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return engine.Capacity{}, fmt.Errorf("remote %s: capacity: %w: %s", c.base, engine.ErrUnavailable, resp.Status)
+	}
+	var snap engine.Capacity
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&snap); err != nil {
+		return engine.Capacity{}, fmt.Errorf("remote %s: capacity: decode: %w", c.base, err)
+	}
+	return snap, nil
 }
 
 // scanRows consumes an NDJSON report stream, calling fn for each
@@ -702,6 +939,45 @@ func SplitPeerList(s string) []string {
 	return out
 }
 
+// ValidateFleetFlags vets the failover-tuning CLI flags against the
+// configured topology before anything runs — the one rule set behind
+// both art9-batch and art9-serve (shards is each CLI's own flag value;
+// the implicit-single-shard default is folded in here). Flags that only
+// tune the failover Balancer error out without failover, since silently
+// ignoring them would leave the operator believing they are in effect;
+// failover over a single backend — nothing to fail over to — returns a
+// warning rather than an error, since the run still works.
+func ValidateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
+	if chunk < 0 {
+		return "", fmt.Errorf("-chunk must be >= 0 (got %d)", chunk)
+	}
+	if !failover {
+		var orphaned []string
+		if chunk > 0 {
+			orphaned = append(orphaned, "-chunk")
+		}
+		if maxRetries != 0 {
+			orphaned = append(orphaned, "-max-retries")
+		}
+		if healthInterval != 0 {
+			orphaned = append(orphaned, "-health-interval")
+		}
+		if len(orphaned) > 0 {
+			return "", fmt.Errorf("%s: only meaningful with -failover (otherwise silently ignored); add -failover or drop the flag",
+				strings.Join(orphaned, ", "))
+		}
+		return "", nil
+	}
+	backends := shards + peers
+	if shards <= 0 && peers == 0 {
+		backends = 1 // the implicit single local shard
+	}
+	if backends <= 1 {
+		return "-failover over a single backend has nothing to fail over to; add -peers or -shards", nil
+	}
+	return "", nil
+}
+
 // BackendConfig describes the backend topology NewBackendWith builds —
 // the one place the composition rules live so art9.New and serve.New
 // cannot drift.
@@ -721,6 +997,12 @@ type BackendConfig struct {
 	// apply at zero); ignored without Failover.
 	HealthInterval time.Duration
 	MaxRetries     int
+	// Chunk makes the Balancer dispatch in chunks of up to this many
+	// jobs — remote backends receive a chunk as one acknowledged
+	// /v1/suite stream instead of per-job /v1/eval requests, sized down
+	// by scraped live capacity. 0 keeps per-job placement; ignored
+	// without Failover.
+	Chunk int
 }
 
 // NewBackend assembles the standard backend topology shared by art9.New
@@ -763,6 +1045,7 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 		return engine.NewBalancer(engine.BalancerOptions{
 			MaxRetries:     cfg.MaxRetries,
 			HealthInterval: cfg.HealthInterval,
+			Chunk:          cfg.Chunk,
 		}, backends...), nil
 	}
 	if len(backends) == 1 {

@@ -6,11 +6,15 @@
 //
 // Endpoints (all JSON):
 //
-//	POST /v1/eval    one program in, one JobReport out
-//	POST /v1/suite   manifest in, NDJSON JobReports streamed out in
-//	                 completion order, one line per job as it finishes
-//	GET  /v1/healthz liveness + pool shape
-//	GET  /v1/stats   per-shard engine counters + shared cache counters
+//	POST /v1/eval     one program in, one JobReport out
+//	POST /v1/suite    manifest in, NDJSON JobReports streamed out in
+//	                  completion order, one line per job as it finishes
+//	                  (?ack=1 adds start/end acknowledgement rows for
+//	                  chunk dispatchers)
+//	GET  /v1/healthz  liveness + pool shape
+//	GET  /v1/stats    per-shard engine counters + shared cache counters
+//	GET  /v1/capacity process-local free workers + queue depth (the
+//	                  fast path capacity-aware fronts poll)
 //
 // Jobs are fanned out across an engine.Evaluator backend — a local
 // shard set by default, or (Config.Peers) a set fronting other
@@ -78,6 +82,11 @@ type Config struct {
 	// without Failover.
 	HealthInterval time.Duration
 	MaxRetries     int
+	// Chunk makes the Balancer dispatch in chunks of up to this many
+	// jobs (acknowledged /v1/suite streams to downstream peers) instead
+	// of per-job placement, sized down by live capacity. Ignored
+	// without Failover.
+	Chunk int
 }
 
 // Server owns an Evaluator backend and serves the /v1 API. Create with
@@ -112,6 +121,7 @@ func New(cfg Config) (*Server, error) {
 		Failover:       cfg.Failover,
 		HealthInterval: cfg.HealthInterval,
 		MaxRetries:     cfg.MaxRetries,
+		Chunk:          cfg.Chunk,
 	})
 	if err != nil {
 		return nil, err
@@ -171,6 +181,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/capacity", s.handleCapacity)
 	mux.HandleFunc("/v1/eval", s.handleEval)
 	mux.HandleFunc("/v1/suite", s.handleSuite)
 	return mux
@@ -186,13 +197,17 @@ type EvalRequest struct {
 
 // StatsReply is the GET /v1/stats body. Balancer is present exactly
 // when the backend is a health-aware Balancer: one scorecard per
-// backend with dispatch/failover/probe counters.
+// backend with dispatch/failover/probe counters. Capacity is the
+// process-local load snapshot (the same numbers /v1/capacity serves as
+// a fast path), so capacity-aware fronts can size chunks off either
+// endpoint.
 type StatsReply struct {
 	UptimeSeconds float64                `json:"uptime_seconds"`
 	Requests      uint64                 `json:"requests"`
 	Engine        bench.EngineReport     `json:"engine"`
 	ShardStats    []engine.Stats         `json:"shard_stats"`
 	Cache         bench.CacheReport      `json:"cache"`
+	Capacity      engine.Capacity        `json:"capacity"`
 	Balancer      []engine.BackendHealth `json:"balancer,omitempty"`
 }
 
@@ -257,11 +272,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Engine:        bench.EngineReportFrom(total, s.shardCount()),
 		ShardStats:    per,
 		Cache:         bench.SharedCacheReport(),
+		Capacity:      engine.LocalCapacity(s.backend),
 	}
 	if bal, ok := s.backend.(*engine.Balancer); ok {
 		reply.Balancer = bal.Health()
 	}
 	writeJSON(w, http.StatusOK, reply)
+}
+
+// handleCapacity is the lightweight load fast path: the process-local
+// free-worker and queue-depth snapshot, no peer scrapes and no JSON
+// bigger than one line — cheap enough for a capacity-aware front to
+// poll every probe round without taxing the fleet.
+func (s *Server) handleCapacity(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodGet {
+		methodNotAllowed(w, http.MethodGet)
+		return
+	}
+	writeJSON(w, http.StatusOK, engine.LocalCapacity(s.backend))
 }
 
 func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
@@ -355,12 +384,31 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 	// buffering. The jobs share the request context — when the client
 	// disconnects, outstanding jobs resolve canceled and the engines
 	// move on to other requests' work.
+	//
+	// ?ack=1 selects the acknowledged stream variant chunk dispatchers
+	// consume: a start row once the manifest is accepted and an end row
+	// after the last report, so a client can tell a complete stream
+	// from one severed mid-chunk — result rows are unchanged, and the
+	// plain stream stays byte-compatible for existing consumers.
+	acked := r.URL.Query().Get("ack") == "1"
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("X-Accel-Buffering", "no") // defeat proxy buffering
 	w.WriteHeader(http.StatusOK)
 	flusher, _ := w.(http.Flusher)
+	flush := func() {
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
 	enc := json.NewEncoder(w)
 	clientGone := false
+	if acked {
+		if err := enc.Encode(suiteAck{Ack: "start", Jobs: len(jobs)}); err != nil {
+			clientGone = true
+		}
+		flush()
+	}
+	rows := 0
 	for res := range s.backend.Stream(r.Context(), jobs) {
 		if clientGone {
 			// The client is gone; keep draining so the stream's
@@ -372,10 +420,23 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 			clientGone = true
 			continue
 		}
-		if flusher != nil {
-			flusher.Flush()
-		}
+		rows++
+		flush()
 	}
+	if acked && !clientGone {
+		enc.Encode(suiteAck{Ack: "end", Rows: rows})
+		flush()
+	}
+}
+
+// suiteAck is one acknowledgement line of the ?ack=1 /v1/suite stream:
+// "start" carries the accepted job count, "end" the number of result
+// rows written. Mirrored by internal/remote's ackRow (redefined there
+// to keep serve → remote a one-way dependency).
+type suiteAck struct {
+	Ack  string `json:"ack"`
+	Jobs int    `json:"jobs,omitempty"`
+	Rows int    `json:"rows,omitempty"`
 }
 
 // capSharedCaches bounds the process-wide caches before a request's

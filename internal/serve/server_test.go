@@ -195,17 +195,7 @@ func TestSuiteNDJSONRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("workload %s missing from stream", name)
 		}
-		wantMetrics, _ := json.Marshal(&bench.MetricsReport{
-			Checksum:   o.Checksum,
-			RVInsts:    o.RVInsts,
-			RVBits:     o.RVBits,
-			ARTInsts:   o.ARTInsts,
-			ARTTrits:   o.ARTTrits,
-			ART9Cycles: o.ART9Cycles,
-			VexCycles:  o.VexCycles,
-			PicoCycles: o.PicoCycles,
-			Removed:    o.Removed,
-		})
+		wantMetrics, _ := json.Marshal(bench.MetricsReportOf(o))
 		gotMetrics, _ := json.Marshal(jr.Metrics)
 		if !bytes.Equal(gotMetrics, wantMetrics) {
 			t.Errorf("%s: streamed metrics %s != serial %s", name, gotMetrics, wantMetrics)
@@ -215,6 +205,124 @@ func TestSuiteNDJSONRoundTrip(t *testing.T) {
 		if !bytes.Equal(gotImpls, wantImpls) {
 			t.Errorf("%s: streamed implementations %s != serial %s", name, gotImpls, wantImpls)
 		}
+	}
+}
+
+// TestSuiteAckRows pins the acknowledged stream variant chunk
+// dispatchers consume: ?ack=1 brackets the result rows with a start ack
+// carrying the accepted job count and an end ack carrying the row
+// count, while the plain stream stays ack-free for existing consumers.
+func TestSuiteAckRows(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2})
+	body := `{"technologies":["cntfet32"],"jobs":[
+		{"name":"bubble","workload":"bubble"},
+		{"name":"gemm","workload":"gemm"}]}`
+
+	resp, err := http.Post(ts.URL+"/v1/suite?ack=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var lines []map[string]any
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("malformed line %q: %v", sc.Bytes(), err)
+		}
+		lines = append(lines, row)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 4 {
+		t.Fatalf("acked stream has %d lines, want start + 2 rows + end", len(lines))
+	}
+	if lines[0]["ack"] != "start" || lines[0]["jobs"] != float64(2) {
+		t.Errorf("first line %v, want start ack with jobs=2", lines[0])
+	}
+	last := lines[len(lines)-1]
+	if last["ack"] != "end" || last["rows"] != float64(2) {
+		t.Errorf("last line %v, want end ack with rows=2", last)
+	}
+	for _, row := range lines[1 : len(lines)-1] {
+		if _, isAck := row["ack"]; isAck {
+			t.Errorf("unexpected ack row between results: %v", row)
+		}
+		if row["ok"] != true {
+			t.Errorf("result row %v not ok", row)
+		}
+	}
+
+	// The plain stream must stay byte-compatible: no ack rows at all.
+	plain, err := http.Post(ts.URL+"/v1/suite", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer plain.Body.Close()
+	sc = bufio.NewScanner(plain.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	rows := 0
+	for sc.Scan() {
+		var row map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &row); err != nil {
+			t.Fatalf("malformed line %q: %v", sc.Bytes(), err)
+		}
+		if _, isAck := row["ack"]; isAck {
+			t.Errorf("plain stream leaked an ack row: %v", row)
+		}
+		rows++
+	}
+	if rows != 2 {
+		t.Errorf("plain stream has %d rows, want 2", rows)
+	}
+}
+
+// TestCapacityEndpoint pins the lightweight capacity fast path: the
+// process-local pool shape with free workers, consistent with the
+// snapshot /v1/stats embeds.
+func TestCapacityEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{Shards: 2, Workers: 2})
+	resp, err := http.Get(ts.URL + "/v1/capacity")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, want 200", resp.StatusCode)
+	}
+	var c engine.Capacity
+	if err := json.NewDecoder(resp.Body).Decode(&c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers != 4 || c.Free != 4 || c.Busy != 0 || c.Queue != 0 {
+		t.Errorf("idle capacity %+v, want 4 workers all free", c)
+	}
+
+	post, err := http.Post(ts.URL+"/v1/capacity", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	post.Body.Close()
+	if post.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST /v1/capacity status %d, want 405", post.StatusCode)
+	}
+
+	stats, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stats.Body.Close()
+	var sr StatsReply
+	if err := json.NewDecoder(stats.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Capacity.Workers != 4 {
+		t.Errorf("stats capacity %+v, want the same 4-worker snapshot", sr.Capacity)
 	}
 }
 
@@ -608,17 +716,7 @@ func TestSuiteFailoverSurvivesDyingBackend(t *testing.T) {
 			t.Fatalf("job %s missing from failover stream", mj.Name)
 		}
 		o := serial[mj.Workload]
-		wantMetrics, _ := json.Marshal(&bench.MetricsReport{
-			Checksum:   o.Checksum,
-			RVInsts:    o.RVInsts,
-			RVBits:     o.RVBits,
-			ARTInsts:   o.ARTInsts,
-			ARTTrits:   o.ARTTrits,
-			ART9Cycles: o.ART9Cycles,
-			VexCycles:  o.VexCycles,
-			PicoCycles: o.PicoCycles,
-			Removed:    o.Removed,
-		})
+		wantMetrics, _ := json.Marshal(bench.MetricsReportOf(o))
 		gotMetrics, _ := json.Marshal(jr.Metrics)
 		if !bytes.Equal(gotMetrics, wantMetrics) {
 			t.Errorf("%s: failover metrics %s != healthy serial %s", mj.Name, gotMetrics, wantMetrics)

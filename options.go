@@ -19,6 +19,7 @@ type evalConfig struct {
 	failover       bool
 	healthInterval time.Duration
 	maxRetries     int
+	chunk          int
 }
 
 // WithWorkers sets the pool size of each local shard (0 selects
@@ -69,6 +70,15 @@ func WithHealthInterval(d time.Duration) Option {
 // retries). Only meaningful with WithFailover.
 func WithMaxRetries(n int) Option { return func(c *evalConfig) { c.maxRetries = n } }
 
+// WithChunk makes the failover Balancer dispatch in chunks of up to n
+// jobs instead of placing each job individually: a chunk reaches a
+// remote backend as one acknowledged /v1/suite NDJSON stream (per-row
+// acknowledgement, so a severed chunk re-dispatches only its unresolved
+// jobs on the survivors), and chunk sizes follow the backend's free
+// slots and scraped live capacity. 0 keeps per-job placement. Only
+// meaningful with WithFailover.
+func WithChunk(n int) Option { return func(c *evalConfig) { c.chunk = n } }
+
 // New builds an Evaluator from functional options — the one constructor
 // behind which every backend topology lives:
 //
@@ -105,5 +115,6 @@ func New(opts ...Option) (Evaluator, error) {
 		Failover:       cfg.failover,
 		HealthInterval: cfg.healthInterval,
 		MaxRetries:     cfg.maxRetries,
+		Chunk:          cfg.chunk,
 	})
 }
