@@ -23,7 +23,7 @@
 package art9
 
 import (
-	"context"
+	"fmt"
 
 	"repro/internal/asm"
 	"repro/internal/bench"
@@ -101,7 +101,11 @@ type (
 // An optional SimConfig sizes the machine (memory words, step budget);
 // omitted, the full 9-trit address space and default budget apply.
 func Run(p *Program, data map[int]Word, cfg ...SimConfig) (*State, RunResult, error) {
-	pl := sim.NewPipeline(oneConfig(cfg))
+	c, err := oneConfig(cfg)
+	if err != nil {
+		return nil, RunResult{}, err
+	}
+	pl := sim.NewPipeline(c)
 	if err := pl.S.Load(p); err != nil {
 		return nil, RunResult{}, err
 	}
@@ -117,16 +121,26 @@ func Run(p *Program, data map[int]Word, cfg ...SimConfig) (*State, RunResult, er
 // RunFunctional executes a program on the single-cycle reference core,
 // with the same optional machine sizing as Run.
 func RunFunctional(p *Program, data map[int]Word, cfg ...SimConfig) (*State, RunResult, error) {
-	return core.RunFunctional(p, data, oneConfig(cfg))
+	c, err := oneConfig(cfg)
+	if err != nil {
+		return nil, RunResult{}, err
+	}
+	return core.RunFunctional(p, data, c)
 }
 
 // oneConfig unwraps the optional trailing SimConfig of Run and
-// RunFunctional (at most one is meaningful; extras are ignored).
-func oneConfig(cfg []SimConfig) SimConfig {
-	if len(cfg) > 0 {
-		return cfg[0]
+// RunFunctional. Passing more than one is an error — the extras used to
+// be silently discarded, which hid caller bugs where two configs
+// disagreed about the machine size.
+func oneConfig(cfg []SimConfig) (SimConfig, error) {
+	switch len(cfg) {
+	case 0:
+		return SimConfig{}, nil
+	case 1:
+		return cfg[0], nil
+	default:
+		return SimConfig{}, fmt.Errorf("art9: at most one SimConfig may be passed (got %d)", len(cfg))
 	}
-	return SimConfig{}
 }
 
 // Software-level compiling framework (§III-A).
@@ -232,6 +246,17 @@ type (
 	// scraped by the Balancer's probe loop, and used to size chunked
 	// dispatch (New(WithFailover(), WithChunk(n), ...)).
 	Capacity = engine.Capacity
+	// Autoscaler is the elastic front: a pool of local shards that
+	// grows and shrinks between bounds — recruiting standby peers under
+	// burst — from the queue-depth/utilization signal, draining every
+	// retired member before it closes. Build one with
+	// New(WithAutoscale(min, max), ...).
+	Autoscaler = engine.Autoscaler
+	// ScaleEvent records one autoscaler pool transition, as carried by
+	// BENCH reports and /v1/stats.
+	ScaleEvent = engine.ScaleEvent
+	// ScaleState is the autoscaler's point-in-time pool summary.
+	ScaleState = engine.ScaleState
 )
 
 // Typed evaluation errors, for errors.Is across every backend — the
@@ -246,6 +271,11 @@ var (
 	// peer, a severed result stream — the class a failover Balancer
 	// responds to by re-running the job elsewhere.
 	ErrUnavailable = engine.ErrUnavailable
+	// ErrInvalidOptions wraps New's rejection of incoherent option
+	// combinations — failover tuning without WithFailover, autoscale
+	// tuning without WithAutoscale, inverted bounds or thresholds. The
+	// message names the offending options.
+	ErrInvalidOptions = engine.ErrInvalidOptions
 )
 
 // NewEngine starts a local worker pool (0 workers selects GOMAXPROCS).
@@ -259,43 +289,4 @@ func NewEngine(opts EngineOptions) *Engine { return engine.New(opts) }
 // results from remote backends hold the peer's report row.
 func SuiteJobs() []EngineJob {
 	return bench.SuiteJobs(bench.Workloads, xlate.Options{})
-}
-
-// RunSuite fans the §V-A benchmark suite out across GOMAXPROCS workers
-// and returns the per-workload outcomes; the results are identical to
-// running each workload serially with RunBenchmark.
-//
-// Deprecated: build an Evaluator with New and submit SuiteJobs to it;
-// RunSuite remains as a one-call convenience over exactly that.
-func RunSuite(ctx context.Context) (map[string]*Outcome, error) {
-	eng := engine.New(engine.Options{})
-	defer eng.Close()
-	return bench.RunAllOn(ctx, eng)
-}
-
-// RunSuiteOn is RunSuite on a caller-owned engine, reusing its worker
-// pool and caches across batches.
-//
-// Deprecated: use New for the backend and submit SuiteJobs to it.
-func RunSuiteOn(ctx context.Context, eng *Engine) (map[string]*Outcome, error) {
-	return bench.RunAllOn(ctx, eng)
-}
-
-// NewShardSet starts n independent local engines (each sized by opts,
-// with private caches) behind one Stream/Run front. Call Close on the
-// returned set when done.
-//
-// Deprecated: use New with WithShards, or engine.NewShardSetOf to
-// compose arbitrary backends.
-func NewShardSet(n int, opts EngineOptions) *ShardSet {
-	return engine.NewShardSet(n, opts)
-}
-
-// StreamSuite fans the §V-A benchmark suite out on a caller-owned
-// engine and returns a channel yielding each workload's outcome as it
-// completes — the streaming dual of RunSuiteOn.
-//
-// Deprecated: use ev.Stream(ctx, SuiteJobs()) on any Evaluator.
-func StreamSuite(ctx context.Context, eng *Engine) <-chan EngineResult {
-	return eng.Stream(ctx, bench.SuiteJobs(bench.Workloads, xlate.Options{}))
 }

@@ -25,6 +25,16 @@
 //	                                             # capacity; a severed chunk
 //	                                             # re-runs only its
 //	                                             # unresolved jobs
+//	art9-batch -autoscale-min 1 -autoscale-max 4 # elastic pool: local shards
+//	                                             # float between the bounds,
+//	                                             # growing under queued load
+//	                                             # and draining before every
+//	                                             # shrink; the report gains
+//	                                             # the scale-event log
+//	art9-batch -autoscale-max 2 \
+//	           -standby-peers http://h1:9009     # standby peers are dialed
+//	                                             # only once the local bound
+//	                                             # is exhausted
 //
 // A manifest names jobs drawn from the built-in suite, inline RV32
 // sources, or assembly files, plus the technologies to evaluate each
@@ -69,12 +79,34 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
 	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
 	chunk := flag.Int("chunk", 0, "failover chunk size: dispatch up to N jobs per backend as one acknowledged suite stream (0: per-job)")
+	autoscaleMin := flag.Int("autoscale-min", 0, "elastic pool floor: minimum local shards (0 with -autoscale-max: 1)")
+	autoscaleMax := flag.Int("autoscale-max", 0, "elastic pool ceiling: maximum local shards (0: autoscaling off)")
+	standbyPeers := flag.String("standby-peers", "", "comma-separated art9-serve base URLs dialed only when the elastic pool's local ceiling is exhausted")
+	scaleUp := flag.Float64("scale-up", 0, "utilization at which the elastic pool grows (0: 0.8)")
+	scaleDown := flag.Float64("scale-down", 0, "utilization below which the elastic pool shrinks (0: 0.25)")
+	scaleCooldown := flag.Duration("scale-cooldown", 0, "minimum gap between scale events (0: 2s; negative: none)")
+	scaleInterval := flag.Duration("scale-interval", 0, "scale-evaluation period (0: 1s)")
 	timeout := flag.Duration("timeout", 0, "per-job timeout (0: none)")
 	compact := flag.Bool("compact", false, "emit the report without indentation")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
-	warn, err := validateFleetFlags(*failover, *chunk, *maxRetries, *healthInterval, *shards, len(peerURLs))
+	standbyURLs := remote.SplitPeerList(*standbyPeers)
+	warn, err := validateFleetFlags(remote.BackendConfig{
+		Shards:             *shards,
+		Peers:              peerURLs,
+		Failover:           *failover,
+		HealthInterval:     *healthInterval,
+		MaxRetries:         *maxRetries,
+		Chunk:              *chunk,
+		AutoscaleMin:       *autoscaleMin,
+		AutoscaleMax:       *autoscaleMax,
+		StandbyPeers:       standbyURLs,
+		ScaleUpThreshold:   *scaleUp,
+		ScaleDownThreshold: *scaleDown,
+		ScaleCooldown:      *scaleCooldown,
+		ScaleInterval:      *scaleInterval,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -110,6 +142,13 @@ func main() {
 	if *failover {
 		opts = append(opts, art9.WithFailover(), art9.WithChunk(*chunk),
 			art9.WithHealthInterval(*healthInterval), art9.WithMaxRetries(*maxRetries))
+	}
+	if *autoscaleMin != 0 || *autoscaleMax != 0 {
+		opts = append(opts, art9.WithAutoscale(*autoscaleMin, *autoscaleMax),
+			art9.WithStandbyPeers(standbyURLs...),
+			art9.WithScaleThresholds(*scaleUp, *scaleDown),
+			art9.WithScaleCooldown(*scaleCooldown),
+			art9.WithScaleInterval(*scaleInterval))
 	}
 	ev, err := art9.New(opts...)
 	if err != nil {
@@ -171,11 +210,13 @@ func emit(dest string, rep bench.Report, indent bool) error {
 	return os.WriteFile(dest, raw, 0o644)
 }
 
-// validateFleetFlags applies the shared fleet-flag rules
-// (remote.ValidateFleetFlags) to this CLI's flag values: tuning flags
-// without -failover error out, single-backend failover warns.
-func validateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
-	return remote.ValidateFleetFlags(failover, chunk, maxRetries, healthInterval, shards, peers)
+// validateFleetFlags applies the shared fleet rules
+// (remote.ValidateFleetFlags — the same set art9.New enforces as
+// ErrInvalidOptions) to this CLI's flag values: tuning flags without
+// their front error out, topologies with nothing to move jobs between
+// warn.
+func validateFleetFlags(cfg remote.BackendConfig) (warning string, err error) {
+	return remote.ValidateFleetFlags(cfg)
 }
 
 func fatal(err error) {

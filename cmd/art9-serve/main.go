@@ -20,6 +20,15 @@
 //	                                            # jobs per peer ride one
 //	                                            # acknowledged suite stream,
 //	                                            # sized by scraped capacity
+//	art9-serve -autoscale-min 1 -autoscale-max 4
+//	                                            # elastic pool: local shards
+//	                                            # float between the bounds;
+//	                                            # /v1/stats carries the scale
+//	                                            # state and event log
+//	art9-serve -autoscale-max 2 -standby-peers http://h1:9009
+//	                                            # standby peers dialed only
+//	                                            # once the local ceiling is
+//	                                            # exhausted
 //
 // Endpoints:
 //
@@ -64,10 +73,42 @@ func main() {
 	healthInterval := flag.Duration("health-interval", 0, "failover health-probe period (0: 2s; negative: probes off)")
 	maxRetries := flag.Int("max-retries", 0, "failover budget per job (0: 2; negative: no retries)")
 	chunk := flag.Int("chunk", 0, "failover chunk size: dispatch up to N jobs per backend as one acknowledged suite stream (0: per-job)")
+	autoscaleMin := flag.Int("autoscale-min", 0, "elastic pool floor: minimum local shards (0 with -autoscale-max: 1)")
+	autoscaleMax := flag.Int("autoscale-max", 0, "elastic pool ceiling: maximum local shards (0: autoscaling off)")
+	standbyPeers := flag.String("standby-peers", "", "comma-separated downstream art9-serve base URLs dialed only when the elastic pool's local ceiling is exhausted")
+	scaleUp := flag.Float64("scale-up", 0, "utilization at which the elastic pool grows (0: 0.8)")
+	scaleDown := flag.Float64("scale-down", 0, "utilization below which the elastic pool shrinks (0: 0.25)")
+	scaleCooldown := flag.Duration("scale-cooldown", 0, "minimum gap between scale events (0: 2s; negative: none)")
+	scaleInterval := flag.Duration("scale-interval", 0, "scale-evaluation period (0: 1s)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
-	warn, err := validateFleetFlags(*failover, *chunk, *maxRetries, *healthInterval, *shards, len(peerURLs))
+	standbyURLs := remote.SplitPeerList(*standbyPeers)
+	if *autoscaleMin != 0 || *autoscaleMax != 0 {
+		// The -shards default of 1 only describes the fixed topologies;
+		// an elastic pool owns its shard count, so the untouched default
+		// must not trip the -shards/-autoscale conflict rule.
+		set := false
+		flag.Visit(func(f *flag.Flag) { set = set || f.Name == "shards" })
+		if !set {
+			*shards = 0
+		}
+	}
+	warn, err := validateFleetFlags(remote.BackendConfig{
+		Shards:             *shards,
+		Peers:              peerURLs,
+		Failover:           *failover,
+		HealthInterval:     *healthInterval,
+		MaxRetries:         *maxRetries,
+		Chunk:              *chunk,
+		AutoscaleMin:       *autoscaleMin,
+		AutoscaleMax:       *autoscaleMax,
+		StandbyPeers:       standbyURLs,
+		ScaleUpThreshold:   *scaleUp,
+		ScaleDownThreshold: *scaleDown,
+		ScaleCooldown:      *scaleCooldown,
+		ScaleInterval:      *scaleInterval,
+	})
 	if err != nil {
 		fatal(err)
 	}
@@ -75,14 +116,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "art9-serve: warning:", warn)
 	}
 	srv, err := serve.New(serve.Config{
-		Shards:         *shards,
-		Workers:        *workers,
-		JobTimeout:     *jobTimeout,
-		Peers:          peerURLs,
-		Failover:       *failover,
-		HealthInterval: *healthInterval,
-		MaxRetries:     *maxRetries,
-		Chunk:          *chunk,
+		Shards:             *shards,
+		Workers:            *workers,
+		JobTimeout:         *jobTimeout,
+		Peers:              peerURLs,
+		Failover:           *failover,
+		HealthInterval:     *healthInterval,
+		MaxRetries:         *maxRetries,
+		Chunk:              *chunk,
+		AutoscaleMin:       *autoscaleMin,
+		AutoscaleMax:       *autoscaleMax,
+		StandbyPeers:       standbyURLs,
+		ScaleUpThreshold:   *scaleUp,
+		ScaleDownThreshold: *scaleDown,
+		ScaleCooldown:      *scaleCooldown,
+		ScaleInterval:      *scaleInterval,
 	})
 	if err != nil {
 		fatal(err)
@@ -117,12 +165,13 @@ func main() {
 	fmt.Fprintln(os.Stderr, "art9-serve: stopped")
 }
 
-// validateFleetFlags applies the shared fleet-flag rules
-// (remote.ValidateFleetFlags) to this CLI's flag values — the -shards
-// default of 1 rides in as the shards argument; tuning flags without
-// -failover error out, single-backend failover warns.
-func validateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
-	return remote.ValidateFleetFlags(failover, chunk, maxRetries, healthInterval, shards, peers)
+// validateFleetFlags applies the shared fleet rules
+// (remote.ValidateFleetFlags — the same set art9.New enforces as
+// ErrInvalidOptions) to this CLI's flag values — the -shards default of
+// 1 rides in on the config; tuning flags without their front error out,
+// topologies with nothing to move jobs between warn.
+func validateFleetFlags(cfg remote.BackendConfig) (warning string, err error) {
+	return remote.ValidateFleetFlags(cfg)
 }
 
 func fatal(err error) {

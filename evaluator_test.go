@@ -160,3 +160,21 @@ func TestRunAcceptsSimConfig(t *testing.T) {
 		t.Errorf("sized run: T1=%d cycles=%d, want 42 and non-zero", s.Reg(1).Int(), res.Cycles)
 	}
 }
+
+// TestRunRejectsMultipleSimConfigs pins the variadic contract: the
+// optional SimConfig is at most one — extras used to be silently
+// discarded, hiding caller bugs where two configs disagreed.
+func TestRunRejectsMultipleSimConfigs(t *testing.T) {
+	prog, err := art9.Assemble("LDI T1, 42\nHALT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := art9.SimConfig{TIMWords: 64, TDMWords: 64}
+	b := art9.SimConfig{TIMWords: 128}
+	if _, _, err := art9.Run(prog, nil, a, b); err == nil {
+		t.Error("Run silently accepted two SimConfigs")
+	}
+	if _, _, err := art9.RunFunctional(prog, nil, a, b); err == nil {
+		t.Error("RunFunctional silently accepted two SimConfigs")
+	}
+}

@@ -26,17 +26,19 @@ type Report struct {
 	Cache  CacheReport  `json:"cache"`
 	Engine EngineReport `json:"engine"`
 	// Balancer is present exactly when the batch ran behind a
-	// health-aware failover front: per-backend dispatch, failover and
-	// health-probe counters, so BENCH artifacts record fleet behaviour
-	// (which backends carried the work, which dropped jobs that were
-	// re-run elsewhere).
+	// health-aware failover front or an elastic autoscaling front:
+	// per-backend dispatch, failover and health-probe counters, so
+	// BENCH artifacts record fleet behaviour (which backends carried
+	// the work, which dropped jobs that were re-run elsewhere, which
+	// were spawned or retired by scaling).
 	Balancer *BalancerReport `json:"balancer,omitempty"`
 	Failures int             `json:"failures"`
 }
 
-// BalancerReport snapshots an engine.Balancer's failover behaviour:
-// the budget it ran with, how many re-dispatches it performed, and one
-// scorecard per backend.
+// BalancerReport snapshots a fleet front's dispatch behaviour — an
+// engine.Balancer's failover counters or an engine.Autoscaler's scale
+// trajectory: the budget it ran with, how many re-dispatches it
+// performed, and one scorecard per backend.
 type BalancerReport struct {
 	MaxRetries int `json:"max_retries"`
 	// Retries counts re-dispatches (attempts after each job's first);
@@ -49,27 +51,47 @@ type BalancerReport struct {
 	// the chunks severed mid-stream whose unresolved jobs were
 	// re-chunked onto survivors — the wire-overhead trajectory the
 	// BENCH artifacts track.
-	Chunk        int                    `json:"chunk,omitempty"`
-	Chunks       uint64                 `json:"chunks,omitempty"`
-	ChunkResumes uint64                 `json:"chunk_resumes,omitempty"`
-	Backends     []engine.BackendHealth `json:"backends"`
+	Chunk        int    `json:"chunk,omitempty"`
+	Chunks       uint64 `json:"chunks,omitempty"`
+	ChunkResumes uint64 `json:"chunk_resumes,omitempty"`
+	// ScaleUps/ScaleDowns count an Autoscaler front's pool transitions
+	// and ScaleEvents is its event log (capped by the engine) — the
+	// elasticity trajectory the BENCH artifacts track. Absent behind a
+	// fixed-size Balancer.
+	ScaleUps    uint64                 `json:"scale_ups,omitempty"`
+	ScaleDowns  uint64                 `json:"scale_downs,omitempty"`
+	ScaleEvents []engine.ScaleEvent    `json:"scale_events,omitempty"`
+	Backends    []engine.BackendHealth `json:"backends"`
 }
 
-// BalancerReportFor renders the failover scorecard of a Balancer-fronted
-// backend, or nil when ev is any other Evaluator — callers attach it to
-// a Report exactly when it exists.
+// BalancerReportFor renders the fleet scorecard of a Balancer- or
+// Autoscaler-fronted backend, or nil when ev is any other Evaluator —
+// callers attach it to a Report exactly when it exists.
 func BalancerReportFor(ev engine.Evaluator) *BalancerReport {
-	b, ok := ev.(*engine.Balancer)
-	if !ok {
+	var rep *BalancerReport
+	switch front := ev.(type) {
+	case *engine.Balancer:
+		rep = &BalancerReport{
+			MaxRetries:   front.MaxRetries(),
+			Retries:      front.Retries(),
+			Chunk:        front.Chunk(),
+			Chunks:       front.Chunks(),
+			ChunkResumes: front.ChunkResumes(),
+			Backends:     front.Health(),
+		}
+	case *engine.Autoscaler:
+		rep = &BalancerReport{
+			MaxRetries: front.MaxRetries(),
+			Retries:    front.Retries(),
+			ScaleUps:   front.ScaleUps(),
+			ScaleDowns: front.ScaleDowns(),
+			// Events is already bounded engine-side, so the report
+			// carries the full log it kept.
+			ScaleEvents: front.Events(),
+			Backends:    front.Health(),
+		}
+	default:
 		return nil
-	}
-	rep := &BalancerReport{
-		MaxRetries:   b.MaxRetries(),
-		Retries:      b.Retries(),
-		Chunk:        b.Chunk(),
-		Chunks:       b.Chunks(),
-		ChunkResumes: b.ChunkResumes(),
-		Backends:     b.Health(),
 	}
 	for _, h := range rep.Backends {
 		rep.Failovers += h.Failovers

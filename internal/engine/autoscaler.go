@@ -1,0 +1,793 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrInvalidOptions is returned (wrapped, with the offending options
+// named) when an evaluator is configured with an incoherent option
+// combination — failover tuning without a failover front, inverted
+// autoscale bounds, standby peers without an autoscaler. Check with
+// errors.Is; the art9.New facade and both CLIs reject configurations
+// through the same rule set, so library and flag users get identical
+// diagnostics.
+var ErrInvalidOptions = errors.New("engine: invalid option combination")
+
+// Autoscaler is the elastic Evaluator: it fronts a pool of local shard
+// engines that grows and shrinks between configured bounds — and
+// optionally dials configured standby backends when the local bound is
+// exhausted — driven by the same capacity/queue-depth signal the
+// Balancer scrapes. Dispatch is least-loaded over the active members,
+// with bounded job-level failover on backend errors.
+//
+// Scaling follows hysteresis: the pool grows when jobs are queued
+// beyond the active capacity (or utilization crosses UpThreshold),
+// shrinks when utilization falls below DownThreshold with nothing
+// queued, and a cooldown separates consecutive scale events so a noisy
+// load signal cannot thrash the pool. A retired member is drained
+// before it is released: it stops receiving new jobs immediately, its
+// in-flight jobs run to completion, and only then is its Close — the
+// same drain-safe contract every Evaluator honours — invoked, so no
+// job is ever lost to a shrink.
+type Autoscaler struct {
+	min, max   int
+	up, down   float64
+	cooldown   time.Duration
+	interval   time.Duration
+	width      int
+	maxRetries int
+	spawn      func() Evaluator
+	standby    []StandbyBackend
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	closed  bool
+	members []*scaledMember // every member ever started, retired ones included
+	locals  int             // currently active local members
+	live    []bool          // per standby factory: dialed and active
+	waiting int             // jobs parked for a dispatch slot — the queue-depth signal
+	last    time.Time       // most recent scale event, for the cooldown
+	events  []ScaleEvent
+	seq     int    // scale-event sequence
+	spawned int    // local members ever spawned, for stable naming
+	ups     uint64 // lifetime scale-up events
+	downs   uint64 // lifetime scale-down events
+	retries uint64 // re-dispatches after backend-level failures
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	drains   sync.WaitGroup
+}
+
+// scaledMember is one pooled backend plus the autoscaler's book-keeping.
+// Mutable fields are guarded by Autoscaler.mu.
+type scaledMember struct {
+	ev      Evaluator
+	name    string
+	width   int  // max concurrent jobs dispatched here
+	standby int  // index into the standby factories, -1 for a local shard
+	active  bool // accepting new jobs
+	retired bool // scaled down; drained and closed once inflight hits 0
+
+	inflight   int
+	dispatched uint64
+	completed  uint64
+	failed     uint64
+	failovers  uint64
+	lastErr    string
+}
+
+// StandbyBackend is one standby member the autoscaler may dial when the
+// local bound is exhausted and retire first when load drops.
+type StandbyBackend struct {
+	// Name labels the backend in health reports and scale events.
+	Name string
+	// Dial builds the backend. It is called on each scale-up that
+	// recruits this standby (a retired standby is re-dialed fresh) and
+	// must not block — the remote client's constructor, which validates
+	// the URL without connecting, is the intended shape.
+	Dial func() (Evaluator, error)
+}
+
+// ScaleEvent records one pool transition — the fleet-breathing record
+// BENCH artifacts and /v1/stats carry.
+type ScaleEvent struct {
+	Seq       int    `json:"seq"`
+	Direction string `json:"direction"` // "up" or "down"
+	Backend   string `json:"backend"`   // the member added or retired
+	Reason    string `json:"reason"`    // the signal that triggered it
+	Width     int    `json:"width"`     // active dispatch width after the event
+	UnixMS    int64  `json:"unix_ms"`
+}
+
+// ScaleState is the autoscaler's point-in-time summary, served by the
+// serve layer's /v1/stats.
+type ScaleState struct {
+	Min            int     `json:"min"`
+	Max            int     `json:"max"`
+	ActiveShards   int     `json:"active_shards"`
+	ActiveStandbys int     `json:"active_standbys"`
+	Standbys       int     `json:"standbys"` // configured standby backends
+	Width          int     `json:"width"`    // active dispatch width
+	Busy           int     `json:"busy"`     // jobs in flight on active members
+	Queue          int     `json:"queue"`    // jobs waiting for a slot
+	UpThreshold    float64 `json:"up_threshold"`
+	DownThreshold  float64 `json:"down_threshold"`
+	ScaleUps       uint64  `json:"scale_ups"`
+	ScaleDowns     uint64  `json:"scale_downs"`
+}
+
+// AutoscalerOptions configure an Autoscaler. The zero value of each
+// field selects the documented default.
+type AutoscalerOptions struct {
+	// Min and Max bound the local shard count (Min 0 selects 1; Max 0
+	// selects Min). Standby backends are recruited beyond Max.
+	Min, Max int
+	// Engine configures each spawned local shard. PrivateCaches is
+	// forced on when the pool can ever hold more than one member, so
+	// shards stay independent exactly like a ShardSet's.
+	Engine Options
+	// Spawn overrides how a local shard is built (tests inject scripted
+	// backends); nil selects engine.New(Engine).
+	Spawn func() Evaluator
+	// Standby lists backends dialed when the local bound is exhausted
+	// and retired first when load drops.
+	Standby []StandbyBackend
+	// UpThreshold is the busy/width utilization at or above which the
+	// pool grows (0 selects 0.8); queued jobs grow it regardless.
+	UpThreshold float64
+	// DownThreshold is the utilization below which an idle-enough pool
+	// shrinks (0 selects 0.25).
+	DownThreshold float64
+	// Cooldown is the minimum gap between consecutive scale events
+	// (0 selects 2s; negative disables the gap).
+	Cooldown time.Duration
+	// Interval is the period of the background evaluation loop
+	// (0 selects 1s; negative disables the loop — scaling then only
+	// happens through ScaleNow, which tests use for determinism).
+	Interval time.Duration
+	// Width caps concurrent dispatch to members that report no local
+	// workers — standby remote peers (0 selects 8).
+	Width int
+	// MaxRetries bounds per-job failover after a backend-level failure
+	// (0 selects 2; negative disables failover retries).
+	MaxRetries int
+}
+
+// NewAutoscaler starts an elastic pool at its minimum size and, unless
+// the evaluation interval is negative, the background scale loop.
+// Close drains and releases every member. The autoscaler owns its
+// members: locals are spawned, standbys dialed and retired, entirely
+// by the scale loop.
+func NewAutoscaler(opts AutoscalerOptions) *Autoscaler {
+	if opts.Min <= 0 {
+		opts.Min = 1
+	}
+	if opts.Max <= 0 {
+		opts.Max = opts.Min
+	}
+	if opts.Max < opts.Min {
+		opts.Max = opts.Min
+	}
+	if opts.UpThreshold <= 0 {
+		opts.UpThreshold = 0.8
+	}
+	if opts.DownThreshold <= 0 {
+		opts.DownThreshold = 0.25
+	}
+	if opts.Cooldown == 0 {
+		opts.Cooldown = 2 * time.Second
+	}
+	if opts.Interval == 0 {
+		opts.Interval = time.Second
+	}
+	if opts.Width <= 0 {
+		opts.Width = 8
+	}
+	if opts.MaxRetries == 0 {
+		opts.MaxRetries = 2
+	} else if opts.MaxRetries < 0 {
+		opts.MaxRetries = 0
+	}
+	spawn := opts.Spawn
+	if spawn == nil {
+		eo := opts.Engine
+		// Pools that can ever hold more than one member keep shards
+		// independent, matching NewBackendWith's composition rule.
+		if opts.Max > 1 || len(opts.Standby) > 0 {
+			eo.PrivateCaches = true
+		}
+		spawn = func() Evaluator { return New(eo) }
+	}
+	a := &Autoscaler{
+		min:        opts.Min,
+		max:        opts.Max,
+		up:         opts.UpThreshold,
+		down:       opts.DownThreshold,
+		cooldown:   opts.Cooldown,
+		interval:   opts.Interval,
+		width:      opts.Width,
+		maxRetries: opts.MaxRetries,
+		spawn:      spawn,
+		standby:    opts.Standby,
+		live:       make([]bool, len(opts.Standby)),
+		stop:       make(chan struct{}),
+	}
+	a.cond = sync.NewCond(&a.mu)
+	a.mu.Lock()
+	for i := 0; i < a.min; i++ {
+		a.addLocalLocked()
+	}
+	a.mu.Unlock()
+	if a.interval > 0 {
+		go a.loop()
+	}
+	return a
+}
+
+// The autoscaler is a first-class member of the evaluation stack.
+var (
+	_ Evaluator        = (*Autoscaler)(nil)
+	_ Composite        = (*Autoscaler)(nil)
+	_ Prober           = (*Autoscaler)(nil)
+	_ CapacityReporter = (*Autoscaler)(nil)
+)
+
+// addLocalLocked spawns one local shard and makes it active. Callers
+// hold a.mu.
+func (a *Autoscaler) addLocalLocked() *scaledMember {
+	ev := a.spawn()
+	w := LocalStats(ev).Workers
+	if w <= 0 {
+		w = a.width
+	}
+	m := &scaledMember{
+		ev:      ev,
+		name:    fmt.Sprintf("pool/%d", a.spawned),
+		width:   w,
+		standby: -1,
+		active:  true,
+	}
+	a.spawned++
+	a.locals++
+	a.members = append(a.members, m)
+	return m
+}
+
+// loop drives periodic scale evaluation until Close.
+func (a *Autoscaler) loop() {
+	t := time.NewTicker(a.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case <-t.C:
+			a.ScaleNow()
+		}
+	}
+}
+
+// ScaleNow evaluates the load signal once and applies at most one scale
+// event — the loop's body, exported so tests (and operators reacting to
+// a known burst) can force a deterministic round. It reports whether
+// the pool changed.
+func (a *Autoscaler) ScaleNow() bool {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return false
+	}
+	now := time.Now()
+	if a.cooldown > 0 && !a.last.IsZero() && now.Sub(a.last) < a.cooldown {
+		a.mu.Unlock()
+		return false
+	}
+	width, busy := a.loadLocked()
+	queue := a.waiting
+	util := 0.0
+	if width > 0 {
+		util = float64(busy) / float64(width)
+	}
+	var scaled bool
+	switch {
+	case (queue > 0 || util >= a.up) && a.canGrowLocked():
+		reason := fmt.Sprintf("utilization %.2f >= %.2f", util, a.up)
+		if queue > 0 {
+			reason = fmt.Sprintf("queue depth %d", queue)
+		}
+		scaled = a.growLocked(now, reason)
+	case queue == 0 && util < a.down && a.canShrinkLocked():
+		scaled = a.shrinkLocked(now, fmt.Sprintf("utilization %.2f < %.2f", util, a.down))
+	}
+	a.mu.Unlock()
+	if scaled {
+		// New capacity (or a retirement) changes what waiters can get.
+		a.cond.Broadcast()
+	}
+	return scaled
+}
+
+// loadLocked sums the active members' dispatch width and in-flight jobs.
+func (a *Autoscaler) loadLocked() (width, busy int) {
+	for _, m := range a.members {
+		if m.active {
+			width += m.width
+			busy += m.inflight
+		}
+	}
+	return width, busy
+}
+
+func (a *Autoscaler) canGrowLocked() bool {
+	if a.locals < a.max {
+		return true
+	}
+	for _, l := range a.live {
+		if !l {
+			return true
+		}
+	}
+	return false
+}
+
+func (a *Autoscaler) canShrinkLocked() bool {
+	if a.locals > a.min {
+		return true
+	}
+	for _, l := range a.live {
+		if l {
+			return true
+		}
+	}
+	return false
+}
+
+// growLocked adds one member: a local shard while the local bound
+// allows, then the first idle standby. A standby whose dial fails is
+// skipped this round.
+func (a *Autoscaler) growLocked(now time.Time, reason string) bool {
+	var m *scaledMember
+	if a.locals < a.max {
+		m = a.addLocalLocked()
+	} else {
+		for i := range a.standby {
+			if a.live[i] {
+				continue
+			}
+			ev, err := a.standby[i].Dial()
+			if err != nil {
+				continue
+			}
+			name := a.standby[i].Name
+			if name == "" {
+				name = fmt.Sprintf("standby/%d", i)
+			}
+			w := LocalStats(ev).Workers
+			if w <= 0 {
+				w = a.width
+			}
+			m = &scaledMember{ev: ev, name: name, width: w, standby: i, active: true}
+			a.live[i] = true
+			a.members = append(a.members, m)
+			break
+		}
+	}
+	if m == nil {
+		return false
+	}
+	a.ups++
+	a.recordLocked(now, "up", m.name, reason)
+	return true
+}
+
+// shrinkLocked retires one member — standbys first (they cost a wire
+// hop), then locals down to the minimum, preferring the least-loaded
+// candidate — and hands it to a drainer that closes it only once its
+// in-flight jobs have resolved.
+func (a *Autoscaler) shrinkLocked(now time.Time, reason string) bool {
+	var victim *scaledMember
+	for _, m := range a.members {
+		if !m.active {
+			continue
+		}
+		if m.standby < 0 && a.locals <= a.min {
+			continue // the local floor
+		}
+		if victim == nil ||
+			(m.standby >= 0 && victim.standby < 0) || // standbys retire first
+			(boolEq(m.standby >= 0, victim.standby >= 0) && m.inflight < victim.inflight) {
+			victim = m
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	victim.active = false
+	victim.retired = true
+	if victim.standby >= 0 {
+		a.live[victim.standby] = false
+	} else {
+		a.locals--
+	}
+	a.downs++
+	a.recordLocked(now, "down", victim.name, reason)
+	a.drains.Add(1)
+	go a.drainAndClose(victim)
+	return true
+}
+
+func boolEq(x, y bool) bool { return x == y }
+
+// drainAndClose waits for a retired member's in-flight jobs to resolve,
+// then closes it — drain-before-retire. If the autoscaler itself closes
+// first, Close owns the member shutdown and the drainer just exits.
+func (a *Autoscaler) drainAndClose(m *scaledMember) {
+	defer a.drains.Done()
+	a.mu.Lock()
+	for m.inflight > 0 && !a.closed {
+		a.cond.Wait()
+	}
+	closed := a.closed
+	a.mu.Unlock()
+	if !closed {
+		m.ev.Close()
+	}
+}
+
+// recordLocked appends one scale event, bounding the retained history.
+func (a *Autoscaler) recordLocked(now time.Time, dir, backend, reason string) {
+	a.seq++
+	width, _ := a.loadLocked()
+	a.last = now
+	a.events = append(a.events, ScaleEvent{
+		Seq:       a.seq,
+		Direction: dir,
+		Backend:   backend,
+		Reason:    reason,
+		Width:     width,
+		UnixMS:    now.UnixMilli(),
+	})
+	const maxEvents = 256
+	if len(a.events) > maxEvents {
+		a.events = append(a.events[:0:0], a.events[len(a.events)-maxEvents:]...)
+	}
+}
+
+// Size returns how many members the pool has ever held (retired members
+// keep reporting their counters).
+func (a *Autoscaler) Size() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return len(a.members)
+}
+
+// Backend returns member i, for stats drill-down and tests. Members are
+// only ever appended, so an index observed via Size stays valid.
+func (a *Autoscaler) Backend(i int) Evaluator {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.members[i].ev
+}
+
+// Min and Max report the configured local-shard bounds.
+func (a *Autoscaler) Min() int { return a.min }
+func (a *Autoscaler) Max() int { return a.max }
+
+// MaxRetries returns the per-job failover budget.
+func (a *Autoscaler) MaxRetries() int { return a.maxRetries }
+
+// Retries returns how many re-dispatches (attempts after each job's
+// first) the autoscaler has performed over its lifetime.
+func (a *Autoscaler) Retries() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.retries
+}
+
+// ScaleUps and ScaleDowns report the lifetime scale-event counters.
+func (a *Autoscaler) ScaleUps() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.ups
+}
+
+func (a *Autoscaler) ScaleDowns() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.downs
+}
+
+// Events snapshots the retained scale-event history, oldest first.
+func (a *Autoscaler) Events() []ScaleEvent {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]ScaleEvent, len(a.events))
+	copy(out, a.events)
+	return out
+}
+
+// ScaleState snapshots the pool's shape and load signal.
+func (a *Autoscaler) ScaleState() ScaleState {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	width, busy := a.loadLocked()
+	st := ScaleState{
+		Min:           a.min,
+		Max:           a.max,
+		Standbys:      len(a.standby),
+		Width:         width,
+		Busy:          busy,
+		Queue:         a.waiting,
+		UpThreshold:   a.up,
+		DownThreshold: a.down,
+		ScaleUps:      a.ups,
+		ScaleDowns:    a.downs,
+	}
+	for _, m := range a.members {
+		if !m.active {
+			continue
+		}
+		if m.standby >= 0 {
+			st.ActiveStandbys++
+		} else {
+			st.ActiveShards++
+		}
+	}
+	return st
+}
+
+// Health snapshots every member's scorecard, spawn order, retired
+// members included — the same shape the Balancer reports, so stats
+// endpoints and BENCH artifacts render both fronts identically.
+func (a *Autoscaler) Health() []BackendHealth {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]BackendHealth, len(a.members))
+	for i, m := range a.members {
+		out[i] = BackendHealth{
+			Name:       m.name,
+			Healthy:    m.active,
+			Width:      m.width,
+			Inflight:   m.inflight,
+			Dispatched: m.dispatched,
+			Completed:  m.completed,
+			Failed:     m.failed,
+			Failovers:  m.failovers,
+			Retired:    m.retired,
+			Standby:    m.standby >= 0,
+			LastError:  m.lastErr,
+		}
+	}
+	return out
+}
+
+// Stats sums every member's own counters — the Evaluator view. Retired
+// members stay included: the jobs they completed happened.
+func (a *Autoscaler) Stats() Stats {
+	var t Stats
+	for _, st := range BackendStats(a) {
+		t = t.Add(st)
+	}
+	return t
+}
+
+// Capacity reports the active pool's load snapshot: live width, jobs in
+// flight, and the dispatch queue — the signal the scale loop itself
+// consumes, so /v1/capacity shows exactly what scaling decisions see.
+func (a *Autoscaler) Capacity(context.Context) (Capacity, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	width, busy := a.loadLocked()
+	c := Capacity{Workers: width, Busy: busy, Queue: a.waiting}
+	if busy < width {
+		c.Free = width - busy
+	}
+	return c, nil
+}
+
+// Probe reports liveness: an open autoscaler always has at least its
+// minimum pool accepting jobs.
+func (a *Autoscaler) Probe(context.Context) error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return ErrClosed
+	}
+	return nil
+}
+
+// Close stops the scale loop, wakes every waiter (their jobs resolve
+// with ErrClosed), waits for retirement drains, and closes every member
+// concurrently, joining their errors. Idempotent.
+func (a *Autoscaler) Close() error {
+	var err error
+	a.stopOnce.Do(func() {
+		a.mu.Lock()
+		a.closed = true
+		members := make([]*scaledMember, len(a.members))
+		copy(members, a.members)
+		a.mu.Unlock()
+		close(a.stop)
+		a.cond.Broadcast()
+		a.drains.Wait()
+		errs := make([]error, len(members))
+		var wg sync.WaitGroup
+		for i, m := range members {
+			wg.Add(1)
+			go func(i int, ev Evaluator) {
+				defer wg.Done()
+				errs[i] = ev.Close()
+			}(i, m.ev)
+		}
+		wg.Wait()
+		err = errors.Join(errs...)
+	})
+	return err
+}
+
+// Run dispatches every job to the least-loaded active member, failing
+// over on backend-level errors, and returns results in submission
+// order — Engine.Run semantics over the elastic pool.
+func (a *Autoscaler) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	out := make([]Result, len(jobs))
+	a.dispatch(ctx, jobs, func(i int, r Result) { out[i] = r })
+	return out, ctx.Err()
+}
+
+// Stream dispatches like Run but yields each result the moment its job
+// resolves, in completion order. The channel is buffered to len(jobs)
+// and always closes — the Evaluator contract.
+func (a *Autoscaler) Stream(ctx context.Context, jobs []Job) <-chan Result {
+	out := make(chan Result, len(jobs))
+	if len(jobs) == 0 {
+		close(out)
+		return out
+	}
+	go func() {
+		defer close(out)
+		a.dispatch(ctx, jobs, func(_ int, r Result) { out <- r })
+	}()
+	return out
+}
+
+// dispatch resolves every job exactly once through emit(jobIndex,
+// result). One placement goroutine per job parks in acquire until an
+// active member has a free slot; the parked count is the queue-depth
+// signal the scale loop grows the pool from. A watcher broadcasts on
+// the context ending so parked jobs observe the cancellation.
+func (a *Autoscaler) dispatch(ctx context.Context, jobs []Job, emit func(int, Result)) {
+	if len(jobs) == 0 {
+		return
+	}
+	watchDone := make(chan struct{})
+	go func() {
+		select {
+		case <-ctx.Done():
+			// Broadcast under mu so the wakeup cannot fire into the gap
+			// between a waiter's last ctx check and its park.
+			a.mu.Lock()
+			a.cond.Broadcast()
+			a.mu.Unlock()
+		case <-watchDone:
+		}
+	}()
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			emit(i, a.runJob(ctx, jobs[i]))
+		}(i)
+	}
+	wg.Wait()
+	close(watchDone)
+}
+
+// runJob places one job, retrying backend-level failures on other
+// members within the failover budget — members already tried are
+// excluded until every active member has been, then the exclusion
+// resets so a freshly scaled-up pool gets another pass.
+func (a *Autoscaler) runJob(ctx context.Context, j Job) Result {
+	exclude := make(map[*scaledMember]bool)
+	var last Result
+	for attempt := 0; ; attempt++ {
+		m, err := a.acquire(ctx, exclude)
+		if err == errAllTried {
+			exclude = make(map[*scaledMember]bool)
+			m, err = a.acquire(ctx, exclude)
+		}
+		if err != nil {
+			return Result{ID: j.ID, Err: err, Worker: -1}
+		}
+		if attempt > 0 {
+			a.mu.Lock()
+			a.retries++
+			a.mu.Unlock()
+		}
+		last = a.attempt(ctx, m, j)
+		if !Retryable(last.Err) {
+			return last
+		}
+		a.mu.Lock()
+		if attempt >= a.maxRetries {
+			m.failed++
+			a.mu.Unlock()
+			return last
+		}
+		m.failovers++
+		a.mu.Unlock()
+		exclude[m] = true
+	}
+}
+
+// acquire reserves a dispatch slot on the active member with the fewest
+// in-flight jobs and a free slot. When every active member is saturated
+// it parks — counted in waiting, which is what makes queued demand
+// visible to the scale loop — until a completion, a scale event,
+// cancellation, or Close wakes it.
+func (a *Autoscaler) acquire(ctx context.Context, exclude map[*scaledMember]bool) (*scaledMember, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if a.closed {
+			return nil, ErrClosed
+		}
+		var best *scaledMember
+		allTried := true
+		for _, m := range a.members {
+			if !m.active || exclude[m] {
+				continue
+			}
+			allTried = false
+			if m.width-m.inflight > 0 && (best == nil || m.inflight < best.inflight) {
+				best = m
+			}
+		}
+		if allTried && len(exclude) > 0 {
+			return nil, errAllTried
+		}
+		if best != nil {
+			best.inflight++
+			best.dispatched++
+			return best, nil
+		}
+		a.waiting++
+		a.cond.Wait()
+		a.waiting--
+	}
+}
+
+// attempt runs one job on one member and scores the outcome. Whether a
+// retryable failure becomes a failover or a terminal failure is
+// runJob's call — it owns the retry budget.
+func (a *Autoscaler) attempt(ctx context.Context, m *scaledMember, j Job) Result {
+	rs, _ := m.ev.Run(ctx, []Job{j})
+	var r Result
+	if len(rs) >= 1 {
+		r = rs[0]
+	} else {
+		r = Result{ID: j.ID, Worker: -1,
+			Err: fmt.Errorf("engine: backend %s returned no result: %w", m.name, ErrUnavailable)}
+	}
+	a.mu.Lock()
+	m.inflight--
+	switch {
+	case r.Err == nil:
+		m.completed++
+	case Retryable(r.Err):
+		m.lastErr = r.Err.Error()
+	default:
+		m.failed++
+	}
+	a.mu.Unlock()
+	a.cond.Broadcast()
+	return r
+}

@@ -183,7 +183,14 @@ type BackendHealth struct {
 	// CapacityScrapes counts the successful scrapes.
 	Capacity        *Capacity `json:"capacity,omitempty"`
 	CapacityScrapes uint64    `json:"capacity_scrapes,omitempty"`
-	LastError       string    `json:"last_error,omitempty"`
+	// Retired and Standby are the Autoscaler's scale-event plumbing: a
+	// retired member was scaled down (drained, then closed) and no
+	// longer takes jobs; a standby member was dialed from the
+	// configured standby list rather than spawned locally. Always false
+	// on a fixed-size Balancer's scorecards.
+	Retired   bool   `json:"retired,omitempty"`
+	Standby   bool   `json:"standby,omitempty"`
+	LastError string `json:"last_error,omitempty"`
 }
 
 // BalancerOptions tune a Balancer. The zero value selects the defaults

@@ -1,0 +1,85 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"testing"
+)
+
+// TestCapacityFromStats pins the counter→snapshot derivation every
+// capacity consumer (chunk sizing, the autoscaler's load signal,
+// /v1/capacity) relies on, including the degenerate corners: a
+// zero-worker pool puts all in-flight work in the queue, the queue
+// only appears once busy exceeds the pool, and counters that resolved
+// more than they submitted (a torn multi-counter read) clamp to idle
+// instead of going negative.
+func TestCapacityFromStats(t *testing.T) {
+	tests := []struct {
+		name string
+		st   Stats
+		want Capacity
+	}{
+		{name: "idle pool",
+			st:   Stats{Workers: 4},
+			want: Capacity{Workers: 4, Free: 4}},
+		{name: "partially busy",
+			st:   Stats{Workers: 4, Submitted: 10, Completed: 7, Failed: 1},
+			want: Capacity{Workers: 4, Busy: 2, Free: 2}},
+		{name: "saturated, no queue",
+			st:   Stats{Workers: 3, Submitted: 3},
+			want: Capacity{Workers: 3, Busy: 3}},
+		{name: "queue beyond the pool",
+			st:   Stats{Workers: 2, Submitted: 9, Completed: 2, Canceled: 1},
+			want: Capacity{Workers: 2, Busy: 6, Queue: 4}},
+		{name: "zero workers is pure queue",
+			st:   Stats{Workers: 0, Submitted: 5, Completed: 2},
+			want: Capacity{Workers: 0, Busy: 3, Queue: 3}},
+		{name: "zero workers idle",
+			st:   Stats{Workers: 0},
+			want: Capacity{}},
+		{name: "every verdict kind counts as resolved",
+			st: Stats{Workers: 8, Submitted: 10,
+				Completed: 4, Failed: 3, Canceled: 2, Rejected: 1},
+			want: Capacity{Workers: 8, Free: 8}},
+		{name: "resolved beyond submitted clamps to idle",
+			st:   Stats{Workers: 2, Submitted: 3, Completed: 5},
+			want: Capacity{Workers: 2, Free: 2}},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := CapacityFromStats(tt.st); got != tt.want {
+				t.Errorf("CapacityFromStats(%+v) = %+v, want %+v", tt.st, got, tt.want)
+			}
+		})
+	}
+}
+
+// failingCapacity is an Evaluator whose capacity query always errors —
+// the shape of a peer whose /v1/capacity and /v1/stats scrapes both
+// failed.
+type failingCapacity struct {
+	Evaluator
+}
+
+func (failingCapacity) Capacity(context.Context) (Capacity, error) {
+	return Capacity{}, errors.New("scrape failed")
+}
+
+func (failingCapacity) LocalStats() Stats { return Stats{Workers: 2, Submitted: 1} }
+
+// TestLocalCapacityIgnoresScrapeFailure pins the fallback contract:
+// LocalCapacity never performs (or propagates) a network scrape — a
+// backend whose CapacityReporter fails still yields a snapshot derived
+// from its process-local counters, so liveness probes and /v1/capacity
+// stay network-free.
+func TestLocalCapacityIgnoresScrapeFailure(t *testing.T) {
+	inner := New(Options{Workers: 2})
+	defer inner.Close()
+	ev := failingCapacity{Evaluator: inner}
+
+	got := LocalCapacity(ev)
+	want := Capacity{Workers: 2, Busy: 1, Free: 1}
+	if got != want {
+		t.Errorf("LocalCapacity = %+v, want %+v (from LocalStats, not the failing scrape)", got, want)
+	}
+}

@@ -939,41 +939,150 @@ func SplitPeerList(s string) []string {
 	return out
 }
 
-// ValidateFleetFlags vets the failover-tuning CLI flags against the
-// configured topology before anything runs — the one rule set behind
-// both art9-batch and art9-serve (shards is each CLI's own flag value;
-// the implicit-single-shard default is folded in here). Flags that only
-// tune the failover Balancer error out without failover, since silently
-// ignoring them would leave the operator believing they are in effect;
-// failover over a single backend — nothing to fail over to — returns a
-// warning rather than an error, since the run still works.
-func ValidateFleetFlags(failover bool, chunk, maxRetries int, healthInterval time.Duration, shards, peers int) (warning string, err error) {
-	if chunk < 0 {
-		return "", fmt.Errorf("-chunk must be >= 0 (got %d)", chunk)
+// optionNames maps each fleet-configuration knob to the name a user
+// knows it by, so the one validation rule set renders identical
+// diagnostics for library callers (functional options) and CLI
+// operators (flags).
+type optionNames struct {
+	failover, chunk, maxRetries, healthInterval   string
+	autoscale, standbyPeers, shards, peers        string
+	scaleThresholds, scaleCooldown, scaleInterval string
+}
+
+var libraryNames = optionNames{
+	failover: "WithFailover", chunk: "WithChunk",
+	maxRetries: "WithMaxRetries", healthInterval: "WithHealthInterval",
+	autoscale: "WithAutoscale", standbyPeers: "WithStandbyPeers",
+	shards: "WithShards", peers: "WithPeers",
+	scaleThresholds: "WithScaleThresholds",
+	scaleCooldown:   "WithScaleCooldown", scaleInterval: "WithScaleInterval",
+}
+
+var flagNames = optionNames{
+	failover: "-failover", chunk: "-chunk",
+	maxRetries: "-max-retries", healthInterval: "-health-interval",
+	autoscale: "-autoscale-min/-autoscale-max", standbyPeers: "-standby-peers",
+	shards: "-shards", peers: "-peers",
+	scaleThresholds: "-scale-up/-scale-down",
+	scaleCooldown:   "-scale-cooldown", scaleInterval: "-scale-interval",
+}
+
+// ValidateConfig vets a BackendConfig's option coherence with library
+// naming (WithFailover, WithChunk, ...). NewBackendWith applies it, so
+// art9.New and serve.New reject incoherent combinations with an error
+// wrapping engine.ErrInvalidOptions instead of silently ignoring
+// options. The warning (non-fatal advice, e.g. failover over a single
+// backend) is surfaced by the CLIs and ignored by the library.
+func ValidateConfig(cfg BackendConfig) (warning string, err error) {
+	return validateTopology(cfg, libraryNames)
+}
+
+// ValidateFleetFlags vets the same rule set with CLI flag naming — the
+// one validation behind both art9-batch and art9-serve. Each CLI folds
+// its flag values into a BackendConfig (its -shards default rides in as
+// Shards) and reports the warning on stderr.
+func ValidateFleetFlags(cfg BackendConfig) (warning string, err error) {
+	return validateTopology(cfg, flagNames)
+}
+
+// validateTopology is the one rule set: options that only tune an
+// absent front (failover tuning without Failover, scale tuning or
+// standby peers without Autoscale) error out, since silently ignoring
+// them would leave the user believing they are in effect; incoherent
+// autoscale bounds and thresholds error out; topologies that merely
+// waste a front (failover or autoscale with nothing to move jobs
+// between) warn. Hard errors wrap engine.ErrInvalidOptions.
+func validateTopology(cfg BackendConfig, n optionNames) (warning string, err error) {
+	invalid := func(format string, args ...any) error {
+		return fmt.Errorf(format+": %w", append(args, engine.ErrInvalidOptions)...)
 	}
-	if !failover {
+	if cfg.Chunk < 0 {
+		return "", invalid("%s must be >= 0 (got %d)", n.chunk, cfg.Chunk)
+	}
+	autoscale := cfg.AutoscaleMin != 0 || cfg.AutoscaleMax != 0
+	if !cfg.Failover {
 		var orphaned []string
-		if chunk > 0 {
-			orphaned = append(orphaned, "-chunk")
+		if cfg.Chunk > 0 {
+			orphaned = append(orphaned, n.chunk)
 		}
-		if maxRetries != 0 {
-			orphaned = append(orphaned, "-max-retries")
+		if cfg.MaxRetries != 0 {
+			orphaned = append(orphaned, n.maxRetries)
 		}
-		if healthInterval != 0 {
-			orphaned = append(orphaned, "-health-interval")
+		if cfg.HealthInterval != 0 {
+			orphaned = append(orphaned, n.healthInterval)
 		}
 		if len(orphaned) > 0 {
-			return "", fmt.Errorf("%s: only meaningful with -failover (otherwise silently ignored); add -failover or drop the flag",
-				strings.Join(orphaned, ", "))
+			return "", invalid("%s: only meaningful with %s (otherwise silently ignored); add %s or drop it",
+				strings.Join(orphaned, ", "), n.failover, n.failover)
+		}
+	}
+	if !autoscale {
+		var orphaned []string
+		if len(cfg.StandbyPeers) > 0 {
+			orphaned = append(orphaned, n.standbyPeers)
+		}
+		if cfg.ScaleUpThreshold != 0 || cfg.ScaleDownThreshold != 0 {
+			orphaned = append(orphaned, n.scaleThresholds)
+		}
+		if cfg.ScaleCooldown != 0 {
+			orphaned = append(orphaned, n.scaleCooldown)
+		}
+		if cfg.ScaleInterval != 0 {
+			orphaned = append(orphaned, n.scaleInterval)
+		}
+		if len(orphaned) > 0 {
+			return "", invalid("%s: only meaningful with %s (otherwise silently ignored); add %s or drop it",
+				strings.Join(orphaned, ", "), n.autoscale, n.autoscale)
+		}
+	}
+	if autoscale {
+		if cfg.AutoscaleMin < 0 || cfg.AutoscaleMax < 0 {
+			return "", invalid("%s bounds must be >= 0 (got min %d, max %d)",
+				n.autoscale, cfg.AutoscaleMin, cfg.AutoscaleMax)
+		}
+		if cfg.AutoscaleMax < cfg.AutoscaleMin {
+			return "", invalid("%s bounds inverted: max %d < min %d",
+				n.autoscale, cfg.AutoscaleMax, cfg.AutoscaleMin)
+		}
+		// The autoscaler owns its topology — an elastic local pool plus
+		// standby peers. Fixed shard counts, fixed peer sets, and a
+		// second dispatch front cannot compose with it coherently.
+		if cfg.Failover {
+			return "", invalid("%s and %s are both dispatch fronts; use %s for an elastic pool or %s for a fixed fleet",
+				n.autoscale, n.failover, n.autoscale, n.failover)
+		}
+		if cfg.Shards > 0 {
+			return "", invalid("%s fixes the shard count, which contradicts %s; drop %s (the pool floats between the bounds)",
+				n.shards, n.autoscale, n.shards)
+		}
+		if len(cfg.Peers) > 0 {
+			return "", invalid("%s is a fixed backend set, which contradicts %s; list elastic peers with %s instead",
+				n.peers, n.autoscale, n.standbyPeers)
+		}
+		up, down := cfg.ScaleUpThreshold, cfg.ScaleDownThreshold
+		if up < 0 || up > 1 || down < 0 || down >= 1 {
+			return "", invalid("%s thresholds must be within [0,1] with down < 1 (got up %g, down %g)",
+				n.scaleThresholds, up, down)
+		}
+		if up != 0 && down != 0 && down >= up {
+			return "", invalid("%s scale-down threshold %g must be below the scale-up threshold %g (hysteresis needs a gap)",
+				n.scaleThresholds, down, up)
+		}
+		if cfg.AutoscaleMin == cfg.AutoscaleMax && len(cfg.StandbyPeers) == 0 {
+			return fmt.Sprintf("%s bounds pin the pool at %d with no standby peers; nothing will ever scale",
+				n.autoscale, cfg.AutoscaleMax), nil
 		}
 		return "", nil
 	}
-	backends := shards + peers
-	if shards <= 0 && peers == 0 {
-		backends = 1 // the implicit single local shard
-	}
-	if backends <= 1 {
-		return "-failover over a single backend has nothing to fail over to; add -peers or -shards", nil
+	if cfg.Failover {
+		backends := cfg.Shards + len(cfg.Peers)
+		if cfg.Shards <= 0 && len(cfg.Peers) == 0 {
+			backends = 1 // the implicit single local shard
+		}
+		if backends <= 1 {
+			return fmt.Sprintf("%s over a single backend has nothing to fail over to; add %s or %s",
+				n.failover, n.peers, n.shards), nil
+		}
 	}
 	return "", nil
 }
@@ -1003,6 +1112,24 @@ type BackendConfig struct {
 	// by scraped live capacity. 0 keeps per-job placement; ignored
 	// without Failover.
 	Chunk int
+	// AutoscaleMin and AutoscaleMax, when either is non-zero, select
+	// the elastic engine.Autoscaler front instead of a fixed topology:
+	// the local shard count floats between the bounds (min 0 selects 1)
+	// driven by queue depth and utilization. Incompatible with Shards,
+	// Peers and Failover — the autoscaler owns its topology.
+	AutoscaleMin, AutoscaleMax int
+	// StandbyPeers lists art9-serve base URLs the autoscaler dials only
+	// when the local bound is exhausted and retires first when load
+	// drops. URLs are validated at construction; connections happen at
+	// scale-up. Requires autoscaling.
+	StandbyPeers []string
+	// ScaleUpThreshold and ScaleDownThreshold are the hysteresis bounds
+	// on pool utilization (0 selects 0.8 and 0.25); ScaleCooldown is
+	// the minimum gap between scale events (0 selects 2s, negative
+	// none) and ScaleInterval the evaluation period (0 selects 1s,
+	// negative manual-only). All require autoscaling.
+	ScaleUpThreshold, ScaleDownThreshold float64
+	ScaleCooldown, ScaleInterval         time.Duration
 }
 
 // NewBackend assembles the standard backend topology shared by art9.New
@@ -1016,8 +1143,41 @@ func NewBackend(localShards int, opts engine.Options, peers []string) (engine.Ev
 }
 
 // NewBackendWith is NewBackend with the full topology configuration,
-// including the health-aware failover front.
+// including the health-aware failover front and the elastic autoscaler
+// front. Incoherent configurations are rejected through ValidateConfig
+// with an error wrapping engine.ErrInvalidOptions.
 func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
+	if _, err := ValidateConfig(cfg); err != nil {
+		return nil, err
+	}
+	if cfg.AutoscaleMin != 0 || cfg.AutoscaleMax != 0 {
+		var standbys []engine.StandbyBackend
+		for _, p := range cfg.StandbyPeers {
+			p := p
+			// Validate eagerly so a misconfigured fleet fails at
+			// construction, not at the first burst; the probe client is
+			// discarded and each recruitment dials fresh.
+			probe, err := New(p)
+			if err != nil {
+				return nil, err
+			}
+			probe.Close()
+			standbys = append(standbys, engine.StandbyBackend{
+				Name: p,
+				Dial: func() (engine.Evaluator, error) { return New(p) },
+			})
+		}
+		return engine.NewAutoscaler(engine.AutoscalerOptions{
+			Min:           cfg.AutoscaleMin,
+			Max:           cfg.AutoscaleMax,
+			Engine:        cfg.Engine,
+			Standby:       standbys,
+			UpThreshold:   cfg.ScaleUpThreshold,
+			DownThreshold: cfg.ScaleDownThreshold,
+			Cooldown:      cfg.ScaleCooldown,
+			Interval:      cfg.ScaleInterval,
+		}), nil
+	}
 	localShards := cfg.Shards
 	if localShards < 0 {
 		localShards = 0

@@ -87,6 +87,24 @@ type Config struct {
 	// of per-job placement, sized down by live capacity. Ignored
 	// without Failover.
 	Chunk int
+	// AutoscaleMin/AutoscaleMax select the elastic engine.Autoscaler
+	// front instead of a fixed topology: local shards float between the
+	// bounds, growing under queued load and draining every retired
+	// member before it closes. Mutually exclusive with Shards, Peers
+	// and Failover.
+	AutoscaleMin int
+	AutoscaleMax int
+	// StandbyPeers lists downstream art9-serve base URLs the autoscaler
+	// dials only once the local ceiling is exhausted, and retires first
+	// when load drops.
+	StandbyPeers []string
+	// ScaleUpThreshold/ScaleDownThreshold, ScaleCooldown and
+	// ScaleInterval tune the autoscaler's hysteresis (engine defaults
+	// at zero); all ignored without AutoscaleMin/AutoscaleMax.
+	ScaleUpThreshold   float64
+	ScaleDownThreshold float64
+	ScaleCooldown      time.Duration
+	ScaleInterval      time.Duration
 }
 
 // Server owns an Evaluator backend and serves the /v1 API. Create with
@@ -117,11 +135,18 @@ func New(cfg Config) (*Server, error) {
 			Workers:    cfg.Workers,
 			JobTimeout: cfg.JobTimeout,
 		},
-		Peers:          cfg.Peers,
-		Failover:       cfg.Failover,
-		HealthInterval: cfg.HealthInterval,
-		MaxRetries:     cfg.MaxRetries,
-		Chunk:          cfg.Chunk,
+		Peers:              cfg.Peers,
+		Failover:           cfg.Failover,
+		HealthInterval:     cfg.HealthInterval,
+		MaxRetries:         cfg.MaxRetries,
+		Chunk:              cfg.Chunk,
+		AutoscaleMin:       cfg.AutoscaleMin,
+		AutoscaleMax:       cfg.AutoscaleMax,
+		StandbyPeers:       cfg.StandbyPeers,
+		ScaleUpThreshold:   cfg.ScaleUpThreshold,
+		ScaleDownThreshold: cfg.ScaleDownThreshold,
+		ScaleCooldown:      cfg.ScaleCooldown,
+		ScaleInterval:      cfg.ScaleInterval,
 	})
 	if err != nil {
 		return nil, err
@@ -196,8 +221,12 @@ type EvalRequest struct {
 }
 
 // StatsReply is the GET /v1/stats body. Balancer is present exactly
-// when the backend is a health-aware Balancer: one scorecard per
-// backend with dispatch/failover/probe counters. Capacity is the
+// when the backend is a health-aware Balancer or an elastic
+// Autoscaler: one scorecard per backend with dispatch/failover/probe
+// counters (autoscaler members additionally flag retired/standby).
+// Autoscale is present exactly when the backend is an Autoscaler: the
+// pool's point-in-time scale state (bounds, active members, busy/queue
+// load, thresholds, lifetime up/down counts). Capacity is the
 // process-local load snapshot (the same numbers /v1/capacity serves as
 // a fast path), so capacity-aware fronts can size chunks off either
 // endpoint.
@@ -209,6 +238,7 @@ type StatsReply struct {
 	Cache         bench.CacheReport      `json:"cache"`
 	Capacity      engine.Capacity        `json:"capacity"`
 	Balancer      []engine.BackendHealth `json:"balancer,omitempty"`
+	Autoscale     *engine.ScaleState     `json:"autoscale,omitempty"`
 }
 
 // healthzReply is the GET /v1/healthz body. Workers counts local pool
@@ -222,6 +252,9 @@ type healthzReply struct {
 	// Failover reports whether a health-aware Balancer fronts the
 	// backends; its per-backend scorecards live in /v1/stats.
 	Failover bool `json:"failover,omitempty"`
+	// Autoscale reports whether an elastic Autoscaler fronts the
+	// backends; its scale state and scorecards live in /v1/stats.
+	Autoscale bool `json:"autoscale,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -242,9 +275,16 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	// whose backends are all down reports 503: an upper failover tier
 	// probing this endpoint then routes around the whole front, which
 	// is how balancers nest across serve→serve tiers.
-	if bal, ok := s.backend.(*engine.Balancer); ok {
+	switch front := s.backend.(type) {
+	case *engine.Balancer:
 		reply.Failover = true
-		if err := bal.Probe(r.Context()); err != nil {
+		if err := front.Probe(r.Context()); err != nil {
+			reply.Status = "degraded"
+			status = http.StatusServiceUnavailable
+		}
+	case *engine.Autoscaler:
+		reply.Autoscale = true
+		if err := front.Probe(r.Context()); err != nil {
 			reply.Status = "degraded"
 			status = http.StatusServiceUnavailable
 		}
@@ -274,8 +314,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         bench.SharedCacheReport(),
 		Capacity:      engine.LocalCapacity(s.backend),
 	}
-	if bal, ok := s.backend.(*engine.Balancer); ok {
-		reply.Balancer = bal.Health()
+	switch front := s.backend.(type) {
+	case *engine.Balancer:
+		reply.Balancer = front.Health()
+	case *engine.Autoscaler:
+		reply.Balancer = front.Health()
+		state := front.ScaleState()
+		reply.Autoscale = &state
 	}
 	writeJSON(w, http.StatusOK, reply)
 }

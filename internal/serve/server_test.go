@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -780,6 +781,70 @@ func TestNewFailoverConfig(t *testing.T) {
 	}
 	if s.shardCount() != 2 {
 		t.Errorf("shardCount = %d, want 2", s.shardCount())
+	}
+}
+
+// TestNewAutoscaleConfig pins the Config wiring of the elastic front:
+// the autoscale bounds select an Autoscaler backend, /v1/healthz flags
+// it, and /v1/stats carries the scale state next to the per-member
+// scorecards.
+func TestNewAutoscaleConfig(t *testing.T) {
+	s, ts := newTestServer(t, Config{
+		Workers: 1, AutoscaleMin: 1, AutoscaleMax: 2, ScaleInterval: -1,
+	})
+	if _, ok := s.Backend().(*engine.Autoscaler); !ok {
+		t.Fatalf("autoscale config built %T, want *engine.Autoscaler", s.Backend())
+	}
+
+	hResp, err := http.Get(ts.URL + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hResp.Body.Close()
+	var h struct {
+		Status    string `json:"status"`
+		Autoscale bool   `json:"autoscale"`
+		Failover  bool   `json:"failover"`
+	}
+	if err := json.NewDecoder(hResp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || !h.Autoscale || h.Failover {
+		t.Errorf("healthz = %+v, want an ok autoscale front", h)
+	}
+
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sr StatsReply
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.Autoscale == nil {
+		t.Fatal("stats reply carries no autoscale state")
+	}
+	if sr.Autoscale.Min != 1 || sr.Autoscale.Max != 2 || sr.Autoscale.ActiveShards != 1 {
+		t.Errorf("autoscale state %+v, want min 1, max 2, 1 active shard", sr.Autoscale)
+	}
+	if len(sr.Balancer) != 1 || sr.Balancer[0].Standby || sr.Balancer[0].Retired {
+		t.Errorf("member scorecards %+v, want one active local member", sr.Balancer)
+	}
+}
+
+// TestNewRejectsIncoherentConfig pins serve.New's validation: the same
+// rule set behind art9.New rejects orphaned tuning with a typed error
+// instead of silently ignoring it.
+func TestNewRejectsIncoherentConfig(t *testing.T) {
+	if _, err := New(Config{Workers: 1, Chunk: 4}); !errors.Is(err, engine.ErrInvalidOptions) {
+		t.Errorf("New(Chunk without Failover) = %v, want engine.ErrInvalidOptions", err)
+	}
+	if _, err := New(Config{AutoscaleMin: 3, AutoscaleMax: 1}); !errors.Is(err, engine.ErrInvalidOptions) {
+		t.Errorf("New(inverted autoscale bounds) = %v, want engine.ErrInvalidOptions", err)
+	}
+	if _, err := New(Config{Shards: 2, AutoscaleMax: 2}); !errors.Is(err, engine.ErrInvalidOptions) {
+		t.Errorf("New(fixed shards + autoscale) = %v, want engine.ErrInvalidOptions", err)
 	}
 }
 

@@ -20,6 +20,13 @@ type evalConfig struct {
 	healthInterval time.Duration
 	maxRetries     int
 	chunk          int
+	autoscaleMin   int
+	autoscaleMax   int
+	standbyPeers   []string
+	scaleUp        float64
+	scaleDown      float64
+	scaleCooldown  time.Duration
+	scaleInterval  time.Duration
 }
 
 // WithWorkers sets the pool size of each local shard (0 selects
@@ -79,6 +86,50 @@ func WithMaxRetries(n int) Option { return func(c *evalConfig) { c.maxRetries = 
 // meaningful with WithFailover.
 func WithChunk(n int) Option { return func(c *evalConfig) { c.chunk = n } }
 
+// WithAutoscale selects the elastic Autoscaler front: the local shard
+// count floats between min and max (min 0 selects 1), growing when
+// jobs queue beyond the active capacity and shrinking — each retired
+// shard drained before it is closed, so no in-flight job is lost —
+// when utilization falls. Tune the hysteresis with WithScaleThresholds,
+// WithScaleCooldown and WithScaleInterval; recruit remote capacity
+// beyond max with WithStandbyPeers. Incompatible with WithShards,
+// WithPeers and WithFailover: the autoscaler owns its topology.
+func WithAutoscale(min, max int) Option {
+	return func(c *evalConfig) { c.autoscaleMin, c.autoscaleMax = min, max }
+}
+
+// WithStandbyPeers lists art9-serve base URLs the autoscaler dials only
+// when the local bound is exhausted and retires first when load drops —
+// reserve capacity, not a fixed fleet (that is WithPeers). Only
+// meaningful with WithAutoscale.
+func WithStandbyPeers(urls ...string) Option {
+	return func(c *evalConfig) { c.standbyPeers = append(c.standbyPeers, urls...) }
+}
+
+// WithScaleThresholds sets the autoscaler's hysteresis bounds on pool
+// utilization: the pool grows at or above up (0 selects 0.8; queued
+// jobs grow it regardless) and shrinks below down (0 selects 0.25).
+// down must stay below up — hysteresis needs the gap. Only meaningful
+// with WithAutoscale.
+func WithScaleThresholds(up, down float64) Option {
+	return func(c *evalConfig) { c.scaleUp, c.scaleDown = up, down }
+}
+
+// WithScaleCooldown sets the minimum gap between consecutive scale
+// events (0 selects 2s; negative disables the gap). Only meaningful
+// with WithAutoscale.
+func WithScaleCooldown(d time.Duration) Option {
+	return func(c *evalConfig) { c.scaleCooldown = d }
+}
+
+// WithScaleInterval sets the period of the autoscaler's background
+// evaluation loop (0 selects 1s; negative disables it — scaling then
+// only happens through Autoscaler.ScaleNow). Only meaningful with
+// WithAutoscale.
+func WithScaleInterval(d time.Duration) Option {
+	return func(c *evalConfig) { c.scaleInterval = d }
+}
+
 // New builds an Evaluator from functional options — the one constructor
 // behind which every backend topology lives:
 //
@@ -91,19 +142,30 @@ func WithChunk(n int) Option { return func(c *evalConfig) { c.chunk = n } }
 //	art9.New(art9.WithFailover(),                  // health-aware fleet with
 //	         art9.WithPeers("http://h1:9009",      //  least-loaded dispatch
 //	                        "http://h2:9009"))     //  and job failover
+//	art9.New(art9.WithAutoscale(1, 4),             // elastic pool: 1–4 local
+//	         art9.WithStandbyPeers(                //  shards, standby peers
+//	                "http://h1:9009"))             //  recruited under burst
 //
 // Multiple backends compose behind a ShardSet that partitions batches
 // round-robin and merges completion-order streams. Close the returned
-// Evaluator when done; closing a composite closes every backend. New
-// fails only on an invalid peer URL.
+// Evaluator when done; closing a composite closes every backend.
+//
+// New fails on an invalid peer URL and on incoherent option
+// combinations — failover tuning (WithChunk, WithMaxRetries,
+// WithHealthInterval) without WithFailover, autoscale tuning or standby
+// peers without WithAutoscale, inverted autoscale bounds or thresholds,
+// WithAutoscale mixed with a fixed topology — with an error wrapping
+// the typed ErrInvalidOptions. The CLIs vet their flags through the
+// same rule set, so the diagnostics match.
 func New(opts ...Option) (Evaluator, error) {
 	var cfg evalConfig
 	for _, o := range opts {
 		o(&cfg)
 	}
-	// remote.NewBackendWith owns the composition rules (shard
-	// defaulting, shared vs private caches, ShardSet or Balancer
-	// wrapping) so this constructor and serve.New cannot drift.
+	// remote.NewBackendWith owns the validation and composition rules
+	// (shard defaulting, shared vs private caches, ShardSet, Balancer
+	// or Autoscaler wrapping) so this constructor and serve.New cannot
+	// drift.
 	return remote.NewBackendWith(remote.BackendConfig{
 		Shards: cfg.shards,
 		Engine: engine.Options{
@@ -111,10 +173,17 @@ func New(opts ...Option) (Evaluator, error) {
 			Queue:      cfg.queue,
 			JobTimeout: cfg.jobTimeout,
 		},
-		Peers:          cfg.peers,
-		Failover:       cfg.failover,
-		HealthInterval: cfg.healthInterval,
-		MaxRetries:     cfg.maxRetries,
-		Chunk:          cfg.chunk,
+		Peers:              cfg.peers,
+		Failover:           cfg.failover,
+		HealthInterval:     cfg.healthInterval,
+		MaxRetries:         cfg.maxRetries,
+		Chunk:              cfg.chunk,
+		AutoscaleMin:       cfg.autoscaleMin,
+		AutoscaleMax:       cfg.autoscaleMax,
+		StandbyPeers:       cfg.standbyPeers,
+		ScaleUpThreshold:   cfg.scaleUp,
+		ScaleDownThreshold: cfg.scaleDown,
+		ScaleCooldown:      cfg.scaleCooldown,
+		ScaleInterval:      cfg.scaleInterval,
 	})
 }

@@ -1,5 +1,5 @@
 // Facade tests for the concurrent batch-evaluation surface: the engine
-// re-exports and the one-call suite runner.
+// re-exports, New-built evaluators, and the SuiteJobs batch.
 package art9_test
 
 import (
@@ -10,10 +10,30 @@ import (
 	art9 "repro"
 )
 
-func TestFacadeRunSuite(t *testing.T) {
-	all, err := art9.RunSuite(context.Background())
+// TestFacadeSuiteRun drives the §V-A suite through a New-built
+// evaluator and checks every workload's concurrent outcome against the
+// serial runner.
+func TestFacadeSuiteRun(t *testing.T) {
+	ev, err := art9.New()
 	if err != nil {
 		t.Fatal(err)
+	}
+	defer ev.Close()
+
+	results, err := ev.Run(context.Background(), art9.SuiteJobs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := map[string]*art9.Outcome{}
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("workload %s: %v", r.ID, r.Err)
+		}
+		o, ok := r.Value.(*art9.Outcome)
+		if !ok {
+			t.Fatalf("workload %s: value %T, want *Outcome", r.ID, r.Value)
+		}
+		all[r.ID] = o
 	}
 	for _, w := range art9.Benchmarks() {
 		o, ok := all[w.Name]
@@ -31,19 +51,28 @@ func TestFacadeRunSuite(t *testing.T) {
 	}
 }
 
+// TestFacadeEngine runs the suite batch on a bare local Engine — every
+// Evaluator accepts the same jobs — then submits a custom closure job
+// on the engine's own channel API.
 func TestFacadeEngine(t *testing.T) {
 	eng := art9.NewEngine(art9.EngineOptions{Workers: 2, JobTimeout: time.Minute})
 	defer eng.Close()
 
-	all, err := art9.RunSuiteOn(context.Background(), eng)
+	jobs := art9.SuiteJobs()
+	results, err := eng.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(all) != len(art9.Benchmarks()) {
-		t.Fatalf("suite returned %d outcomes, want %d", len(all), len(art9.Benchmarks()))
+	if len(results) != len(art9.Benchmarks()) {
+		t.Fatalf("suite returned %d results, want %d", len(results), len(art9.Benchmarks()))
 	}
-	if s := eng.Stats(); s.Completed != uint64(len(all)) {
-		t.Errorf("engine stats %+v, want %d completed", s, len(all))
+	for _, r := range results {
+		if r.Err != nil {
+			t.Fatalf("workload %s: %v", r.ID, r.Err)
+		}
+	}
+	if s := eng.Stats(); s.Completed != uint64(len(results)) {
+		t.Errorf("engine stats %+v, want %d completed", s, len(results))
 	}
 
 	r := <-eng.Submit(context.Background(), art9.EngineJob{
@@ -55,12 +84,17 @@ func TestFacadeEngine(t *testing.T) {
 	}
 }
 
-func TestFacadeStreamSuite(t *testing.T) {
-	eng := art9.NewEngine(art9.EngineOptions{Workers: 2})
-	defer eng.Close()
+// TestFacadeSuiteStream consumes the suite as a completion-order stream
+// and checks it yields exactly one successful *Outcome per workload.
+func TestFacadeSuiteStream(t *testing.T) {
+	ev, err := art9.New(art9.WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
 
 	seen := map[string]bool{}
-	for r := range art9.StreamSuite(context.Background(), eng) {
+	for r := range ev.Stream(context.Background(), art9.SuiteJobs()) {
 		if r.Err != nil {
 			t.Fatalf("workload %s: %v", r.ID, r.Err)
 		}
@@ -74,16 +108,24 @@ func TestFacadeStreamSuite(t *testing.T) {
 	}
 }
 
+// TestFacadeShardSet builds a sharded evaluator through New and checks
+// submission-order results and summed stats across the shards.
 func TestFacadeShardSet(t *testing.T) {
-	set := art9.NewShardSet(2, art9.EngineOptions{Workers: 1})
-	defer set.Close()
+	ev, err := art9.New(art9.WithShards(2), art9.WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ev.Close()
+	if _, ok := ev.(*art9.ShardSet); !ok {
+		t.Fatalf("New(WithShards(2)) = %T, want *ShardSet", ev)
+	}
 
 	jobs := []art9.EngineJob{
 		{ID: "a", Fn: func(context.Context) (any, error) { return 1, nil }},
 		{ID: "b", Fn: func(context.Context) (any, error) { return 2, nil }},
 		{ID: "c", Fn: func(context.Context) (any, error) { return 3, nil }},
 	}
-	results, err := set.RunAll(context.Background(), jobs)
+	results, err := ev.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +134,7 @@ func TestFacadeShardSet(t *testing.T) {
 			t.Errorf("result %d = %+v, want value %d", i, r, i+1)
 		}
 	}
-	if tot := set.Stats(); tot.Submitted != 3 {
+	if tot := ev.Stats(); tot.Submitted != 3 {
 		t.Errorf("Stats %+v, want 3 submitted", tot)
 	}
 }
