@@ -19,9 +19,11 @@ test:
 test-quick:
 	$(GO) build ./... && $(GO) test ./...
 
-## lint: go vet, staticcheck (when installed), and a gofmt cleanliness check
+## lint: go vet, the art9-lint analyzer suite, staticcheck (when
+## installed), and a gofmt cleanliness check
 lint:
 	$(GO) vet ./...
+	$(GO) run ./cmd/art9-lint ./...
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else echo "staticcheck not installed; skipping (CI runs it)"; fi

@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 
 	"repro/internal/asm"
@@ -44,9 +45,15 @@ func main() {
 			b.WriteString(w.String())
 			b.WriteByte('\n')
 		}
-		for addr, w := range p.Data {
-			// Data section entries as directives for the simulator.
-			fmt.Fprintf(&b, ".tdm %d %s\n", addr, w)
+		// Data section entries as directives for the simulator, in
+		// address order so the image is byte-stable across runs.
+		addrs := make([]int, 0, len(p.Data))
+		for addr := range p.Data {
+			addrs = append(addrs, addr)
+		}
+		sort.Ints(addrs)
+		for _, addr := range addrs {
+			fmt.Fprintf(&b, ".tdm %d %s\n", addr, p.Data[addr])
 		}
 	}
 	if *out == "" {

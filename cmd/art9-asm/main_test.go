@@ -1,0 +1,87 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+)
+
+// TestMain re-execs the test binary as the CLI itself when the marker
+// env var is set, so the golden tests drive the real main() in a child
+// process. Regenerate goldens with:
+//
+//	go run ./cmd/art9-asm cmd/art9-asm/testdata/sum.t9s > cmd/art9-asm/testdata/sum.tim.golden
+//	go run ./cmd/art9-asm -list cmd/art9-asm/testdata/sum.t9s > cmd/art9-asm/testdata/sum.list.golden
+func TestMain(m *testing.M) {
+	if os.Getenv("ART9_ASM_CLI") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+func runCLI(t *testing.T, args ...string) string {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, args...)
+	cmd.Env = append(os.Environ(), "ART9_ASM_CLI=1")
+	out, err := cmd.Output()
+	if err != nil {
+		t.Fatalf("art9-asm %v: %v\n%s", args, err, out)
+	}
+	return string(out)
+}
+
+func golden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Errorf("output differs from %s:\n--- got ---\n%s--- want ---\n%s", path, got, string(want))
+	}
+}
+
+// TestImageGolden pins the encoded TIM image, including the .tdm data
+// lines in ascending address order — the image must be byte-stable
+// across runs for content-addressed caching and diffable goldens.
+func TestImageGolden(t *testing.T) {
+	golden(t, "sum.tim.golden", runCLI(t, filepath.Join("testdata", "sum.t9s")))
+}
+
+// TestImageDeterministic assembles twice and requires identical bytes;
+// this is the regression test for the map-ordered .tdm emission.
+func TestImageDeterministic(t *testing.T) {
+	src := filepath.Join("testdata", "sum.t9s")
+	if a, b := runCLI(t, src), runCLI(t, src); a != b {
+		t.Errorf("two assemblies of the same source differ:\n--- first ---\n%s--- second ---\n%s", a, b)
+	}
+}
+
+// TestListingGolden pins the -list disassembly view.
+func TestListingGolden(t *testing.T) {
+	golden(t, "sum.list.golden", runCLI(t, "-list", filepath.Join("testdata", "sum.t9s")))
+}
+
+// TestOutputFile checks -o writes the same bytes as stdout mode.
+func TestOutputFile(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sum.tim")
+	runCLI(t, "-o", out, filepath.Join("testdata", "sum.t9s"))
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "sum.tim.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Errorf("-o output differs from stdout golden")
+	}
+}

@@ -154,7 +154,15 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer ev.Close()
+	defer func() {
+		// The run is complete by the time this fires; a close failure
+		// means a backend could not shut down cleanly (a wedged peer,
+		// an unreachable standby) and deserves a visible warning even
+		// though the report has already been written.
+		if cerr := ev.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "art9-batch: close:", cerr)
+		}
+	}()
 
 	start := time.Now()
 	results, _ := ev.Run(context.Background(), jobs)

@@ -1,0 +1,267 @@
+// Command art9-lint runs the repo's domain-specific static-analysis
+// suite (internal/lint): compiler-grade enforcement of the Evaluator
+// stack's conventions that ordinary vet and staticcheck cannot know
+// about.
+//
+// Usage:
+//
+//	art9-lint [-list] [packages]        standalone multichecker
+//	go vet -vettool=$(which art9-lint)  as a vet tool
+//
+// Standalone mode loads the packages (default ./...) with `go list`
+// plus source type-checking and prints one line per finding; the exit
+// status is 0 when clean, 1 on findings, 2 on a driver error. As a vet
+// tool it speaks cmd/go's unitchecker protocol (-V=full handshake,
+// single *.cfg argument, compiled export data), which also covers test
+// files.
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	fs := flag.NewFlagSet("art9-lint", flag.ExitOnError)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	version := fs.String("V", "", "version handshake for cmd/go (-V=full)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: art9-lint [-list] [packages]")
+		fmt.Fprintln(os.Stderr, "       go vet -vettool=/path/to/art9-lint ./...")
+		fs.PrintDefaults()
+	}
+	// cmd/go probes vet tools with `-flags` for a JSON description of
+	// the flags they accept; the suite is deliberately knob-free.
+	if len(args) == 1 && args[0] == "-flags" {
+		fmt.Println("[]")
+		return 0
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *version != "" {
+		// cmd/go identifies and caches vet tools through this exact
+		// shape: "<name> version <identity>". Derive the identity from
+		// the analyzer set so changing the suite invalidates vet's
+		// cache.
+		h := sha256.New()
+		for _, a := range lint.All() {
+			fmt.Fprintf(h, "%s\n%s\n", a.Name, a.Doc)
+		}
+		fmt.Printf("art9-lint version devel buildID=%x\n", h.Sum(nil)[:16])
+		return 0
+	}
+	if *list {
+		for _, a := range lint.All() {
+			doc, _, _ := strings.Cut(a.Doc, "\n")
+			fmt.Printf("%-12s %s\n", a.Name, doc)
+		}
+		return 0
+	}
+	if fs.NArg() == 1 && strings.HasSuffix(fs.Arg(0), ".cfg") {
+		return vettool(fs.Arg(0))
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	return standalone(patterns)
+}
+
+// finding pairs a diagnostic with its analyzer for sorted rendering.
+type finding struct {
+	pos      token.Position
+	analyzer string
+	message  string
+}
+
+func render(fset *token.FileSet, an *analysis.Analyzer, ds []analysis.Diagnostic) []finding {
+	out := make([]finding, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, finding{pos: fset.Position(d.Pos), analyzer: an.Name, message: d.Message})
+	}
+	return out
+}
+
+func sortFindings(fs []finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.pos.Filename != b.pos.Filename {
+			return a.pos.Filename < b.pos.Filename
+		}
+		if a.pos.Line != b.pos.Line {
+			return a.pos.Line < b.pos.Line
+		}
+		return a.analyzer < b.analyzer
+	})
+}
+
+// standalone loads patterns from the working directory and runs every
+// analyzer over every matched package.
+func standalone(patterns []string) int {
+	r := load.NewResolver()
+	pkgs, err := r.Load("", patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "art9-lint:", err)
+		return 2
+	}
+	var all []finding
+	for _, pkg := range pkgs {
+		if pkg.Standard || pkg.Types == nil {
+			continue
+		}
+		for _, an := range lint.All() {
+			var ds []analysis.Diagnostic
+			pass := &analysis.Pass{
+				Analyzer:  an,
+				Fset:      r.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				Report:    func(d analysis.Diagnostic) { ds = append(ds, d) },
+			}
+			if _, err := an.Run(pass); err != nil {
+				fmt.Fprintf(os.Stderr, "art9-lint: %s: %s: %v\n", an.Name, pkg.PkgPath, err)
+				return 2
+			}
+			all = append(all, render(r.Fset, an, ds)...)
+		}
+	}
+	sortFindings(all)
+	for _, f := range all {
+		fmt.Printf("%s: %s: %s\n", f.pos, f.analyzer, f.message)
+	}
+	if len(all) > 0 {
+		fmt.Fprintf(os.Stderr, "art9-lint: %d finding(s)\n", len(all))
+		return 1
+	}
+	return 0
+}
+
+// vetConfig is the unitchecker protocol's per-package configuration,
+// written by cmd/go next to the compiled package.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vettool runs one unitchecker round: cmd/go hands a cfg describing a
+// single (possibly test-augmented) package with compiled export data
+// for its imports.
+func vettool(cfgFile string) int {
+	raw, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "art9-lint:", err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(raw, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "art9-lint: parsing %s: %v\n", cfgFile, err)
+		return 2
+	}
+	// The suite carries no cross-package facts, but cmd/go requires the
+	// facts file to exist before it will cache the run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte("art9-lint: no facts\n"), 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "art9-lint:", err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, "art9-lint:", err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	// Imports resolve through the compiler's export data, exactly as
+	// x/tools' unitchecker does: cfg.ImportMap maps source paths to
+	// canonical package paths, cfg.PackageFile maps those to files.
+	compilerImporter := load.GCImporter(fset, cfg.PackageFile)
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		if path == "unsafe" {
+			return types.Unsafe, nil
+		}
+		return compilerImporter.Import(path)
+	})
+	info := load.NewInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "art9-lint:", err)
+		return 2
+	}
+
+	var all []finding
+	for _, an := range lint.All() {
+		var ds []analysis.Diagnostic
+		pass := &analysis.Pass{
+			Analyzer:  an,
+			Fset:      fset,
+			Files:     files,
+			Pkg:       pkg,
+			TypesInfo: info,
+			Report:    func(d analysis.Diagnostic) { ds = append(ds, d) },
+		}
+		if _, err := an.Run(pass); err != nil {
+			fmt.Fprintf(os.Stderr, "art9-lint: %s: %v\n", an.Name, err)
+			return 2
+		}
+		all = append(all, render(fset, an, ds)...)
+	}
+	sortFindings(all)
+	for _, f := range all {
+		fmt.Fprintf(os.Stderr, "%s: %s: %s\n", f.pos, f.analyzer, f.message)
+	}
+	if len(all) > 0 {
+		return 2 // vet convention: findings are a non-zero exit
+	}
+	return 0
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

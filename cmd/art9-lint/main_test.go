@@ -1,0 +1,81 @@
+package main
+
+import (
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs f with os.Stdout redirected to a pipe and returns what
+// it wrote.
+func capture(t *testing.T, f func()) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	f()
+	w.Close()
+	out, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(out)
+}
+
+// TestVetProtocolProbes covers the two handshakes cmd/go performs
+// before trusting a vettool: the -flags flag enumeration and the
+// -V=full identity line.
+func TestVetProtocolProbes(t *testing.T) {
+	out := capture(t, func() {
+		if got := run([]string{"-flags"}); got != 0 {
+			t.Errorf("run(-flags) = %d, want 0", got)
+		}
+	})
+	if strings.TrimSpace(out) != "[]" {
+		t.Errorf("run(-flags) printed %q, want []", out)
+	}
+
+	out = capture(t, func() {
+		if got := run([]string{"-V=full"}); got != 0 {
+			t.Errorf("run(-V=full) = %d, want 0", got)
+		}
+	})
+	if !strings.HasPrefix(out, "art9-lint version ") {
+		t.Errorf("run(-V=full) printed %q, want art9-lint version ...", out)
+	}
+}
+
+// TestList checks the analyzer listing names the whole suite.
+func TestList(t *testing.T) {
+	out := capture(t, func() {
+		if got := run([]string{"-list"}); got != 0 {
+			t.Errorf("run(-list) = %d, want 0", got)
+		}
+	})
+	for _, name := range []string{"closecheck", "ctxflow", "tritrange", "typederr", "wirespec"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("run(-list) output missing %s:\n%s", name, out)
+		}
+	}
+}
+
+// TestStandaloneSelf runs the standalone driver over this package —
+// an end-to-end load/typecheck/analyze pass that must come back clean.
+func TestStandaloneSelf(t *testing.T) {
+	if testing.Short() {
+		t.Skip("standalone run type-checks the dependency closure from source")
+	}
+	out := capture(t, func() {
+		if got := run([]string{"./."}); got != 0 {
+			t.Errorf("run(./.) = %d, want 0 (clean)", got)
+		}
+	})
+	if strings.TrimSpace(out) != "" {
+		t.Errorf("run(./.) reported findings:\n%s", out)
+	}
+}

@@ -179,9 +179,16 @@ func RunCtx(ctx context.Context, w Workload, opts xlate.Options) (*Outcome, erro
 // fanned out across GOMAXPROCS workers by a transient engine. The
 // result is identical to RunAllSerial — jobs are independent and
 // results are collected by name — just faster on multicore hosts.
-func RunAll() (map[string]*Outcome, error) {
+func RunAll() (res map[string]*Outcome, err error) {
 	eng := engine.New(engine.Options{})
-	defer eng.Close()
+	defer func() {
+		// The engine is transient and fully drained by RunAllOn, but a
+		// close failure still signals leaked work — surface it unless a
+		// run error already explains the state.
+		if cerr := eng.Close(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}()
 	return RunAllOn(context.Background(), eng)
 }
 

@@ -435,7 +435,10 @@ func (a *Autoscaler) drainAndClose(m *scaledMember) {
 	closed := a.closed
 	a.mu.Unlock()
 	if !closed {
-		m.ev.Close()
+		// The member is drained, so nothing resolves with ErrClosed
+		// here; a failure would only repeat what the job results
+		// already reported.
+		_ = m.ev.Close()
 	}
 }
 

@@ -56,11 +56,11 @@ func TestShardSetOfMixedBackends(t *testing.T) {
 	if s.Backend(1) != Evaluator(fake) {
 		t.Error("Backend(1) is not the fake peer")
 	}
-	if s.Engine(1) != nil {
-		t.Error("Engine(1) should be nil for a non-Engine backend")
+	if _, ok := s.Backend(1).(*Engine); ok {
+		t.Error("Backend(1) should not be a local *Engine")
 	}
-	if s.Engine(0) != local {
-		t.Error("Engine(0) should unwrap the local engine")
+	if e, ok := s.Backend(0).(*Engine); !ok || e != local {
+		t.Error("Backend(0) should be the local engine")
 	}
 
 	jobs := make([]Job, 10)

@@ -61,14 +61,6 @@ func (s *ShardSet) Size() int { return len(s.backends) }
 // stats drill-down).
 func (s *ShardSet) Backend(i int) Evaluator { return s.backends[i] }
 
-// Engine returns shard i when it is a local *Engine, nil otherwise.
-//
-// Deprecated: use Backend; a shard is no longer necessarily local.
-func (s *ShardSet) Engine(i int) *Engine {
-	e, _ := s.backends[i].(*Engine)
-	return e
-}
-
 // Probe answers the Prober liveness check for the set: alive while at
 // least one backend is, since round-robin still lands jobs on the live
 // shards. Backends that do not implement Prober count as alive (their
@@ -129,11 +121,6 @@ func (s *ShardSet) Stats() Stats {
 // network scrape, so a set with slow peers pays the slowest one, not
 // the sum.
 func (s *ShardSet) ShardStats() []Stats { return BackendStats(s) }
-
-// TotalStats is Stats under its historical name.
-//
-// Deprecated: use Stats.
-func (s *ShardSet) TotalStats() Stats { return s.Stats() }
 
 // cursor reserves n consecutive round-robin slots and returns the first.
 func (s *ShardSet) cursor(n int) uint64 {

@@ -246,10 +246,15 @@ func TestShardSetCursorBalancesSmallBatches(t *testing.T) {
 func TestShardSetIndependentCaches(t *testing.T) {
 	s := NewShardSet(2, Options{Workers: 1})
 	defer s.Close()
-	if s.Engine(0).Programs == s.Engine(1).Programs {
+	e0, ok0 := s.Backend(0).(*Engine)
+	e1, ok1 := s.Backend(1).(*Engine)
+	if !ok0 || !ok1 {
+		t.Fatal("NewShardSet backends are not local engines")
+	}
+	if e0.Programs == e1.Programs {
 		t.Error("shards share a ProgramCache")
 	}
-	if s.Engine(0).Programs == SharedPrograms {
+	if e0.Programs == SharedPrograms {
 		t.Error("shard 0 uses the process-wide ProgramCache")
 	}
 }

@@ -1,0 +1,100 @@
+// Package analysis is a minimal, dependency-free mirror of the
+// golang.org/x/tools/go/analysis API surface this repo's analyzers use.
+//
+// The container this repo builds in has no module proxy access, so
+// x/tools cannot be vendored; rather than give up compiler-grade
+// enforcement of the Evaluator-stack invariants, internal/lint carries
+// this shim. The types are deliberately field-for-field compatible with
+// the upstream API (Analyzer.Name/Doc/Run, Pass.Fset/Files/Pkg/
+// TypesInfo/Report), so if x/tools ever becomes available the analyzers
+// port by swapping one import path.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one analysis: a named pass over a single
+// type-checked package that reports diagnostics.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and flags. It must be
+	// a valid Go identifier.
+	Name string
+
+	// Doc is the analyzer's documentation: one summary line, a blank
+	// line, then detail.
+	Doc string
+
+	// Run applies the analyzer to a package.
+	Run func(*Pass) (any, error)
+}
+
+// Diagnostic is one reported problem at a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Pass provides one analyzer run with a single type-checked package and
+// the sink for its diagnostics. Analyzers must treat every field as
+// read-only.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report emits one diagnostic. The driver owns ordering and
+	// rendering.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Inspect walks every file of the pass in source order, calling f for
+// each node; f returning false prunes the subtree, as ast.Inspect does.
+func (p *Pass) Inspect(f func(ast.Node) bool) {
+	for _, file := range p.Files {
+		ast.Inspect(file, f)
+	}
+}
+
+// Unparen strips any enclosing parentheses from e (ast.Unparen, which
+// the module's go directive predates).
+func Unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// WithStack walks every file calling f with each node and the stack of
+// its ancestors (outermost first, not including the node itself).
+// Returning false prunes the subtree. The stack slice is reused between
+// calls; callers must copy it to retain it.
+func (p *Pass) WithStack(f func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			recurse := f(n, stack)
+			if recurse {
+				stack = append(stack, n)
+			}
+			return recurse
+		})
+	}
+}

@@ -1,0 +1,42 @@
+// Package a exercises the closecheck rules: discarded Close errors and
+// evaluators that are never closed.
+package a
+
+import (
+	"context"
+	"fmt"
+
+	art9 "repro"
+	"repro/internal/engine"
+)
+
+func DiscardedClose(e *engine.Engine) {
+	defer e.Close() // want `defer ev\.Close\(\) discards the close error`
+}
+
+func GoClose(e *engine.Engine) {
+	go e.Close() // want `go ev\.Close\(\) discards the close error`
+}
+
+func BareClose(e *engine.Engine) {
+	e.Close() // want `ev\.Close\(\) discards the close error`
+}
+
+func NeverClosed(ctx context.Context) error {
+	ev := engine.New(engine.Options{Workers: 2}) // want `evaluator from engine\.New is never closed`
+	_, err := ev.Run(ctx, nil)
+	return err
+}
+
+func DiscardedConstructor() {
+	engine.New(engine.Options{}) // want `result of engine\.New is discarded`
+}
+
+func FacadeLeak(ctx context.Context) {
+	ev, err := art9.New() // want `evaluator from art9\.New is never closed`
+	if err != nil {
+		return
+	}
+	_, _ = ev.Run(ctx, nil)
+	fmt.Println("ran")
+}

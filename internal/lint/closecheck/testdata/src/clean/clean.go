@@ -1,0 +1,45 @@
+// Package clean holds the sanctioned evaluator lifecycles; closecheck
+// must stay silent here.
+package clean
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/engine"
+)
+
+func HandledClose(ctx context.Context) error {
+	ev := engine.New(engine.Options{})
+	defer func() {
+		if cerr := ev.Close(); cerr != nil {
+			fmt.Println("close:", cerr)
+		}
+	}()
+	_, err := ev.Run(ctx, nil)
+	return err
+}
+
+func ClosedDirectly() error {
+	ev := engine.New(engine.Options{})
+	return ev.Close()
+}
+
+// AcknowledgedDiscard assigns the close error to _, the explicit form
+// of "I considered it".
+func AcknowledgedDiscard(e *engine.Engine) {
+	_ = e.Close()
+}
+
+// OwnershipTransfer returns the evaluator; Close is the caller's duty.
+func OwnershipTransfer() *engine.Engine {
+	return engine.New(engine.Options{})
+}
+
+// pool stores evaluators it constructs; storing transfers ownership to
+// the struct's own lifecycle.
+type pool struct{ members []*engine.Engine }
+
+func (p *pool) grow() {
+	p.members = append(p.members, engine.New(engine.Options{}))
+}

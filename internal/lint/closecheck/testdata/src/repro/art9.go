@@ -1,0 +1,21 @@
+// Package art9 is a fixture stub of the repro facade: New returns the
+// Evaluator interface, the other shape closecheck must recognize.
+package art9
+
+import "context"
+
+type (
+	Job    struct{}
+	Result struct{}
+	Stats  struct{}
+	Option func()
+)
+
+type Evaluator interface {
+	Run(ctx context.Context, jobs []Job) ([]Result, error)
+	Stream(ctx context.Context, jobs <-chan Job) (<-chan Result, error)
+	Stats() Stats
+	Close() error
+}
+
+func New(opts ...Option) (Evaluator, error) { return nil, nil }

@@ -1,0 +1,24 @@
+// Package engine is a fixture stub of repro/internal/engine: a
+// constructor closecheck knows by name whose result is
+// Evaluator-shaped (Run/Stream/Stats/Close).
+package engine
+
+import "context"
+
+type (
+	Job     struct{}
+	Result  struct{}
+	Stats   struct{}
+	Options struct{ Workers int }
+)
+
+type Engine struct{}
+
+func New(opts Options) *Engine { return &Engine{} }
+
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) { return nil, nil }
+func (e *Engine) Stream(ctx context.Context, jobs <-chan Job) (<-chan Result, error) {
+	return nil, nil
+}
+func (e *Engine) Stats() Stats { return Stats{} }
+func (e *Engine) Close() error { return nil }

@@ -1,0 +1,185 @@
+// Package ctxflow enforces the context-threading convention of the
+// dispatch stack: cancellation is what lets a disconnected client, a
+// draining server, or a failover front stop paying for work nobody
+// will receive, so every dispatch path must carry the caller's
+// context.Context — never a fresh context.Background() that severs the
+// chain.
+package ctxflow
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer enforces ctx-first signatures on exported dispatchers and
+// forbids dispatching with context.Background()/TODO() where a caller
+// context exists.
+var Analyzer = &analysis.Analyzer{
+	Name: "ctxflow",
+	Doc: "dispatch paths must thread the caller's context.Context\n\n" +
+		"In the dispatch packages (internal/engine, internal/remote, internal/serve):\n" +
+		"  - an exported function or method whose body dispatches work (calls a\n" +
+		"    Run/Stream/Submit/DispatchChunk method taking a context) must itself\n" +
+		"    take a context.Context as its first parameter;\n" +
+		"  - a function that has a context parameter must not dispatch with\n" +
+		"    context.Background() or context.TODO() — that severs cancellation.\n" +
+		"Test files and *test harness packages are exempt.",
+	Run: run,
+}
+
+// scopePrefixes are the package paths the convention governs.
+var scopePrefixes = []string{
+	"repro/internal/engine",
+	"repro/internal/remote",
+	"repro/internal/serve",
+}
+
+// dispatchMethods are the method names that submit work to a backend.
+var dispatchMethods = map[string]bool{
+	"Run":           true,
+	"Stream":        true,
+	"Submit":        true,
+	"DispatchChunk": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	inScope := false
+	for _, p := range scopePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope || strings.HasSuffix(pass.Pkg.Name(), "test") {
+		return nil, nil
+	}
+
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.File(file.Pos()).Name(), "_test.go") {
+			continue
+		}
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkFunc(pass, fd)
+		}
+	}
+	return nil, nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDispatch reports whether call submits work: a Run/Stream/Submit/
+// DispatchChunk method call whose first argument is a context.Context.
+func isDispatch(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !dispatchMethods[sel.Sel.Name] || len(call.Args) == 0 {
+		return false
+	}
+	// Require a method (selection on a value), not a package function.
+	if _, ok := pass.TypesInfo.Selections[sel]; !ok {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	return ok && tv.Type != nil && isContextType(tv.Type)
+}
+
+// freshContext reports whether e is a direct context.Background() or
+// context.TODO() call.
+func freshContext(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	call, ok := analysis.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	obj, ok := pass.TypesInfo.Uses[sel.Sel]
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "context" {
+		return "", false
+	}
+	if obj.Name() == "Background" || obj.Name() == "TODO" {
+		return "context." + obj.Name(), true
+	}
+	return "", false
+}
+
+// hasCtxParam reports whether the field list's first parameter is a
+// context.Context, and whether any parameter is.
+func ctxParams(pass *analysis.Pass, params *ast.FieldList) (first, any bool) {
+	if params == nil {
+		return false, false
+	}
+	for i, f := range params.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || tv.Type == nil || !isContextType(tv.Type) {
+			continue
+		}
+		if i == 0 {
+			first = true
+		}
+		return first, true
+	}
+	return false, false
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	first, hasCtx := ctxParams(pass, fd.Type.Params)
+
+	// Each function literal introduces its own parameter frame: a
+	// goroutine body without a ctx parameter inside a ctx-taking method
+	// is judged against the enclosing function's contract, so track a
+	// stack of "a caller context is available here" frames.
+	type frame struct {
+		fn      ast.Node
+		hasCtx  bool
+		reports []*ast.CallExpr
+	}
+	frames := []*frame{{fn: fd, hasCtx: hasCtx}}
+
+	dispatches := 0
+	var stack []ast.Node
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if n == nil {
+			if top := frames[len(frames)-1]; top.fn == stack[len(stack)-1] {
+				frames = frames[:len(frames)-1]
+			}
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if fl, ok := n.(*ast.FuncLit); ok {
+			_, litHas := ctxParams(pass, fl.Type.Params)
+			// A closure inherits the enclosing frame's context access:
+			// it can capture the ctx variable even without a parameter.
+			frames = append(frames, &frame{fn: fl, hasCtx: litHas || frames[len(frames)-1].hasCtx})
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isDispatch(pass, call) {
+			dispatches++
+			if name, fresh := freshContext(pass, call.Args[0]); fresh && frames[len(frames)-1].hasCtx {
+				sel := call.Fun.(*ast.SelectorExpr)
+				pass.Reportf(call.Args[0].Pos(), "%s passed to %s while a caller context is in scope; thread the caller's ctx so cancellation reaches the dispatch", name, sel.Sel.Name)
+			}
+		}
+		stack = append(stack, n)
+		return true
+	})
+
+	if dispatches > 0 && fd.Name.IsExported() && !first {
+		pass.Reportf(fd.Name.Pos(), "exported %s dispatches work but does not take a context.Context first parameter; dispatch entry points must accept the caller's context", fd.Name.Name)
+	}
+}

@@ -1,0 +1,15 @@
+// Package engine is a fixture stub of repro/internal/engine: a backend
+// with the ctx-first dispatch methods ctxflow keys on.
+package engine
+
+import "context"
+
+type (
+	Job    struct{}
+	Result struct{}
+)
+
+type Engine struct{}
+
+func (e *Engine) Run(ctx context.Context, jobs []Job) ([]Result, error) { return nil, nil }
+func (e *Engine) Submit(ctx context.Context, job Job) error             { return nil }

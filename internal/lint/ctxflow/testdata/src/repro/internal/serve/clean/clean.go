@@ -1,0 +1,29 @@
+// Package clean threads contexts correctly; ctxflow must stay silent
+// here.
+package clean
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+// Threaded is the sanctioned shape: ctx first, passed through.
+func Threaded(ctx context.Context, e *engine.Engine) error {
+	_, err := e.Run(ctx, nil)
+	return err
+}
+
+// Derived contexts keep the cancellation chain intact.
+func Bounded(ctx context.Context, e *engine.Engine) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return e.Submit(ctx, engine.Job{})
+}
+
+// helper is unexported: the ctx-first rule binds only exported entry
+// points, and with no caller context in scope minting one is legal.
+func helper(e *engine.Engine) error {
+	_, err := e.Run(context.Background(), nil)
+	return err
+}

@@ -1,0 +1,30 @@
+// Package flagged exercises the ctxflow rules inside the dispatch
+// scope (its fixture path sits under repro/internal/serve).
+package flagged
+
+import (
+	"context"
+
+	"repro/internal/engine"
+)
+
+// Dispatch submits work without accepting the caller's context.
+func Dispatch(e *engine.Engine) error { // want `exported Dispatch dispatches work but does not take a context\.Context first parameter`
+	_, err := e.Run(context.Background(), nil)
+	return err
+}
+
+// Severed has the caller's context but dispatches with a fresh one.
+func Severed(ctx context.Context, e *engine.Engine) error {
+	_, err := e.Run(context.Background(), nil) // want `context\.Background passed to Run while a caller context is in scope`
+	return err
+}
+
+// Spawned dispatches from a goroutine closure; the closure inherits the
+// enclosing method's context access, so minting a fresh one still
+// severs cancellation.
+func Spawned(ctx context.Context, e *engine.Engine) {
+	go func() {
+		_ = e.Submit(context.TODO(), engine.Job{}) // want `context\.TODO passed to Submit while a caller context is in scope`
+	}()
+}

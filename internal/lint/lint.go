@@ -1,0 +1,29 @@
+// Package lint assembles the repo's domain-specific static-analysis
+// suite: the go/analysis-style analyzers that mechanize the Evaluator
+// stack's conventions (typed-error matching, evaluator lifecycles,
+// context threading, the balanced-ternary value domain, and the
+// machine-boundary wire format). cmd/art9-lint compiles them into a
+// multichecker; linttest runs them over fixture packages in tests.
+package lint
+
+import (
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/closecheck"
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/tritrange"
+	"repro/internal/lint/typederr"
+	"repro/internal/lint/wirespec"
+)
+
+// All returns every analyzer of the suite, in stable order. New
+// analyzers register here and nowhere else — the driver, the vettool
+// mode and the docs all derive from this list.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		closecheck.Analyzer,
+		ctxflow.Analyzer,
+		tritrange.Analyzer,
+		typederr.Analyzer,
+		wirespec.Analyzer,
+	}
+}

@@ -1,0 +1,36 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRegistry pins the analyzer suite's shape: the five invariants,
+// unique names, and the one-line-summary doc convention the -list
+// output and README rely on.
+func TestRegistry(t *testing.T) {
+	all := lint.All()
+	if len(all) != 5 {
+		t.Fatalf("All() = %d analyzers, want 5", len(all))
+	}
+	want := []string{"closecheck", "ctxflow", "tritrange", "typederr", "wirespec"}
+	seen := make(map[string]bool)
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %q, want %q", i, a.Name, want[i])
+		}
+		if seen[a.Name] {
+			t.Errorf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if a.Run == nil {
+			t.Errorf("%s: nil Run", a.Name)
+		}
+		summary, _, _ := strings.Cut(a.Doc, "\n")
+		if summary == "" {
+			t.Errorf("%s: Doc has no summary line", a.Name)
+		}
+	}
+}

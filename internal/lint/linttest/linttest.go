@@ -1,0 +1,245 @@
+// Package linttest is the fixture harness for the internal/lint
+// analyzers — the role golang.org/x/tools/go/analysis/analysistest
+// plays upstream, rebuilt on the standard library because this
+// container cannot vendor x/tools.
+//
+// A test calls Run(t, analyzer, "pkg/path"...). Each path names a
+// fixture package under the analyzer's testdata/src directory (e.g.
+// testdata/src/repro/internal/engine). Fixture imports resolve
+// fixture-first — an import of "repro/internal/engine" finds the stub
+// in testdata, letting fixtures trigger on the exact package paths the
+// analyzers key on — and fall back to the process-wide load.Shared()
+// resolver for the standard library.
+//
+// Expected diagnostics are declared in the fixtures with analysistest's
+// comment syntax:
+//
+//	err == engine.ErrClosed // want `use errors\.Is`
+//
+// Each // want comment carries one or more quoted regular expressions
+// (backquoted or double-quoted) that must match, in order of
+// appearance, the messages of diagnostics reported on that line. Every
+// diagnostic must be wanted and every want must be matched; either
+// mismatch fails the test.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/lint/load"
+)
+
+// Run loads each fixture package and applies the analyzer, comparing
+// reported diagnostics against the // want comments in the fixture
+// sources.
+func Run(t *testing.T, an *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	ld := &fixtureLoader{root: root, fset: load.Shared().Fset, pkgs: make(map[string]*fixturePkg)}
+	for _, path := range paths {
+		path := path
+		t.Run(strings.ReplaceAll(path, "/", "_"), func(t *testing.T) {
+			pkg, err := ld.load(path)
+			if err != nil {
+				t.Fatalf("linttest: loading fixture %s: %v", path, err)
+			}
+			check(t, an, ld.fset, pkg)
+		})
+	}
+}
+
+// fixturePkg is one type-checked fixture package.
+type fixturePkg struct {
+	path  string
+	files []*ast.File
+	types *types.Package
+	info  *types.Info
+}
+
+// fixtureLoader type-checks fixture packages from a testdata/src tree,
+// resolving imports fixture-first, then via the shared resolver.
+type fixtureLoader struct {
+	root string
+	fset *token.FileSet
+	pkgs map[string]*fixturePkg
+}
+
+func (l *fixtureLoader) load(path string) (*fixturePkg, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	p := &fixturePkg{path: path, info: load.NewInfo()}
+	for _, name := range names {
+		file, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		p.files = append(p.files, file)
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(l.importPkg),
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, l.fset, p.files, p.info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("fixture does not type-check: %v", typeErrs[0])
+	}
+	p.types = tpkg
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// importPkg resolves an import from a fixture: a testdata stub if one
+// exists at that path, the real (shared-resolver) package otherwise.
+func (l *fixtureLoader) importPkg(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		p, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return p.types, nil
+	}
+	p, err := load.Shared().Ensure(path)
+	if err != nil {
+		return nil, err
+	}
+	return p.Types, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// expectation is one parsed // want regexp, keyed by file and line.
+type expectation struct {
+	file    string // base name
+	line    int
+	rx      *regexp.Regexp
+	matched bool
+}
+
+// check runs the analyzer over one fixture package and reconciles the
+// diagnostics with the fixtures' want comments.
+func check(t *testing.T, an *analysis.Analyzer, fset *token.FileSet, pkg *fixturePkg) {
+	t.Helper()
+	var wants []*expectation
+	for _, file := range pkg.files {
+		name := filepath.Base(fset.Position(file.Pos()).Filename)
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				line := fset.Position(c.Pos()).Line
+				for _, rx := range parseWant(t, name, line, c.Text) {
+					wants = append(wants, &expectation{file: name, line: line, rx: rx})
+				}
+			}
+		}
+	}
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  an,
+		Fset:      fset,
+		Files:     pkg.files,
+		Pkg:       pkg.types,
+		TypesInfo: pkg.info,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := an.Run(pass); err != nil {
+		t.Fatalf("%s: %v", an.Name, err)
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		base := filepath.Base(pos.Filename)
+		found := false
+		for _, w := range wants {
+			if w.matched || w.file != base || w.line != pos.Line {
+				continue
+			}
+			if w.rx.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s:%d: unexpected diagnostic: %s", base, pos.Line, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.rx)
+		}
+	}
+}
+
+// parseWant extracts the regexps from a comment if it is a // want
+// comment; nil otherwise.
+func parseWant(t *testing.T, file string, line int, text string) []*regexp.Regexp {
+	t.Helper()
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil // /* */ comments never carry expectations
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil
+	}
+	var rxs []*regexp.Regexp
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			break
+		}
+		quoted, err := strconv.QuotedPrefix(body)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed // want comment: %q", file, line, text)
+		}
+		pat, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s:%d: malformed // want pattern %s: %v", file, line, quoted, err)
+		}
+		rx, err := regexp.Compile(pat)
+		if err != nil {
+			t.Fatalf("%s:%d: bad // want regexp %s: %v", file, line, quoted, err)
+		}
+		rxs = append(rxs, rx)
+		body = body[len(quoted):]
+	}
+	if len(rxs) == 0 {
+		t.Fatalf("%s:%d: // want comment carries no patterns", file, line)
+	}
+	return rxs
+}

@@ -1,0 +1,261 @@
+// Package load turns package patterns into type-checked syntax trees
+// using only the standard library: `go list -deps -json` supplies the
+// build-system view (which files belong to a package under the current
+// GOOS/GOARCH, in dependency order), and go/types checks everything
+// from source. It is the loading layer under cmd/art9-lint and the
+// linttest fixture harness — the role x/tools' go/packages plays for
+// ordinary analysis drivers, which this container cannot vendor.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	PkgPath  string
+	Name     string
+	Dir      string
+	GoFiles  []string
+	Standard bool
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// Errors holds type errors tolerated during checking (standard
+	// library packages only; module packages fail the load instead).
+	Errors []error
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// Resolver loads and caches type-checked packages for one process. It
+// is safe for concurrent use; all packages share one FileSet so
+// positions compose across packages.
+type Resolver struct {
+	Fset *token.FileSet
+
+	mu   sync.Mutex
+	pkgs map[string]*Package
+}
+
+// NewResolver returns an empty resolver.
+func NewResolver() *Resolver {
+	return &Resolver{Fset: token.NewFileSet(), pkgs: make(map[string]*Package)}
+}
+
+// shared is the process-wide resolver used by test harnesses so the
+// (expensive) standard-library closure is checked once per process.
+var shared = NewResolver()
+
+// Shared returns the process-wide resolver.
+func Shared() *Resolver { return shared }
+
+// goList runs `go list -deps -json` for patterns in dir and decodes the
+// JSON stream. CGO is disabled so the pure-Go variants of the standard
+// library are selected — source type-checking cannot follow import "C".
+func goList(dir string, patterns ...string) ([]*listPackage, error) {
+	args := append([]string{"list", "-e", "-deps", "-json=ImportPath,Name,Dir,GoFiles,Standard,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPackage
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}
+
+// Load lists patterns relative to dir, type-checks the full dependency
+// closure, and returns the packages the patterns matched (dependencies
+// are cached but not returned). Module packages must type-check
+// cleanly; standard-library oddities are tolerated and recorded.
+func (r *Resolver) Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var targets []*Package
+	// `go list -deps` emits dependencies before dependents, so one
+	// in-order sweep has every import available when needed.
+	for _, lp := range listed {
+		if lp.Error != nil && lp.Name == "" {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p, err := r.checkLocked(lp)
+		if err != nil {
+			return nil, err
+		}
+		if !lp.DepOnly {
+			targets = append(targets, p)
+		}
+	}
+	return targets, nil
+}
+
+// Ensure loads the package at import path (and its closure) if it is
+// not cached yet, returning its type-checked form. Used by linttest to
+// satisfy standard-library imports of fixture files.
+func (r *Resolver) Ensure(path string) (*Package, error) {
+	r.mu.Lock()
+	if p, ok := r.pkgs[path]; ok {
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+	// Listing happens outside the lock; checkLocked re-tests the cache.
+	listed, err := goList("", path)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, lp := range listed {
+		if lp.Error != nil && lp.Name == "" {
+			return nil, fmt.Errorf("go list: %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if _, err := r.checkLocked(lp); err != nil {
+			return nil, err
+		}
+	}
+	p, ok := r.pkgs[path]
+	if !ok {
+		return nil, fmt.Errorf("load: %s not resolved by go list", path)
+	}
+	return p, nil
+}
+
+// checkLocked parses and type-checks one listed package, reusing the
+// cache. r.mu must be held.
+func (r *Resolver) checkLocked(lp *listPackage) (*Package, error) {
+	if p, ok := r.pkgs[lp.ImportPath]; ok {
+		return p, nil
+	}
+	if lp.ImportPath == "unsafe" {
+		p := &Package{PkgPath: "unsafe", Name: "unsafe", Standard: true, Fset: r.Fset, Types: types.Unsafe}
+		r.pkgs["unsafe"] = p
+		return p, nil
+	}
+	p := &Package{
+		PkgPath:  lp.ImportPath,
+		Name:     lp.Name,
+		Dir:      lp.Dir,
+		Standard: lp.Standard,
+		Fset:     r.Fset,
+	}
+	for _, f := range lp.GoFiles {
+		name := filepath.Join(lp.Dir, f)
+		p.GoFiles = append(p.GoFiles, name)
+		file, err := parser.ParseFile(r.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("load: %s: %v", lp.ImportPath, err)
+		}
+		p.Syntax = append(p.Syntax, file)
+	}
+	p.TypesInfo = NewInfo()
+	conf := types.Config{
+		Importer: (*cacheImporter)(r),
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+		Error: func(err error) {
+			p.Errors = append(p.Errors, err)
+		},
+	}
+	tpkg, err := conf.Check(lp.ImportPath, r.Fset, p.Syntax, p.TypesInfo)
+	// The standard library occasionally contains constructs go/types
+	// cannot fully check from source (compiler intrinsics); analyzers
+	// never look inside those packages, so partial type information is
+	// acceptable there — but module packages must check cleanly.
+	if !lp.Standard && len(p.Errors) > 0 {
+		return nil, fmt.Errorf("load: %s: %v", lp.ImportPath, p.Errors[0])
+	}
+	if tpkg == nil {
+		return nil, fmt.Errorf("load: %s: type-checking produced no package: %v", lp.ImportPath, err)
+	}
+	p.Types = tpkg
+	r.pkgs[lp.ImportPath] = p
+	return p, nil
+}
+
+// cacheImporter resolves imports against the resolver's cache. The
+// standard library's vendored dependencies are listed under a vendor/
+// prefix but imported without one, hence the fallback.
+type cacheImporter Resolver
+
+func (c *cacheImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.pkgs[path]; ok {
+		return p.Types, nil
+	}
+	if p, ok := c.pkgs["vendor/"+path]; ok {
+		return p.Types, nil
+	}
+	return nil, fmt.Errorf("load: import %q not in dependency closure", path)
+}
+
+// NewInfo returns a fully populated types.Info ready for Check.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// Export of the gc importer for the vettool (unitchecker) mode of
+// cmd/art9-lint: vet hands the tool compiled export data for every
+// import, so no source checking happens there.
+func GCImporter(fset *token.FileSet, packageFile map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := packageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+}

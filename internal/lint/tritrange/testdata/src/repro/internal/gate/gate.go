@@ -1,0 +1,21 @@
+// Package gate stays inside the trit domain; tritrange must be silent
+// here.
+package gate
+
+import "repro/internal/ternary"
+
+// Invert is constant-correct trit logic.
+func Invert(t ternary.Trit) ternary.Trit {
+	switch t {
+	case ternary.Neg:
+		return ternary.Pos
+	case ternary.Pos:
+		return ternary.Neg
+	}
+	return ternary.Zero
+}
+
+// Zeros builds a word from in-range constants only, spelled every way.
+func Zeros() ternary.Word {
+	return ternary.Word{ternary.Neg, 0, 1, -1}
+}

@@ -1,0 +1,24 @@
+// Package sim exercises tritrange: constant Trit expressions outside
+// the balanced domain, in each syntactic position the analyzer covers.
+package sim
+
+import "repro/internal/ternary"
+
+// Bad is an out-of-range constant conversion.
+var Bad = ternary.Trit(2) // want `constant 2 is outside the balanced-ternary trit domain`
+
+// BadWord smuggles an out-of-range element into a composite literal.
+var BadWord = ternary.Word{ternary.Neg, 3} // want `constant 3 is outside the balanced-ternary trit domain`
+
+// BadNeg is out of range on the negative side; the unary minus and its
+// literal are one diagnostic, reported at the outermost expression.
+var BadNeg ternary.Trit = -2 // want `constant -2 is outside the balanced-ternary trit domain`
+
+// Step stays silent: non-constant arithmetic is Trit.Valid's job at
+// run time, not tritrange's.
+func Step(t ternary.Trit) ternary.Trit {
+	if t == ternary.Pos {
+		return ternary.Neg
+	}
+	return t + 1
+}

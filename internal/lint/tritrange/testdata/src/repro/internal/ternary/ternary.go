@@ -1,0 +1,19 @@
+// Package ternary is a fixture stub of repro/internal/ternary: the
+// Trit type and its legal constants. It is also a clean in-scope
+// target — every constant here is in the balanced domain.
+package ternary
+
+// Trit is one balanced-ternary digit: -1, 0 or +1.
+type Trit int8
+
+const (
+	Neg  Trit = -1
+	Zero Trit = 0
+	Pos  Trit = 1
+)
+
+// Word is a fixed vector of trits.
+type Word [4]Trit
+
+// Valid reports whether t is in the balanced domain.
+func (t Trit) Valid() bool { return t >= Neg && t <= Pos }

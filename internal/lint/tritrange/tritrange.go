@@ -1,0 +1,123 @@
+// Package tritrange enforces the balanced-ternary value domain: a
+// ternary.Trit holds exactly −1, 0 or +1. Any constant expression of
+// type Trit outside that range — a composite-literal element, an
+// assignment, a conversion like Trit(2), a comparison operand — is a
+// latent corruption of the trit domain that Valid() checks would only
+// catch at run time, and that the packed-trit kernel work on the
+// ROADMAP turns into silent bit-plane corruption.
+package tritrange
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags constant Trit-typed expressions outside {-1, 0, +1}.
+var Analyzer = &analysis.Analyzer{
+	Name: "tritrange",
+	Doc: "constant trit values must lie in the balanced-ternary domain {-1, 0, +1}\n\n" +
+		"In the trit-domain packages (internal/ternary, internal/sim, internal/gate),\n" +
+		"every constant expression of type ternary.Trit — literals in Word composites,\n" +
+		"conversions, assignments, comparisons — must be −1, 0 or +1. Out-of-range\n" +
+		"trits corrupt the balanced encoding silently; non-constant conversions are\n" +
+		"the domain of Trit.Valid at run time and are not flagged.",
+	Run: run,
+}
+
+// scopePrefixes are the packages whose trit arithmetic the invariant
+// governs.
+var scopePrefixes = []string{
+	"repro/internal/ternary",
+	"repro/internal/sim",
+	"repro/internal/gate",
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	path := pass.Pkg.Path()
+	inScope := false
+	for _, p := range scopePrefixes {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			inScope = true
+			break
+		}
+	}
+	if !inScope {
+		return nil, nil
+	}
+	trit := tritType(pass.Pkg)
+	if trit == nil {
+		return nil, nil
+	}
+
+	// Tests deliberately construct out-of-range trits to exercise
+	// Valid() and the decode error paths; the domain invariant binds
+	// non-test code.
+	files := pass.Files[:0:0]
+	for _, f := range pass.Files {
+		if !strings.HasSuffix(pass.Fset.File(f.Pos()).Name(), "_test.go") {
+			files = append(files, f)
+		}
+	}
+
+	// Collect the outermost out-of-range constant Trit expressions:
+	// in `-2`, both the unary expression and the literal 2 carry a
+	// constant value, and one diagnostic is enough.
+	flagged := make(map[ast.Expr]bool)
+	sub := *pass
+	sub.Files = files
+	sub.WithStack(func(n ast.Node, stack []ast.Node) bool {
+		expr, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[expr]
+		if !ok || tv.Value == nil || tv.Type == nil {
+			return true
+		}
+		if !types.Identical(tv.Type, trit) || tv.Value.Kind() != constant.Int {
+			return true
+		}
+		v, exact := constant.Int64Val(tv.Value)
+		if exact && v >= -1 && v <= 1 {
+			return true
+		}
+		for _, anc := range stack {
+			if ae, ok := anc.(ast.Expr); ok && flagged[ae] {
+				return false // already reported at an enclosing expression
+			}
+		}
+		flagged[expr] = true
+		pass.Reportf(expr.Pos(), "constant %s is outside the balanced-ternary trit domain {-1, 0, +1}", tv.Value.ExactString())
+		return false
+	})
+	return nil, nil
+}
+
+// tritType finds the ternary.Trit named type as seen from pkg: the
+// package's own Trit when linting internal/ternary itself, or the one
+// reached through its import of internal/ternary.
+func tritType(pkg *types.Package) types.Type {
+	lookup := func(p *types.Package) types.Type {
+		if obj, ok := p.Scope().Lookup("Trit").(*types.TypeName); ok {
+			return obj.Type()
+		}
+		return nil
+	}
+	if strings.HasPrefix(pkg.Path(), "repro/internal/ternary") {
+		if t := lookup(pkg); t != nil {
+			return t
+		}
+	}
+	for _, imp := range pkg.Imports() {
+		if strings.HasPrefix(imp.Path(), "repro/internal/ternary") {
+			if t := lookup(imp); t != nil {
+				return t
+			}
+		}
+	}
+	return nil
+}

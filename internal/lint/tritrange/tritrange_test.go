@@ -1,0 +1,16 @@
+package tritrange_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/tritrange"
+)
+
+func TestTritRange(t *testing.T) {
+	linttest.Run(t, tritrange.Analyzer,
+		"repro/internal/ternary",
+		"repro/internal/sim",
+		"repro/internal/gate",
+	)
+}

@@ -1,0 +1,38 @@
+// Package a exercises every typederr rule: identity comparison, string
+// matching on rendered messages, and switch-case identity.
+package a
+
+import (
+	"errors"
+	"strings"
+
+	art9 "repro"
+	"repro/internal/engine"
+)
+
+func Identity(err error) bool {
+	if err == engine.ErrClosed { // want `comparison with ErrClosed uses ==`
+		return true
+	}
+	if err != art9.ErrTimeout { // want `comparison with ErrTimeout uses !=`
+		return false
+	}
+	return errors.Is(err, engine.ErrClosed) // the sanctioned form
+}
+
+func Text(err error) bool {
+	if err.Error() == "engine: closed" { // want `matching on err\.Error\(\) text`
+		return true
+	}
+	return strings.Contains(err.Error(), "timeout") // want `strings\.Contains over err\.Error\(\) text`
+}
+
+func Switch(err error) string {
+	switch err {
+	case engine.ErrUnavailable: // want `switch-case compares ErrUnavailable by identity`
+		return "unavailable"
+	case nil:
+		return ""
+	}
+	return "other"
+}

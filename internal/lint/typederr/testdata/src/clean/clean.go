@@ -1,0 +1,25 @@
+// Package clean holds the sanctioned error-matching forms; typederr
+// must stay silent here.
+package clean
+
+import (
+	"errors"
+
+	"repro/internal/engine"
+)
+
+func Match(err error) bool {
+	if errors.Is(err, engine.ErrClosed) {
+		return true
+	}
+	return errors.Is(err, engine.ErrTimeout) || errors.Is(err, engine.ErrUnavailable)
+}
+
+// Other shows what stays legal: nil checks and identity between
+// arbitrary (non-sentinel) errors are out of scope.
+func Other(a, b error) bool {
+	if a == nil {
+		return false
+	}
+	return a == b
+}

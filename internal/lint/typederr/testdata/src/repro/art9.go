@@ -1,0 +1,10 @@
+// Package art9 is a fixture stub of the repro facade: the sentinel
+// aliases it re-exports are covered by the same convention.
+package art9
+
+import "errors"
+
+var (
+	ErrClosed  = errors.New("art9: closed")
+	ErrTimeout = errors.New("art9: timeout")
+)

@@ -1,0 +1,12 @@
+// Package engine is a fixture stub of repro/internal/engine: the typed
+// sentinel errors typederr keys on, at the real package path.
+package engine
+
+import "errors"
+
+var (
+	ErrClosed         = errors.New("engine: closed")
+	ErrTimeout        = errors.New("engine: timeout")
+	ErrUnavailable    = errors.New("engine: unavailable")
+	ErrInvalidOptions = errors.New("engine: invalid options")
+)

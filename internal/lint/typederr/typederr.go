@@ -1,0 +1,178 @@
+// Package typederr enforces the Evaluator stack's error-matching
+// convention: the typed sentinel errors (engine.ErrClosed, ErrTimeout,
+// ErrUnavailable, ErrInvalidOptions and their art9 facade aliases)
+// travel wrapped — through fmt.Errorf("%w"), across the wire via
+// bench.ErrorKindOf, re-typed by the remote client — so identity
+// comparison with == or != silently stops matching the moment any layer
+// wraps. The only correct check is errors.Is. Matching on the rendered
+// message (err.Error() == "...", strings.Contains(err.Error(), ...)) is
+// the same bug with extra steps.
+package typederr
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer flags identity and string comparisons against the stack's
+// typed sentinel errors.
+var Analyzer = &analysis.Analyzer{
+	Name: "typederr",
+	Doc: "compare typed evaluator errors with errors.Is, never == or string matching\n\n" +
+		"The sentinel errors of the dispatch stack (engine.ErrClosed, ErrTimeout,\n" +
+		"ErrUnavailable, ErrInvalidOptions, and the repro facade aliases) are wrapped\n" +
+		"as they cross layers and machines, so == / != / switch-case identity checks\n" +
+		"and Error() string matching give false negatives. Use errors.Is.",
+	Run: run,
+}
+
+// sentinelPkgs are the packages whose exported Err* sentinels the
+// convention covers: the engine that defines them and the facade that
+// aliases them.
+var sentinelPkgs = map[string]bool{
+	"repro":                 true,
+	"repro/internal/engine": true,
+}
+
+var sentinelNames = map[string]bool{
+	"ErrClosed":         true,
+	"ErrTimeout":        true,
+	"ErrUnavailable":    true,
+	"ErrInvalidOptions": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	errorIface := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+
+	// sentinel reports whether e names one of the typed errors.
+	sentinel := func(e ast.Expr) (string, bool) {
+		e = analysis.Unparen(e)
+		var id *ast.Ident
+		switch x := e.(type) {
+		case *ast.Ident:
+			id = x
+		case *ast.SelectorExpr:
+			id = x.Sel
+		default:
+			return "", false
+		}
+		obj, ok := pass.TypesInfo.Uses[id]
+		if !ok {
+			return "", false
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if sentinelPkgs[v.Pkg().Path()] && sentinelNames[v.Name()] {
+			return v.Name(), true
+		}
+		return "", false
+	}
+
+	// errorString reports whether e is a call of the error interface's
+	// Error method (the rendered message).
+	errorString := func(e ast.Expr) bool {
+		call, ok := analysis.Unparen(e).(*ast.CallExpr)
+		if !ok || len(call.Args) != 0 {
+			return false
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Error" {
+			return false
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		return ok && types.Implements(tv.Type, errorIface)
+	}
+
+	isString := func(e ast.Expr) bool {
+		tv, ok := pass.TypesInfo.Types[e]
+		if !ok || tv.Type == nil {
+			return false
+		}
+		b, ok := tv.Type.Underlying().(*types.Basic)
+		return ok && b.Info()&types.IsString != 0
+	}
+
+	// The identity-comparison rule binds everywhere, tests included —
+	// a test comparing with == would pass today and silently stop
+	// guarding once a layer wraps. The Error()-text heuristics are
+	// relaxed in test files, which legitimately assert on rendered
+	// messages.
+	for _, file := range pass.Files {
+		isTest := strings.HasSuffix(pass.Fset.File(file.Pos()).Name(), "_test.go")
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					return true
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if name, ok := sentinel(side); ok {
+						pass.Reportf(n.Pos(), "comparison with %s uses %s; sentinel errors are wrapped across layers, use errors.Is", name, n.Op)
+						return true
+					}
+				}
+				// err.Error() == "..." (either orientation) compares
+				// the rendered message, which changes under wrapping.
+				if isTest {
+					return true
+				}
+				if (errorString(n.X) && isString(n.Y)) || (errorString(n.Y) && isString(n.X)) {
+					pass.Reportf(n.Pos(), "matching on err.Error() text; use errors.Is (or errors.As) against the typed error")
+				}
+			case *ast.SwitchStmt:
+				// switch err { case engine.ErrClosed: } is == in disguise.
+				if n.Tag == nil {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[n.Tag]
+				if !ok || tv.Type == nil || !types.Implements(tv.Type, errorIface) {
+					return true
+				}
+				for _, stmt := range n.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if name, ok := sentinel(e); ok {
+							pass.Reportf(e.Pos(), "switch-case compares %s by identity; sentinel errors are wrapped across layers, use errors.Is", name)
+						}
+					}
+				}
+			case *ast.CallExpr:
+				// strings.Contains/HasPrefix/HasSuffix/EqualFold over
+				// a rendered error message.
+				if isTest {
+					return true
+				}
+				sel, ok := n.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				obj, ok := pass.TypesInfo.Uses[sel.Sel]
+				if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "strings" {
+					return true
+				}
+				switch obj.Name() {
+				case "Contains", "HasPrefix", "HasSuffix", "EqualFold":
+				default:
+					return true
+				}
+				for _, arg := range n.Args {
+					if errorString(arg) {
+						pass.Reportf(n.Pos(), "strings.%s over err.Error() text; use errors.Is (or errors.As) against the typed error", obj.Name())
+						break
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

@@ -1,0 +1,12 @@
+package typederr_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/typederr"
+)
+
+func TestTypedErr(t *testing.T) {
+	linttest.Run(t, typederr.Analyzer, "a", "clean")
+}

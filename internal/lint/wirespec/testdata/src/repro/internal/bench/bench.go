@@ -1,0 +1,30 @@
+// Package bench exercises wirespec: the JobSpec and Report wire roots
+// carrying one of each violation class.
+package bench
+
+// JobSpec crosses the machine boundary to remote peers.
+type JobSpec struct {
+	Name       string `json:"name"`
+	Iterations int    `json:"iterations"`
+
+	Done     chan struct{} `json:"done"`     // want `channel type chan struct\{\} cannot cross a machine boundary`
+	Callback func()        `json:"callback"` // want `func type func\(\) cannot cross a machine boundary`
+}
+
+// Report is the batch result peers return.
+type Report struct {
+	Schema  string  `json:"schema"`
+	WallMS  float64 `json:"wallMs"` // want `json tag "wallMs" is not snake_case`
+	Workers int     // want `exported field has no json tag`
+	Count   int     `json:"schema"` // want `json tag "schema" duplicates the tag on field Schema`
+	hidden  int     // want `unexported field is silently dropped`
+	Skip    func()  `json:"-"` // excluded from the wire form: legal
+
+	Jobs []JobRow `json:"jobs"`
+}
+
+// JobRow is not itself a root; wirespec reaches it through Report.Jobs.
+type JobRow struct {
+	Name string `json:"name"`
+	Err  error  `json:"err"` // want `interface field cannot round-trip through JSON`
+}

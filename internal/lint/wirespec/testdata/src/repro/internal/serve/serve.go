@@ -1,0 +1,30 @@
+// Package serve holds a compliant /v1 wire surface; wirespec must be
+// silent here.
+package serve
+
+// evalRequest is a wire root by virtue of its json tags (the /v1
+// request bodies are unexported in the real server too).
+type evalRequest struct {
+	Source     string `json:"source"`
+	Iterations int    `json:"iterations"`
+	Timeout    int64  `json:"timeout_ms"`
+}
+
+// statsReply nests another tagged struct; the walk follows it.
+type statsReply struct {
+	Jobs    int        `json:"jobs"`
+	Backend backendRow `json:"backend"`
+}
+
+type backendRow struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+}
+
+// scheduler is in-process state that never crosses the wire: it has no
+// json tags, so wirespec does not treat it as a root even though its
+// fields could never serialize.
+type scheduler struct {
+	queue   chan int
+	onDrain func()
+}

@@ -1,0 +1,238 @@
+// Package wirespec mechanizes the machine-boundary rule of the
+// Evaluator stack: only serializable data crosses a machine boundary.
+// Everything reachable from bench.JobSpec (the job a remote peer
+// re-creates), the /v1 request/reply structs, and the bench.Report
+// subtree must round-trip through encoding/json with stable snake_case
+// field names — no funcs, no channels, no silently-dropped unexported
+// fields, no duplicate or camelCase tags that would fork the wire
+// format between peers on different commits.
+package wirespec
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"reflect"
+	"regexp"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzer checks JSON-serializability and tag discipline of every
+// type reachable from the stack's wire roots.
+var Analyzer = &analysis.Analyzer{
+	Name: "wirespec",
+	Doc: "types crossing a machine boundary must serialize with stable snake_case JSON tags\n\n" +
+		"Roots: bench.JobSpec and bench.Report (by name), plus every struct in\n" +
+		"internal/serve and internal/remote that declares json tags (the /v1\n" +
+		"request/reply bodies). Every struct reachable from a root must give each\n" +
+		"exported field an explicit snake_case json tag, unique within the struct;\n" +
+		"must not contain func, channel or unsafe.Pointer fields; must not rely on\n" +
+		"unexported fields (silently dropped by encoding/json); and map keys must\n" +
+		"be strings or integers. Types with their own MarshalJSON/MarshalText are\n" +
+		"trusted leaves.",
+	Run: run,
+}
+
+var snakeCase = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+type rootType struct {
+	name string
+	typ  types.Type
+	pos  token.Pos
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	var roots []rootType
+	switch pass.Pkg.Path() {
+	case "repro/internal/bench":
+		for _, name := range []string{"JobSpec", "Report"} {
+			if obj, ok := pass.Pkg.Scope().Lookup(name).(*types.TypeName); ok {
+				roots = append(roots, rootType{name: name, typ: obj.Type(), pos: obj.Pos()})
+			}
+		}
+	case "repro/internal/serve", "repro/internal/remote":
+		roots = taggedStructs(pass)
+	default:
+		return nil, nil
+	}
+
+	w := &walker{pass: pass, seen: make(map[types.Type]bool)}
+	for _, r := range roots {
+		w.walk(r.typ, r.name, r.pos)
+	}
+	return nil, nil
+}
+
+// taggedStructs returns every named struct type declared in the package
+// that carries at least one json tag — the request/reply bodies of the
+// /v1 surface, exported or not.
+func taggedStructs(pass *analysis.Pass) []rootType {
+	var roots []rootType
+	for _, file := range pass.Files {
+		if strings.HasSuffix(pass.Fset.File(file.Pos()).Name(), "_test.go") {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			obj, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+			if !ok {
+				return true
+			}
+			st, ok := obj.Type().Underlying().(*types.Struct)
+			if !ok {
+				return true
+			}
+			for i := 0; i < st.NumFields(); i++ {
+				if reflect.StructTag(st.Tag(i)).Get("json") != "" {
+					roots = append(roots, rootType{name: ts.Name.Name, typ: obj.Type(), pos: ts.Name.Pos()})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return roots
+}
+
+type walker struct {
+	pass *analysis.Pass
+	seen map[types.Type]bool
+}
+
+// report emits one diagnostic for the wire path. Findings anchor at the
+// nearest declaration inside the package under analysis (reachable
+// types may live in other packages).
+func (w *walker) report(pos token.Pos, path, format string, args ...any) {
+	w.pass.Reportf(pos, "%s: %s", path, fmt.Sprintf(format, args...))
+}
+
+// marshalerLeaf reports whether t (or *t) provides its own MarshalJSON
+// or MarshalText — such types own their wire form (time.Time,
+// json.RawMessage) and are not walked into.
+func marshalerLeaf(t types.Type) bool {
+	for _, name := range []string{"MarshalJSON", "MarshalText"} {
+		for _, recv := range []types.Type{t, types.NewPointer(t)} {
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, nil, name)
+			if fn, ok := obj.(*types.Func); ok {
+				sig := fn.Type().(*types.Signature)
+				if sig.Params().Len() == 0 && sig.Results().Len() == 2 {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// walk validates t and everything reachable from it. path names how the
+// type was reached; pos anchors diagnostics.
+func (w *walker) walk(t types.Type, path string, pos token.Pos) {
+	if w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+
+	switch u := t.(type) {
+	case *types.Named:
+		if marshalerLeaf(u) {
+			return
+		}
+		// Prefer reporting at the named type's own declaration when it
+		// belongs to the package under analysis.
+		if u.Obj().Pkg() == w.pass.Pkg {
+			pos = u.Obj().Pos()
+		}
+		w.walk(u.Underlying(), path, pos)
+	case *types.Pointer:
+		w.walk(u.Elem(), path, pos)
+	case *types.Slice:
+		w.walk(u.Elem(), path+"[]", pos)
+	case *types.Array:
+		w.walk(u.Elem(), path+"[]", pos)
+	case *types.Map:
+		if !jsonKey(u.Key()) {
+			w.report(pos, path, "map key type %s does not serialize as a JSON object key (want string or integer)", u.Key())
+		}
+		w.walk(u.Elem(), path+"[]", pos)
+	case *types.Chan:
+		w.report(pos, path, "channel type %s cannot cross a machine boundary", t)
+	case *types.Signature:
+		w.report(pos, path, "func type %s cannot cross a machine boundary", t)
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			w.report(pos, path, "unsafe.Pointer cannot cross a machine boundary")
+		}
+	case *types.Interface:
+		// Interfaces marshal by dynamic type: legal on the encode side,
+		// but a peer cannot round-trip them back into the same shape.
+		w.report(pos, path, "interface field cannot round-trip through JSON; use a concrete wire type")
+	case *types.Struct:
+		w.checkStruct(u, path, pos)
+	}
+}
+
+func (w *walker) checkStruct(st *types.Struct, path string, pos token.Pos) {
+	tags := make(map[string]string) // wire name -> field that claimed it
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		tag := reflect.StructTag(st.Tag(i)).Get("json")
+		name, _, _ := strings.Cut(tag, ",")
+		fpath := path + "." + f.Name()
+		// Anchor at the field itself when it is declared in the package
+		// under analysis; findings in imported types anchor at the root.
+		pos := pos
+		if f.Pkg() == w.pass.Pkg && f.Pos().IsValid() {
+			pos = f.Pos()
+		}
+
+		if name == "-" {
+			continue // explicitly excluded from the wire form
+		}
+		if !f.Exported() && !f.Embedded() {
+			w.report(pos, fpath, "unexported field is silently dropped by encoding/json; export it with a tag or exclude it with json:\"-\"")
+			continue
+		}
+		if f.Embedded() {
+			// An embedded field without a tag inlines its fields; with
+			// a tag it serializes as a nested object under that name.
+			w.walk(f.Type(), fpath, pos)
+			if name == "" {
+				continue
+			}
+		} else {
+			if tag == "" {
+				w.report(pos, fpath, "exported field has no json tag; wire names must be explicit and stable")
+				continue
+			}
+			if name == "" {
+				w.report(pos, fpath, "json tag %q has no name; wire names must be explicit, not derived from the Go identifier", tag)
+				continue
+			}
+		}
+		if !snakeCase.MatchString(name) {
+			w.report(pos, fpath, "json tag %q is not snake_case", name)
+		}
+		if prev, dup := tags[name]; dup {
+			w.report(pos, fpath, "json tag %q duplicates the tag on field %s; encoding/json drops duplicates", name, prev)
+		}
+		tags[name] = f.Name()
+		if !f.Embedded() {
+			w.walk(f.Type(), fpath, pos)
+		}
+	}
+}
+
+// jsonKey reports whether k serializes as a JSON object key.
+func jsonKey(k types.Type) bool {
+	if marshalerLeaf(k) {
+		return true
+	}
+	b, ok := k.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsString|types.IsInteger) != 0
+}

@@ -1,0 +1,12 @@
+package wirespec_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/wirespec"
+)
+
+func TestWireSpec(t *testing.T) {
+	linttest.Run(t, wirespec.Analyzer, "repro/internal/bench", "repro/internal/serve")
+}

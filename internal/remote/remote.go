@@ -1161,7 +1161,9 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 			if err != nil {
 				return nil, err
 			}
-			probe.Close()
+			// The probe never carried a job, so its close verdict is
+			// uninteresting by construction.
+			_ = probe.Close()
 			standbys = append(standbys, engine.StandbyBackend{
 				Name: p,
 				Dial: func() (engine.Evaluator, error) { return New(p) },
@@ -1195,7 +1197,9 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 		client, err := New(p)
 		if err != nil {
 			for _, b := range backends {
-				b.Close()
+				// Construction failed before any job was submitted;
+				// the dial error is the one worth returning.
+				_ = b.Close()
 			}
 			return nil, err
 		}

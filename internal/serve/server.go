@@ -171,16 +171,6 @@ func NewWithBackend(backend engine.Evaluator) *Server {
 // Backend exposes the evaluation backend (stats drill-down, tests).
 func (s *Server) Backend() engine.Evaluator { return s.backend }
 
-// Shards exposes the backing shard set, or nil when the backend is a
-// single engine or remote client.
-//
-// Deprecated: use Backend; the backend is no longer necessarily a
-// ShardSet.
-func (s *Server) Shards() *engine.ShardSet {
-	ss, _ := s.backend.(*engine.ShardSet)
-	return ss
-}
-
 // shardCount reports how many shards the backend spans (1 for a
 // non-composite backend).
 func (s *Server) shardCount() int {
