@@ -35,6 +35,14 @@
 //	           -standby-peers http://h1:9009     # standby peers are dialed
 //	                                             # only once the local bound
 //	                                             # is exhausted
+//	art9-batch -cache \
+//	           -cache-peers http://h1:9009       # fleet-wide result cache:
+//	                                             # jobs whose content-addressed
+//	                                             # spec was already evaluated
+//	                                             # (here or on a cache peer)
+//	                                             # replay instead of running;
+//	                                             # the report's cache.results
+//	                                             # section counts hits
 //
 // A manifest names jobs drawn from the built-in suite, inline RV32
 // sources, or assembly files, plus the technologies to evaluate each
@@ -88,10 +96,14 @@ func main() {
 	scaleInterval := flag.Duration("scale-interval", 0, "scale-evaluation period (0: 1s)")
 	timeout := flag.Duration("timeout", 0, "per-job timeout (0: none)")
 	compact := flag.Bool("compact", false, "emit the report without indentation")
+	cache := flag.Bool("cache", false, "consult the fleet-wide result cache before evaluating each job (hits replay with worker -1)")
+	cachePeers := flag.String("cache-peers", "", "comma-separated art9-serve base URLs whose /v1/cache tier answers local misses and receives local fills")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "local result-cache bound in bytes (0: 64 MiB)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
 	standbyURLs := remote.SplitPeerList(*standbyPeers)
+	cachePeerURLs := remote.SplitPeerList(*cachePeers)
 	warn, err := validateFleetFlags(remote.BackendConfig{
 		Shards:             *shards,
 		Peers:              peerURLs,
@@ -106,6 +118,9 @@ func main() {
 		ScaleDownThreshold: *scaleDown,
 		ScaleCooldown:      *scaleCooldown,
 		ScaleInterval:      *scaleInterval,
+		Cache:              *cache,
+		CacheMaxBytes:      *cacheMaxBytes,
+		CachePeers:         cachePeerURLs,
 	})
 	if err != nil {
 		fatal(err)
@@ -150,6 +165,11 @@ func main() {
 			art9.WithScaleCooldown(*scaleCooldown),
 			art9.WithScaleInterval(*scaleInterval))
 	}
+	if *cache {
+		opts = append(opts, art9.WithResultCache(),
+			art9.WithCachePeers(cachePeerURLs...),
+			art9.WithCacheMaxBytes(*cacheMaxBytes))
+	}
 	ev, err := art9.New(opts...)
 	if err != nil {
 		fatal(err)
@@ -182,6 +202,9 @@ func main() {
 		rep.Jobs = append(rep.Jobs, jr)
 	}
 	rep.Cache = bench.SharedCacheReport()
+	// With -cache, surface the result-cache counters: a warm fleet shows
+	// nonzero hits here and rows that never rode a worker (worker -1).
+	rep.Cache.Results = bench.ResultCacheReportFor(ev)
 	// Per-run counters only: a long-lived peer's lifetime totals would
 	// say nothing about this batch. Workers therefore counts local
 	// pools; remote capacity is the peers field.

@@ -87,6 +87,19 @@ func TestValidateFleetFlags(t *testing.T) {
 			wantErr: "-scale-up"},
 		{name: "fixed elastic pool warns",
 			cfg: remote.BackendConfig{AutoscaleMin: 2, AutoscaleMax: 2}, wantWarn: "nothing will ever scale"},
+		{name: "cache peers without cache",
+			cfg:     remote.BackendConfig{CachePeers: fakePeers(1)},
+			wantErr: "-cache-peers"},
+		{name: "cache bound without cache",
+			cfg:     remote.BackendConfig{CacheMaxBytes: 1 << 20},
+			wantErr: "-cache-max-bytes"},
+		{name: "negative cache bound",
+			cfg:     remote.BackendConfig{Cache: true, CacheMaxBytes: -1},
+			wantErr: "-cache-max-bytes must be >= 0"},
+		{name: "cached fleet",
+			cfg: remote.BackendConfig{Cache: true, CachePeers: fakePeers(2), CacheMaxBytes: 1 << 20}},
+		{name: "cached failover fleet",
+			cfg: remote.BackendConfig{Failover: true, Peers: fakePeers(2), Cache: true}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

@@ -29,6 +29,13 @@
 //	                                            # standby peers dialed only
 //	                                            # once the local ceiling is
 //	                                            # exhausted
+//	art9-serve -cache -cache-peers http://h1:9009
+//	                                            # fleet-wide result cache:
+//	                                            # jobs already evaluated here
+//	                                            # or on a cache peer replay
+//	                                            # instead of running, and the
+//	                                            # /v1/cache endpoints answer
+//	                                            # sibling lookups/fills
 //
 // Endpoints:
 //
@@ -39,6 +46,10 @@
 //	POST /v1/suite    manifest → NDJSON report lines in completion order
 //	                  (?ack=1: start/end acknowledgement rows for chunked
 //	                  failover dispatch)
+//	POST /v1/cache/lookup  result-cache keys → NDJSON hit/miss rows
+//	                  (with -cache; absent otherwise)
+//	POST /v1/cache/fill    sibling-computed rows → stored count
+//	                  (with -cache; absent otherwise)
 //
 // Shutdown: SIGINT/SIGTERM stops accepting connections, drains in-flight
 // requests (bounded by -shutdown-timeout) — each NDJSON stream runs to
@@ -80,10 +91,14 @@ func main() {
 	scaleDown := flag.Float64("scale-down", 0, "utilization below which the elastic pool shrinks (0: 0.25)")
 	scaleCooldown := flag.Duration("scale-cooldown", 0, "minimum gap between scale events (0: 2s; negative: none)")
 	scaleInterval := flag.Duration("scale-interval", 0, "scale-evaluation period (0: 1s)")
+	cache := flag.Bool("cache", false, "enable the fleet-wide result cache and the /v1/cache endpoints")
+	cachePeers := flag.String("cache-peers", "", "comma-separated sibling art9-serve base URLs whose /v1/cache tier answers local misses and receives local fills")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "local result-cache bound in bytes (0: 64 MiB)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
 	standbyURLs := remote.SplitPeerList(*standbyPeers)
+	cachePeerURLs := remote.SplitPeerList(*cachePeers)
 	if *autoscaleMin != 0 || *autoscaleMax != 0 {
 		// The -shards default of 1 only describes the fixed topologies;
 		// an elastic pool owns its shard count, so the untouched default
@@ -108,6 +123,9 @@ func main() {
 		ScaleDownThreshold: *scaleDown,
 		ScaleCooldown:      *scaleCooldown,
 		ScaleInterval:      *scaleInterval,
+		Cache:              *cache,
+		CacheMaxBytes:      *cacheMaxBytes,
+		CachePeers:         cachePeerURLs,
 	})
 	if err != nil {
 		fatal(err)
@@ -131,6 +149,9 @@ func main() {
 		ScaleDownThreshold: *scaleDown,
 		ScaleCooldown:      *scaleCooldown,
 		ScaleInterval:      *scaleInterval,
+		Cache:              *cache,
+		CacheMaxBytes:      *cacheMaxBytes,
+		CachePeers:         cachePeerURLs,
 	})
 	if err != nil {
 		fatal(err)

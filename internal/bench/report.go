@@ -54,6 +54,9 @@ type BalancerReport struct {
 	Chunk        int    `json:"chunk,omitempty"`
 	Chunks       uint64 `json:"chunks,omitempty"`
 	ChunkResumes uint64 `json:"chunk_resumes,omitempty"`
+	// CacheHits counts jobs the front resolved from the fleet-wide
+	// result cache without placing them on any backend.
+	CacheHits uint64 `json:"cache_hits,omitempty"`
 	// ScaleUps/ScaleDowns count an Autoscaler front's pool transitions
 	// and ScaleEvents is its event log (capped by the engine) — the
 	// elasticity trajectory the BENCH artifacts track. Absent behind a
@@ -77,12 +80,14 @@ func BalancerReportFor(ev engine.Evaluator) *BalancerReport {
 			Chunk:        front.Chunk(),
 			Chunks:       front.Chunks(),
 			ChunkResumes: front.ChunkResumes(),
+			CacheHits:    front.CacheHits(),
 			Backends:     front.Health(),
 		}
 	case *engine.Autoscaler:
 		rep = &BalancerReport{
 			MaxRetries: front.MaxRetries(),
 			Retries:    front.Retries(),
+			CacheHits:  front.CacheHits(),
 			ScaleUps:   front.ScaleUps(),
 			ScaleDowns: front.ScaleDowns(),
 			// Events is already bounded engine-side, so the report
@@ -146,12 +151,21 @@ type ImplReport struct {
 	DMIPSPerW float64 `json:"dmips_per_w"`
 }
 
-// CacheReport snapshots a pair of memoization caches.
+// CacheReport snapshots a pair of memoization caches, plus — when the
+// run had a fleet-wide result cache on its dispatch path — that tier's
+// counters.
 type CacheReport struct {
 	ProgramHits    uint64 `json:"program_hits"`
 	ProgramMisses  uint64 `json:"program_misses"`
 	AnalysisHits   uint64 `json:"analysis_hits"`
 	AnalysisMisses uint64 `json:"analysis_misses"`
+	// ProgramEvictions/AnalysisEvictions count entries the bounded
+	// memoization caches dropped under byte or entry pressure.
+	ProgramEvictions  uint64 `json:"program_evictions,omitempty"`
+	AnalysisEvictions uint64 `json:"analysis_evictions,omitempty"`
+	// Results is the fleet-wide result-cache section (internal/rescache
+	// via bench.ResultCache), present exactly when the run was cached.
+	Results *ResultCacheReport `json:"results,omitempty"`
 }
 
 // EngineReport snapshots the engine's lifetime job counters, plus the
@@ -261,20 +275,20 @@ func ImplReports(o *Outcome, techs []*gate.Technology) []ImplReport {
 
 // CacheReportOf snapshots an engine's cache counters.
 func CacheReportOf(e *engine.Engine) CacheReport {
-	ps, as := e.Programs.Stats(), e.Analyses.Stats()
-	return CacheReport{
-		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
-		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
-	}
+	return cacheReport(e.Programs.Stats(), e.Analyses.Stats())
 }
 
 // SharedCacheReport snapshots the process-wide memoization caches — the
 // ones every bench job feeds regardless of which backend ran it.
 func SharedCacheReport() CacheReport {
-	ps, as := engine.SharedPrograms.Stats(), engine.SharedAnalyses.Stats()
+	return cacheReport(engine.SharedPrograms.Stats(), engine.SharedAnalyses.Stats())
+}
+
+func cacheReport(ps, as engine.CacheStats) CacheReport {
 	return CacheReport{
 		ProgramHits: ps.Hits, ProgramMisses: ps.Misses,
 		AnalysisHits: as.Hits, AnalysisMisses: as.Misses,
+		ProgramEvictions: ps.Evictions, AnalysisEvictions: as.Evictions,
 	}
 }
 

@@ -1,0 +1,198 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"strconv"
+	"strings"
+
+	"repro/internal/engine"
+	"repro/internal/rescache"
+)
+
+// This file is the codec between the dispatch path and the fleet-wide
+// result cache: internal/rescache stores opaque bytes under opaque
+// keys, the engine speaks Job.Spec and result values, and only bench
+// knows both vocabularies. The cached value is a normalized JobReport —
+// the exact row a remote peer would have sent — so a cache hit replays
+// through JobReportOf identically to a row computed anywhere in the
+// fleet.
+
+// ResultCache adapts a rescache store to engine.ResultCache: it keys
+// entries by the job's content-addressed identity (program source
+// text, iterations, technology names — never the display name, path,
+// or timeout) and encodes results as normalized report rows.
+type ResultCache struct {
+	store rescache.Cache
+}
+
+var _ engine.ResultCache = (*ResultCache)(nil)
+
+// NewResultCache wraps a rescache store (an LRU, or a Tiered local +
+// peers composition) for the dispatch path.
+func NewResultCache(store rescache.Cache) *ResultCache {
+	return &ResultCache{store: store}
+}
+
+// Stats exposes the underlying tier's counters for reports.
+func (c *ResultCache) Stats() rescache.Stats { return c.store.Stats() }
+
+// Lookup answers a job spec from the cache. Only specs the key
+// derivation can address hit; an entry that fails to decode (or was
+// somehow stored non-OK) is treated as a miss, so a corrupt cache
+// degrades to computing.
+func (c *ResultCache) Lookup(ctx context.Context, spec any) (any, bool) {
+	key, ok := resultKey(jobSpecOf(spec))
+	if !ok {
+		return nil, false
+	}
+	raw, ok := c.store.Get(ctx, key)
+	if !ok {
+		return nil, false
+	}
+	var jr JobReport
+	if err := json.Unmarshal(raw, &jr); err != nil || !jr.OK {
+		return nil, false
+	}
+	return &jr, true
+}
+
+// Store records one successful result under the spec's key — the
+// engine calls it after a local execution, the balancer and autoscaler
+// after a successful attempt (whose value may already be a peer's
+// *JobReport). Failures are never cached: a timeout or a dead backend
+// says nothing about the program.
+func (c *ResultCache) Store(ctx context.Context, spec any, value any) {
+	s := jobSpecOf(spec)
+	key, ok := resultKey(s)
+	if !ok {
+		return
+	}
+	jr, ok := cacheRowOf(s, value)
+	if !ok {
+		return
+	}
+	raw, err := json.Marshal(jr)
+	if err != nil {
+		return
+	}
+	c.store.Put(ctx, key, raw)
+}
+
+// jobSpecOf recognizes the spec shapes the suite attaches to jobs.
+func jobSpecOf(spec any) *JobSpec {
+	switch s := spec.(type) {
+	case *JobSpec:
+		return s
+	case JobSpec:
+		return &s
+	default:
+		return nil
+	}
+}
+
+// resultKey derives the content-addressed cache key for a job spec.
+// Only the fields that determine the computation participate: the
+// program (a built-in workload name or inline source — file jobs are
+// refused, a path is not content), the iteration count, and the
+// technology list in request order (it orders the implementations
+// row). Name and TimeoutMS are display/placement concerns and are
+// excluded, so renamed or re-bounded jobs still hit.
+func resultKey(s *JobSpec) (string, bool) {
+	if s == nil {
+		return "", false
+	}
+	j := s.Job
+	if j.File != "" || (j.Workload == "" && j.Source == "") {
+		return "", false
+	}
+	return rescache.KeyOf(
+		"art9/result/v1",
+		j.Workload,
+		j.Source,
+		strconv.Itoa(j.Iterations),
+		strings.Join(s.Technologies, "\x00"),
+	), true
+}
+
+// cacheRowOf renders one successful result value as the canonical
+// cached row: a JobReport normalized to be run-independent (no name,
+// no elapsed time, Worker -1 — JobReportOf re-stamps the name on
+// replay). A local execution's *Outcome is evaluated against the
+// spec's technologies, exactly as the cold path would; a *JobReport
+// from a remote peer is normalized as-is.
+func cacheRowOf(s *JobSpec, value any) (*JobReport, bool) {
+	switch v := value.(type) {
+	case *Outcome:
+		techs, err := Technologies(s.Technologies)
+		if err != nil {
+			return nil, false
+		}
+		return &JobReport{
+			OK:              true,
+			Worker:          -1,
+			Metrics:         MetricsReportOf(v),
+			Implementations: ImplReports(v, techs),
+		}, true
+	case *JobReport:
+		if !v.OK {
+			return nil, false
+		}
+		jr := *v
+		jr.Name, jr.Error, jr.ErrorKind = "", "", ""
+		jr.ElapsedMS, jr.Worker = 0, -1
+		return &jr, true
+	default:
+		return nil, false
+	}
+}
+
+// ResultCacheReport snapshots the fleet-wide result-cache tier for
+// BENCH reports and /v1/stats — the Results section of CacheReport.
+type ResultCacheReport struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Puts      uint64 `json:"puts"`
+	Evictions uint64 `json:"evictions"`
+	Entries   int    `json:"entries"`
+	Bytes     int64  `json:"bytes"`
+	MaxBytes  int64  `json:"max_bytes,omitempty"`
+	// Peer counters describe the /v1/cache tier: lookups answered by a
+	// peer, lookups no peer could answer, and transport failures (each
+	// of which degraded to a local compute, never an error).
+	PeerHits   uint64 `json:"peer_hits,omitempty"`
+	PeerMisses uint64 `json:"peer_misses,omitempty"`
+	PeerErrors uint64 `json:"peer_errors,omitempty"`
+	// Coalesced counts lookups that piggybacked on an identical
+	// in-flight peer lookup — the singleflight guard at work.
+	Coalesced uint64 `json:"coalesced,omitempty"`
+}
+
+// ResultCacheReportFrom renders a store snapshot as a report section.
+func ResultCacheReportFrom(st rescache.Stats) *ResultCacheReport {
+	return &ResultCacheReport{
+		Hits:       st.Hits,
+		Misses:     st.Misses,
+		Puts:       st.Puts,
+		Evictions:  st.Evictions,
+		Entries:    st.Entries,
+		Bytes:      st.Bytes,
+		MaxBytes:   st.MaxBytes,
+		PeerHits:   st.PeerHits,
+		PeerMisses: st.PeerMisses,
+		PeerErrors: st.PeerErrors,
+		Coalesced:  st.Coalesced,
+	}
+}
+
+// ResultCacheReportFor walks an Evaluator topology for the result
+// cache on its dispatch path (engine.ResultCacheOf) and renders its
+// counters, or nil when the topology runs uncached — callers attach it
+// to CacheReport.Results exactly when it exists.
+func ResultCacheReportFor(ev engine.Evaluator) *ResultCacheReport {
+	a, ok := engine.ResultCacheOf(ev).(*ResultCache)
+	if !ok {
+		return nil
+	}
+	return ResultCacheReportFrom(a.Stats())
+}

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/rescache"
+	"repro/internal/xlate"
+)
+
+// warmManifest is a two-job manifest over the built-in suite with both
+// technologies — the shape the cache-smoke CI job replays.
+func warmManifest(t *testing.T) ([]engine.Job, *Manifest) {
+	t.Helper()
+	m, err := ParseManifest([]byte(`{
+		"technologies": ["cntfet32", "stratixv"],
+		"jobs": [
+			{"name": "bubble", "workload": "bubble"},
+			{"name": "dhry", "workload": "dhrystone"}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := m.EngineJobs("", xlate.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return jobs, m
+}
+
+func TestResultCacheRoundTripRendersIdentically(t *testing.T) {
+	jobs, m := warmManifest(t)
+	techs, err := m.ResolveTechnologies()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewResultCache(rescache.NewLRU(0, 0))
+
+	cold := engine.New(engine.Options{Workers: 2, PrivateCaches: true, Cache: cache})
+	defer cold.Close()
+	coldRes, err := cold.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := cache.Stats()
+	if st.Puts != uint64(len(jobs)) || st.Hits != 0 {
+		t.Fatalf("cold stats %+v, want %d puts / 0 hits", st, len(jobs))
+	}
+
+	// A fresh engine sharing the store answers every job from cache.
+	warm := engine.New(engine.Options{Workers: 2, PrivateCaches: true, Cache: cache})
+	defer warm.Close()
+	warmRes, err := warm.Run(context.Background(), jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := cache.Stats(); st.Hits != uint64(len(jobs)) {
+		t.Fatalf("warm stats %+v, want %d hits", st, len(jobs))
+	}
+
+	for i := range jobs {
+		if warmRes[i].Worker != -1 {
+			t.Fatalf("job %s: warm Worker = %d, want -1", jobs[i].ID, warmRes[i].Worker)
+		}
+		cr := JobReportOf(coldRes[i], techs)
+		wr := JobReportOf(warmRes[i], techs)
+		// The replayed row matches the computed one on everything that
+		// describes the work — name, verdict, metrics, implementations.
+		// Elapsed/worker are run-local by design.
+		cr.ElapsedMS, wr.ElapsedMS = 0, 0
+		cr.Worker, wr.Worker = 0, 0
+		if !reflect.DeepEqual(cr, wr) {
+			cj, _ := json.Marshal(cr)
+			wj, _ := json.Marshal(wr)
+			t.Fatalf("job %s: cached row diverges:\ncold %s\nwarm %s", jobs[i].ID, cj, wj)
+		}
+		if wr.Name != jobs[i].ID {
+			t.Fatalf("job %s: replayed name %q", jobs[i].ID, wr.Name)
+		}
+		if wr.Metrics == nil || len(wr.Implementations) != len(techs) {
+			t.Fatalf("job %s: replayed row missing metrics or implementations", jobs[i].ID)
+		}
+	}
+}
+
+func TestResultCacheKeying(t *testing.T) {
+	base := &JobSpec{
+		Job:          ManifestJob{Name: "a", Source: "LDI T1, 1\nHALT", Iterations: 1},
+		Technologies: []string{"cntfet32"},
+	}
+	k1, ok := resultKey(base)
+	if !ok {
+		t.Fatal("base spec did not key")
+	}
+
+	// Name and timeout are excluded: renamed/re-bounded jobs hit.
+	renamed := *base
+	renamed.Job.Name, renamed.Job.TimeoutMS = "other", 500
+	if k2, _ := resultKey(&renamed); k2 != k1 {
+		t.Error("rename/timeout changed the key")
+	}
+
+	// Source, iterations, and technologies all participate.
+	for _, mutate := range []func(*JobSpec){
+		func(s *JobSpec) { s.Job.Source = "LDI T1, 2\nHALT" },
+		func(s *JobSpec) { s.Job.Iterations = 2 },
+		func(s *JobSpec) { s.Technologies = []string{"stratixv"} },
+		func(s *JobSpec) { s.Technologies = nil },
+	} {
+		mut := *base
+		mutate(&mut)
+		if k2, ok := resultKey(&mut); !ok || k2 == k1 {
+			t.Errorf("mutation did not change the key (%+v)", mut)
+		}
+	}
+
+	// File jobs and empty programs are not content-addressable.
+	if _, ok := resultKey(&JobSpec{Job: ManifestJob{File: "prog.s"}}); ok {
+		t.Error("file spec keyed; a path is not content")
+	}
+	if _, ok := resultKey(&JobSpec{}); ok {
+		t.Error("empty spec keyed")
+	}
+	if _, ok := resultKey(nil); ok {
+		t.Error("nil spec keyed")
+	}
+}
+
+func TestResultCacheRejectsCorruptAndFailedEntries(t *testing.T) {
+	store := rescache.NewLRU(0, 0)
+	cache := NewResultCache(store)
+	ctx := context.Background()
+	spec := &JobSpec{Job: ManifestJob{Source: "LDI T1, 1\nHALT", Iterations: 1}}
+
+	// Corrupt bytes under the right key degrade to a miss.
+	key, _ := resultKey(spec)
+	store.Put(ctx, key, []byte("not json"))
+	if _, ok := cache.Lookup(ctx, spec); ok {
+		t.Fatal("corrupt entry answered a lookup")
+	}
+
+	// Failed rows are refused at store time.
+	cache.Store(ctx, spec, &JobReport{OK: false, Error: "boom"})
+	if _, ok := cache.Lookup(ctx, spec); ok {
+		t.Fatal("failed row was cached")
+	}
+
+	// A peer row stores normalized: name/elapsed/worker scrubbed.
+	cache.Store(ctx, spec, &JobReport{
+		Name: "peer-name", OK: true, ElapsedMS: 12.5, Worker: 3,
+		Metrics: &MetricsReport{Checksum: 7},
+	})
+	v, ok := cache.Lookup(ctx, spec)
+	if !ok {
+		t.Fatal("stored peer row missed")
+	}
+	jr := v.(*JobReport)
+	if jr.Name != "" || jr.ElapsedMS != 0 || jr.Worker != -1 {
+		t.Fatalf("peer row not normalized: %+v", jr)
+	}
+	if jr.Metrics == nil || jr.Metrics.Checksum != 7 {
+		t.Fatalf("peer row lost metrics: %+v", jr)
+	}
+}

@@ -42,21 +42,25 @@ type Autoscaler struct {
 	maxRetries int
 	spawn      func() Evaluator
 	standby    []StandbyBackend
+	// cache, when non-nil, short-circuits placement on known Specs —
+	// a hit never parks in the queue, so it cannot trigger a scale-up.
+	cache ResultCache
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	closed  bool
-	members []*scaledMember // every member ever started, retired ones included
-	locals  int             // currently active local members
-	live    []bool          // per standby factory: dialed and active
-	waiting int             // jobs parked for a dispatch slot — the queue-depth signal
-	last    time.Time       // most recent scale event, for the cooldown
-	events  []ScaleEvent
-	seq     int    // scale-event sequence
-	spawned int    // local members ever spawned, for stable naming
-	ups     uint64 // lifetime scale-up events
-	downs   uint64 // lifetime scale-down events
-	retries uint64 // re-dispatches after backend-level failures
+	mu        sync.Mutex
+	cond      *sync.Cond
+	closed    bool
+	members   []*scaledMember // every member ever started, retired ones included
+	locals    int             // currently active local members
+	live      []bool          // per standby factory: dialed and active
+	waiting   int             // jobs parked for a dispatch slot — the queue-depth signal
+	last      time.Time       // most recent scale event, for the cooldown
+	events    []ScaleEvent
+	seq       int    // scale-event sequence
+	spawned   int    // local members ever spawned, for stable naming
+	ups       uint64 // lifetime scale-up events
+	downs     uint64 // lifetime scale-down events
+	retries   uint64 // re-dispatches after backend-level failures
+	cacheHits uint64 // jobs resolved from the result cache, never placed
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -156,6 +160,11 @@ type AutoscalerOptions struct {
 	// MaxRetries bounds per-job failover after a backend-level failure
 	// (0 selects 2; negative disables failover retries).
 	MaxRetries int
+	// Cache, when set, is the fleet-wide result cache consulted before
+	// every placement: a hit resolves the job without taking a slot —
+	// so hot work neither queues nor triggers a scale-up — and every
+	// successful attempt is stored back.
+	Cache ResultCache
 }
 
 // NewAutoscaler starts an elastic pool at its minimum size and, unless
@@ -214,6 +223,7 @@ func NewAutoscaler(opts AutoscalerOptions) *Autoscaler {
 		maxRetries: opts.MaxRetries,
 		spawn:      spawn,
 		standby:    opts.Standby,
+		cache:      opts.Cache,
 		live:       make([]bool, len(opts.Standby)),
 		stop:       make(chan struct{}),
 	}
@@ -492,6 +502,18 @@ func (a *Autoscaler) Retries() uint64 {
 	return a.retries
 }
 
+// ResultCache returns the result-cache tier consulted before every
+// placement, or nil when the pool runs uncached.
+func (a *Autoscaler) ResultCache() ResultCache { return a.cache }
+
+// CacheHits returns how many jobs were resolved from the result cache
+// without ever being placed on a member.
+func (a *Autoscaler) CacheHits() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.cacheHits
+}
+
 // ScaleUps and ScaleDowns report the lifetime scale-event counters.
 func (a *Autoscaler) ScaleUps() uint64 {
 	a.mu.Lock()
@@ -696,6 +718,16 @@ func (a *Autoscaler) dispatch(ctx context.Context, jobs []Job, emit func(int, Re
 // excluded until every active member has been, then the exclusion
 // resets so a freshly scaled-up pool gets another pass.
 func (a *Autoscaler) runJob(ctx context.Context, j Job) Result {
+	// A cache hit is a finished job: it neither takes a slot nor parks
+	// in the queue, so hot work cannot talk the pool into growing.
+	if a.cache != nil && j.Spec != nil {
+		if v, ok := a.cache.Lookup(ctx, j.Spec); ok {
+			a.mu.Lock()
+			a.cacheHits++
+			a.mu.Unlock()
+			return Result{ID: j.ID, Value: v, Worker: -1}
+		}
+	}
 	exclude := make(map[*scaledMember]bool)
 	var last Result
 	for attempt := 0; ; attempt++ {
@@ -792,5 +824,8 @@ func (a *Autoscaler) attempt(ctx context.Context, m *scaledMember, j Job) Result
 	}
 	a.mu.Unlock()
 	a.cond.Broadcast()
+	if r.Err == nil && a.cache != nil && j.Spec != nil {
+		a.cache.Store(ctx, j.Spec, r.Value)
+	}
 	return r
 }

@@ -62,10 +62,15 @@ type Balancer struct {
 	// chunk caps one chunked dispatch unit; 0 selects the historical
 	// per-job placement (see dispatchChunked).
 	chunk int
+	// cache, when non-nil, is consulted before every placement: a hit
+	// resolves the job without taking a slot or riding a chunk, and
+	// successful attempts are stored back.
+	cache ResultCache
 
 	retries      atomic.Uint64
 	chunks       atomic.Uint64
 	chunkResumes atomic.Uint64
+	cacheHits    atomic.Uint64
 
 	// mu guards every member's mutable state plus closed and rr; cond
 	// (on mu) wakes acquire waiters when a slot frees, a probe changes a
@@ -221,6 +226,11 @@ type BalancerOptions struct {
 	// negative) selects the historical per-job placement; 1 is
 	// equivalent to it and also dispatches per-job.
 	Chunk int
+	// Cache, when set, is the fleet-wide result cache consulted before
+	// every placement: a hit short-circuits dispatch (the job never
+	// takes a backend slot or rides a chunk) and every successful
+	// attempt is stored back for the rest of the fleet.
+	Cache ResultCache
 }
 
 // Retryable reports whether a job result's error is a backend-level
@@ -264,6 +274,7 @@ func NewBalancer(opts BalancerOptions, backends ...Evaluator) *Balancer {
 		probeTimeout: opts.ProbeTimeout,
 		threshold:    opts.FailThreshold,
 		chunk:        opts.Chunk,
+		cache:        opts.Cache,
 		revived:      make(chan struct{}),
 		stop:         make(chan struct{}),
 	}
@@ -331,6 +342,14 @@ func (b *Balancer) Chunks() uint64 { return b.chunks.Load() }
 // ChunkResumes returns how many chunks ended with unresolved jobs that
 // were re-chunked onto other backends — the severed-stream recoveries.
 func (b *Balancer) ChunkResumes() uint64 { return b.chunkResumes.Load() }
+
+// ResultCache returns the result-cache tier consulted before every
+// placement, or nil when the balancer runs uncached.
+func (b *Balancer) ResultCache() ResultCache { return b.cache }
+
+// CacheHits returns how many jobs were resolved from the result cache
+// without ever being placed on a backend.
+func (b *Balancer) CacheHits() uint64 { return b.cacheHits.Load() }
 
 // Health snapshots every backend's scorecard, in backend order. It
 // reads only balancer-local state — no network I/O — so it is safe in
@@ -479,11 +498,72 @@ func (b *Balancer) dispatch(ctx context.Context, jobs []Job, emit func(int, Resu
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if r, ok := b.cachedResult(ctx, jobs[i]); ok {
+				emit(i, r)
+				return
+			}
 			emit(i, b.runJob(ctx, jobs[i]))
 		}(i)
 	}
 	wg.Wait()
 	close(watchDone)
+}
+
+// cachedResult consults the result cache for one job before placement;
+// a hit is a finished job that never touches a backend.
+func (b *Balancer) cachedResult(ctx context.Context, j Job) (Result, bool) {
+	if b.cache == nil || j.Spec == nil {
+		return Result{}, false
+	}
+	v, ok := b.cache.Lookup(ctx, j.Spec)
+	if !ok {
+		return Result{}, false
+	}
+	b.cacheHits.Add(1)
+	return Result{ID: j.ID, Value: v, Worker: -1}, true
+}
+
+// cacheStore records one successful result in the result cache,
+// best-effort — called outside b.mu because a tiered cache fans the
+// fill out to peers.
+func (b *Balancer) cacheStore(ctx context.Context, j Job, v any) {
+	if b.cache == nil || j.Spec == nil {
+		return
+	}
+	b.cache.Store(ctx, j.Spec, v)
+}
+
+// filterCached resolves every cache-hit job up front — concurrently,
+// since a miss may cost a peer round-trip — and returns the indices
+// still needing dispatch, so a hot job never rides a chunk.
+func (b *Balancer) filterCached(ctx context.Context, jobs []Job, emit func(int, Result)) []int {
+	hit := make([]bool, len(jobs))
+	vals := make([]any, len(jobs))
+	sem := make(chan struct{}, 16)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		if jobs[i].Spec == nil || ctx.Err() != nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			vals[i], hit[i] = b.cache.Lookup(ctx, jobs[i].Spec)
+		}(i)
+	}
+	wg.Wait()
+	pending := make([]int, 0, len(jobs))
+	for i := range jobs {
+		if hit[i] {
+			b.cacheHits.Add(1)
+			emit(i, Result{ID: jobs[i].ID, Value: vals[i], Worker: -1})
+		} else {
+			pending = append(pending, i)
+		}
+	}
+	return pending
 }
 
 // runJob places one job, retrying backend-level failures on other
@@ -629,13 +709,24 @@ func (b *Balancer) dispatchChunked(ctx context.Context, jobs []Job, emit func(in
 	}()
 	defer close(watchDone)
 
+	// Cache hits resolve before the queue exists: a hot job neither
+	// rides a chunk nor occupies a reservation another job could use.
+	pending := make([]int, 0, len(jobs))
+	if b.cache != nil {
+		pending = b.filterCached(ctx, jobs, emit)
+	} else {
+		for i := range jobs {
+			pending = append(pending, i)
+		}
+	}
+
 	var (
 		mu       sync.Mutex
-		queue    = make([]*chunkItem, 0, len(jobs))
+		queue    = make([]*chunkItem, 0, len(pending))
 		inflight int
 		wake     = make(chan struct{}, 1)
 	)
-	for i := range jobs {
+	for _, i := range pending {
 		queue = append(queue, &chunkItem{idx: i, exclude: map[*member]bool{}})
 	}
 	signal := func() {
@@ -932,6 +1023,9 @@ func (b *Balancer) attemptChunk(ctx context.Context, m *member, jobs []Job, item
 	b.mu.Unlock()
 	b.cond.Broadcast()
 	for _, p := range toEmit {
+		if p.r.Err == nil {
+			b.cacheStore(ctx, jobs[p.idx], p.r.Value)
+		}
 		emit(p.idx, p.r)
 	}
 	return requeue
@@ -997,6 +1091,9 @@ func (b *Balancer) attempt(ctx context.Context, m *member, j Job) Result {
 	}
 	b.mu.Unlock()
 	b.cond.Broadcast()
+	if r.Err == nil {
+		b.cacheStore(ctx, j, r.Value)
+	}
 	return r
 }
 

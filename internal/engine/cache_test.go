@@ -124,6 +124,71 @@ func TestAnalysisCacheKeying(t *testing.T) {
 	}
 }
 
+func TestProgramCacheEvictsByEntryBound(t *testing.T) {
+	c := NewProgramCacheSized(2, -1)
+	srcs := []string{"LDI T1, 1\nHALT", "LDI T1, 2\nHALT", "LDI T1, 3\nHALT"}
+	for _, s := range srcs {
+		if _, err := c.Assemble(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.Entries != 2 || s.Evictions != 1 {
+		t.Fatalf("stats %+v, want 2 entries / 1 eviction", s)
+	}
+	// The evicted (coldest) source re-assembles as a miss, not a hit.
+	if _, err := c.Assemble(srcs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Misses != 4 {
+		t.Fatalf("stats %+v, want the evicted source to miss again", s)
+	}
+}
+
+func TestProgramCacheEvictsByByteBound(t *testing.T) {
+	// Each entry costs len(src)+programFootprint, so two entries
+	// overflow this bound and the colder one ages out.
+	c := NewProgramCacheSized(-1, programFootprint+512)
+	if _, err := c.Assemble("LDI T1, 1\nHALT"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Assemble("LDI T1, 2\nHALT"); err != nil {
+		t.Fatal(err)
+	}
+	s := c.Stats()
+	if s.Entries != 1 || s.Evictions != 1 {
+		t.Fatalf("stats %+v, want 1 entry / 1 eviction under byte pressure", s)
+	}
+	if s.Bytes > programFootprint+512 {
+		t.Fatalf("bytes %d exceed the bound", s.Bytes)
+	}
+	// Recency governs which entry survives: the latest source hits.
+	if _, err := c.Assemble("LDI T1, 2\nHALT"); err != nil {
+		t.Fatal(err)
+	}
+	if s := c.Stats(); s.Hits != 1 {
+		t.Fatalf("stats %+v, want the surviving entry to hit", s)
+	}
+}
+
+func TestAnalysisCacheEvictsAndRecomputes(t *testing.T) {
+	c := NewAnalysisCacheSized(1, -1)
+	a1 := c.Analyze("art9", ART9Netlist, gate.CNTFET32())
+	c.Analyze("art9", ART9Netlist, gate.StratixVEmulation()) // evicts the first
+	s := c.Stats()
+	if s.Entries != 1 || s.Evictions != 1 {
+		t.Fatalf("stats %+v, want 1 entry / 1 eviction", s)
+	}
+	// The evicted analysis recomputes to an equivalent result.
+	a2 := c.Analyze("art9", ART9Netlist, gate.CNTFET32())
+	if a1 == a2 {
+		t.Fatal("evicted analysis returned the same instance; want a recompute")
+	}
+	if a1.Gates != a2.Gates || a1.FmaxMHz != a2.FmaxMHz {
+		t.Errorf("recomputed analysis diverged: %+v vs %+v", a1, a2)
+	}
+}
+
 func TestAnalyzeART9MatchesDirect(t *testing.T) {
 	tech := gate.CNTFET32()
 	cached := AnalyzeART9(tech)

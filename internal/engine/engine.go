@@ -60,6 +60,12 @@ type Options struct {
 	// the shared caches. Useful for tests that assert exact hit/miss
 	// counts on work they submit themselves.
 	PrivateCaches bool
+	// Cache, when set, is consulted with each job's Spec before the
+	// job is enqueued: a hit resolves the Submit immediately with the
+	// cached value (Worker -1, counted as completed) and the job never
+	// occupies a worker. Successful executions are stored back. Jobs
+	// without a Spec bypass the cache entirely.
+	Cache ResultCache
 }
 
 // Job is one unit of evaluation work.
@@ -85,7 +91,7 @@ type Result struct {
 	Err     error
 	Elapsed time.Duration
 	// Worker is the pool index that executed the job (-1 if the job
-	// was cancelled before dispatch).
+	// was cancelled before dispatch or answered by the result cache).
 	Worker int
 }
 
@@ -146,6 +152,10 @@ type Engine struct {
 	closed     bool
 	submitters sync.WaitGroup
 
+	// cache, when non-nil, short-circuits Submit on known Specs and
+	// records successful executions — the fleet-wide result tier.
+	cache ResultCache
+
 	submitted atomic.Uint64
 	completed atomic.Uint64
 	failed    atomic.Uint64
@@ -174,6 +184,7 @@ func New(opts Options) *Engine {
 		timeout:  opts.JobTimeout,
 		jobs:     make(chan task, q),
 		quit:     make(chan struct{}),
+		cache:    opts.Cache,
 		Programs: SharedPrograms,
 		Analyses: SharedAnalyses,
 	}
@@ -190,6 +201,10 @@ func New(opts Options) *Engine {
 
 // Workers returns the pool size.
 func (e *Engine) Workers() int { return e.workers }
+
+// ResultCache returns the result-cache tier consulted on this pool's
+// dispatch path, or nil when the pool runs uncached.
+func (e *Engine) ResultCache() ResultCache { return e.cache }
 
 // Probe answers the Prober liveness check locally: a running pool is
 // healthy, a closed one reports ErrClosed so a Balancer stops routing
@@ -277,6 +292,17 @@ func (e *Engine) Submit(ctx context.Context, j Job) <-chan Result {
 	e.mu.RUnlock()
 	go func() {
 		defer e.submitters.Done()
+		// Consult the result cache before the job touches the queue: a
+		// hit is a finished job — no worker, no queue slot. The lookup
+		// happens off the caller's goroutine because a tiered cache may
+		// do a peer round-trip on a local miss.
+		if e.cache != nil && j.Spec != nil {
+			if v, ok := e.cache.Lookup(ctx, j.Spec); ok {
+				e.completed.Add(1)
+				done <- Result{ID: j.ID, Value: v, Worker: -1}
+				return
+			}
+		}
 		select {
 		case e.jobs <- task{ctx: ctx, job: j, done: done}:
 		case <-ctx.Done():
@@ -366,6 +392,9 @@ func (e *Engine) execute(worker int, t task) Result {
 		e.failed.Add(1)
 	} else {
 		e.completed.Add(1)
+		if e.cache != nil && t.job.Spec != nil {
+			e.cache.Store(t.ctx, t.job.Spec, r.Value)
+		}
 	}
 	return r
 }

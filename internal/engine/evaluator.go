@@ -173,6 +173,52 @@ func LocalCapacity(ev Evaluator) Capacity {
 	return CapacityFromStats(LocalStats(ev))
 }
 
+// ResultCache is the dispatch-path view of the fleet-wide result cache
+// (internal/rescache behind the internal/bench codec): a store of
+// finished job results keyed by the job's serializable Spec. Fronts
+// consult it before placing a job — a hit short-circuits dispatch
+// entirely, so a hot job never occupies a worker, rides a chunk, or
+// triggers a scale-up — and record successful results after execution.
+//
+// Both methods are best-effort by contract: Lookup answers (nil, false)
+// for specs it cannot key or entries it cannot decode, and Store
+// silently drops values it cannot encode. A broken or unreachable
+// cache tier therefore degrades to computing, never to failing.
+type ResultCache interface {
+	// Lookup returns a replayable result value for the job spec, or
+	// false when the fleet has not seen this work before.
+	Lookup(ctx context.Context, spec any) (any, bool)
+	// Store records a successful result value under the spec's key.
+	Store(ctx context.Context, spec any, value any)
+}
+
+// ResultCached is implemented by fronts that carry a result cache —
+// Engine, Balancer, and Autoscaler — so report builders can find the
+// tier's counters without knowing the topology.
+type ResultCached interface {
+	ResultCache() ResultCache
+}
+
+// ResultCacheOf walks ev for the result cache consulted on its
+// dispatch path: the front's own cache when it has one, otherwise the
+// first cache found among a composite's backends. Nil when the
+// topology runs uncached.
+func ResultCacheOf(ev Evaluator) ResultCache {
+	if rc, ok := ev.(ResultCached); ok {
+		if c := rc.ResultCache(); c != nil {
+			return c
+		}
+	}
+	if comp, ok := ev.(Composite); ok {
+		for i := 0; i < comp.Size(); i++ {
+			if c := ResultCacheOf(comp.Backend(i)); c != nil {
+				return c
+			}
+		}
+	}
+	return nil
+}
+
 // LocalStatser is implemented by backends whose Stats involves network
 // I/O (the remote client scrapes its peer) and that can also report a
 // cheap process-local view of the work submitted through them.

@@ -2,6 +2,8 @@
 // silent here.
 package serve
 
+import "encoding/json"
+
 // evalRequest is a wire root by virtue of its json tags (the /v1
 // request bodies are unexported in the real server too).
 type evalRequest struct {
@@ -27,4 +29,38 @@ type backendRow struct {
 type scheduler struct {
 	queue   chan int
 	onDrain func()
+}
+
+// The /v1/cache bodies: opaque cached values ride as json.RawMessage,
+// which owns its wire form (MarshalJSON) and is a trusted leaf — the
+// compliant shape of the real cache request/reply structs.
+type cacheLookupRequest struct {
+	Keys []string `json:"keys"`
+}
+
+type cacheRow struct {
+	Key   string          `json:"key"`
+	Found bool            `json:"found"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+type cacheFillRequest struct {
+	Entries []cacheFillEntry `json:"entries"`
+}
+
+type cacheFillEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+type cacheFillReply struct {
+	Stored int `json:"stored"`
+}
+
+// badCacheRow is the shape the RawMessage discipline exists to prevent:
+// an interface-typed value would marshal by dynamic type and never
+// round-trip identically through a sibling's store.
+type badCacheRow struct {
+	Key   string `json:"key"`
+	Value any    `json:"value"` // want `interface field cannot round-trip through JSON`
 }

@@ -1,0 +1,245 @@
+package remote
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rescache"
+)
+
+// The /v1/cache wire protocol between serve instances:
+//
+//	POST /v1/cache/lookup  {"keys":["<hex>", ...]}
+//	  -> NDJSON rows {"key":"<hex>","found":true,"value":{...}}
+//	POST /v1/cache/fill    {"entries":[{"key":"<hex>","value":{...}}, ...]}
+//	  -> {"stored":N}
+//
+// Both sides cap a request at maxCacheKeysPerRequest keys/entries and a
+// value at maxRow bytes; a peer answers lookups from its LOCAL store
+// only, so two peers pointed at each other cannot loop a miss.
+const maxCacheKeysPerRequest = 256
+
+// cacheOpTimeout bounds one cache round-trip. The cache is an
+// accelerator on the dispatch path: a slow peer must degrade to a miss
+// long before it costs what the evaluation it was saving would.
+const cacheOpTimeout = 2 * time.Second
+
+// cacheLookupRequest is the body of POST /v1/cache/lookup.
+type cacheLookupRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// cacheRow is one NDJSON reply row of /v1/cache/lookup. Value is kept
+// raw: the cache stores opaque bytes and only internal/bench knows the
+// row codec.
+type cacheRow struct {
+	Key   string          `json:"key"`
+	Found bool            `json:"found"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// cacheFillEntry is one entry of POST /v1/cache/fill.
+type cacheFillEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// cacheFillRequest is the body of POST /v1/cache/fill.
+type cacheFillRequest struct {
+	Entries []cacheFillEntry `json:"entries"`
+}
+
+// cacheFillReply acknowledges a fill with the number of entries stored.
+type cacheFillReply struct {
+	Stored int `json:"stored"`
+}
+
+// scanCacheRows consumes the NDJSON reply of /v1/cache/lookup, invoking
+// fn per row until the stream ends or fn returns false. Blank lines are
+// skipped; a line that is not a JSON cache row stops the scan with an
+// error, because a mis-parsed row could replay the wrong value under a
+// caller's key.
+func scanCacheRows(r io.Reader, fn func(cacheRow) bool) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), maxRow)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var row cacheRow
+		if err := json.Unmarshal(line, &row); err != nil {
+			return fmt.Errorf("malformed NDJSON cache row %.80q: %w", line, err)
+		}
+		if !fn(row) {
+			return nil
+		}
+	}
+	return sc.Err()
+}
+
+// CacheClient is the remote tier of the result cache: a rescache.Cache
+// whose store is another art9-serve instance's /v1/cache endpoints.
+// Every failure — dial, status, malformed row — degrades to a miss and
+// a PeerErrors tick, never an error: a dead cache peer means compute,
+// not failure.
+type CacheClient struct {
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+
+	peerHits   atomic.Uint64
+	peerMisses atomic.Uint64
+	peerErrors atomic.Uint64
+}
+
+var _ rescache.Cache = (*CacheClient)(nil)
+
+// NewCacheClient builds a cache client for one art9-serve base URL,
+// validated eagerly like New so a misconfigured fleet fails at
+// construction, not at the first lookup.
+func NewCacheClient(baseURL string) (*CacheClient, error) {
+	u, err := url.Parse(strings.TrimSpace(baseURL))
+	if err != nil {
+		return nil, fmt.Errorf("remote: cache peer url %q: %w", baseURL, err)
+	}
+	if u.Scheme != "http" && u.Scheme != "https" {
+		return nil, fmt.Errorf("remote: cache peer url %q: scheme must be http or https", baseURL)
+	}
+	if u.Host == "" {
+		return nil, fmt.Errorf("remote: cache peer url %q: missing host", baseURL)
+	}
+	return &CacheClient{
+		base:    strings.TrimRight(u.String(), "/"),
+		hc:      &http.Client{},
+		timeout: cacheOpTimeout,
+	}, nil
+}
+
+// Peer returns the normalized base URL this cache client queries.
+func (c *CacheClient) Peer() string { return c.base }
+
+// Get looks key up on the peer. Any transport or protocol failure
+// degrades to a miss.
+func (c *CacheClient) Get(ctx context.Context, key string) ([]byte, bool) {
+	body, err := json.Marshal(cacheLookupRequest{Keys: []string{key}})
+	if err != nil {
+		c.peerErrors.Add(1)
+		return nil, false
+	}
+	resp, err := c.post(ctx, "/v1/cache/lookup", body)
+	if err != nil {
+		c.peerErrors.Add(1)
+		return nil, false
+	}
+	defer func() {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+		resp.Body.Close()
+	}()
+	if resp.StatusCode == http.StatusNotFound {
+		// A peer predating the cache protocol: a standing miss.
+		c.peerMisses.Add(1)
+		return nil, false
+	}
+	if resp.StatusCode != http.StatusOK {
+		c.peerErrors.Add(1)
+		return nil, false
+	}
+	var val []byte
+	found := false
+	err = scanCacheRows(io.LimitReader(resp.Body, maxRow+1), func(r cacheRow) bool {
+		if r.Key == key && r.Found && len(r.Value) > 0 {
+			val = append([]byte(nil), r.Value...)
+			found = true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		c.peerErrors.Add(1)
+		return nil, false
+	}
+	if !found {
+		c.peerMisses.Add(1)
+		return nil, false
+	}
+	c.peerHits.Add(1)
+	return val, true
+}
+
+// Put fills key on the peer, best-effort. Values that are not valid
+// JSON are dropped (the wire carries JSON rows), as is anything over
+// the per-row bound.
+func (c *CacheClient) Put(ctx context.Context, key string, val []byte) {
+	if len(val) == 0 || len(val) > maxRow || !json.Valid(val) {
+		return
+	}
+	body, err := json.Marshal(cacheFillRequest{
+		Entries: []cacheFillEntry{{Key: key, Value: json.RawMessage(val)}},
+	})
+	if err != nil {
+		c.peerErrors.Add(1)
+		return
+	}
+	resp, err := c.post(ctx, "/v1/cache/fill", body)
+	if err != nil {
+		c.peerErrors.Add(1)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
+		c.peerErrors.Add(1)
+	}
+}
+
+// Stats reports the remote-tier counters; occupancy lives on the peer.
+func (c *CacheClient) Stats() rescache.Stats {
+	return rescache.Stats{
+		PeerHits:   c.peerHits.Load(),
+		PeerMisses: c.peerMisses.Load(),
+		PeerErrors: c.peerErrors.Load(),
+	}
+}
+
+// post issues one cache POST bounded by the per-op timeout — no
+// redials: a cache round-trip that needs a retry already lost its race
+// against just computing the job.
+func (c *CacheClient) post(ctx context.Context, path string, body []byte) (*http.Response, error) {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.hc.Do(req)
+}
+
+// NewResultCache assembles the per-process result-cache tier the
+// BackendConfig.Cache knob selects: a bounded local LRU (maxBytes 0
+// selects rescache.DefaultMaxBytes, negative unbounded) fronting one
+// CacheClient per peer URL, composed behind the singleflight Tiered
+// store. With no peers the tier is local-only but keeps the same Stats
+// shape.
+func NewResultCache(maxBytes int64, peerURLs []string) (*rescache.Tiered, error) {
+	local := rescache.NewLRU(maxBytes, 0)
+	var peers []rescache.Cache
+	for _, p := range peerURLs {
+		cc, err := NewCacheClient(p)
+		if err != nil {
+			return nil, err
+		}
+		peers = append(peers, cc)
+	}
+	return rescache.NewTiered(local, peers...), nil
+}

@@ -2,6 +2,7 @@ package remote
 
 import (
 	"bytes"
+	"encoding/json"
 	"strings"
 	"testing"
 
@@ -44,6 +45,59 @@ func FuzzScanRows(f *testing.F) {
 		// The early-stop path must never error: the first row decided.
 		stopped := 0
 		if stopErr := scanRows(bytes.NewReader(data), func(bench.JobReport) bool {
+			stopped++
+			return false
+		}); stopped > 0 && stopErr != nil {
+			t.Fatalf("satisfied scan still errored: %v", stopErr)
+		}
+		if stopped > 1 {
+			t.Fatalf("scan continued after the handler was satisfied (%d rows)", stopped)
+		}
+	})
+}
+
+// FuzzScanCacheRows throws arbitrary peer bytes at the /v1/cache/lookup
+// reply parser — the surface a malicious or dying cache peer writes to,
+// where a mis-parsed line could replay the wrong cached value under a
+// caller's key. Invariants: never panic, never error on blank input,
+// classify every non-blank line as exactly one of cache row / scan
+// error, and stop cleanly when the handler is satisfied. Seed corpus:
+// f.Add cases below plus testdata/fuzz/FuzzScanCacheRows.
+func FuzzScanCacheRows(f *testing.F) {
+	f.Add([]byte(`{"key":"ab12","found":true,"value":{"ok":true,"worker":-1}}` + "\n"))
+	f.Add([]byte("{\"key\":\"a\",\"found\":false}\n\n{\"key\":\"b\",\"found\":true,\"value\":7}\n"))
+	f.Add([]byte(`{"key":"a","found":true}`))            // found without a value
+	f.Add([]byte(`{"key":"","found":true,"value":{}}`))  // empty key
+	f.Add([]byte(`{"key":5}`))                           // wrong key type
+	f.Add([]byte(`{"key":"a","value":"not an object"}`)) // raw value kinds pass through
+	f.Add([]byte("{\"key\": nonsense"))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte("\n  \n\n"))
+	f.Add([]byte(strings.Repeat("{\"key\":\"r\",\"found\":true,\"value\":0}\n", 64)))
+	f.Add(bytes.Repeat([]byte("z"), 70<<10)) // one over-long unterminated token
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rows := 0
+		err := scanCacheRows(bytes.NewReader(data), func(r cacheRow) bool {
+			rows++
+			// A reported value must be valid JSON or absent: anything
+			// else means the parser handed through bytes Unmarshal
+			// would have rejected.
+			if len(r.Value) > 0 && !json.Valid(r.Value) {
+				t.Fatalf("row carried invalid JSON value %.80q", r.Value)
+			}
+			return true
+		})
+		if err == nil && rows == 0 && len(bytes.TrimSpace(data)) > 0 {
+			t.Fatalf("input %.80q produced neither rows nor an error", data)
+		}
+		if err != nil && len(bytes.TrimSpace(data)) == 0 {
+			t.Fatalf("blank input errored: %v", err)
+		}
+
+		// The early-stop path must never error: the first row decided.
+		stopped := 0
+		if stopErr := scanCacheRows(bytes.NewReader(data), func(cacheRow) bool {
 			stopped++
 			return false
 		}); stopped > 0 && stopErr != nil {

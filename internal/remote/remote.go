@@ -43,6 +43,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/rescache"
 )
 
 // ErrNotRemotable is wrapped into the result of any job submitted to a
@@ -947,6 +948,7 @@ type optionNames struct {
 	failover, chunk, maxRetries, healthInterval   string
 	autoscale, standbyPeers, shards, peers        string
 	scaleThresholds, scaleCooldown, scaleInterval string
+	cache, cachePeers, cacheMaxBytes              string
 }
 
 var libraryNames = optionNames{
@@ -956,6 +958,8 @@ var libraryNames = optionNames{
 	shards: "WithShards", peers: "WithPeers",
 	scaleThresholds: "WithScaleThresholds",
 	scaleCooldown:   "WithScaleCooldown", scaleInterval: "WithScaleInterval",
+	cache: "WithResultCache", cachePeers: "WithCachePeers",
+	cacheMaxBytes: "WithCacheMaxBytes",
 }
 
 var flagNames = optionNames{
@@ -965,6 +969,8 @@ var flagNames = optionNames{
 	shards: "-shards", peers: "-peers",
 	scaleThresholds: "-scale-up/-scale-down",
 	scaleCooldown:   "-scale-cooldown", scaleInterval: "-scale-interval",
+	cache: "-cache", cachePeers: "-cache-peers",
+	cacheMaxBytes: "-cache-max-bytes",
 }
 
 // ValidateConfig vets a BackendConfig's option coherence with library
@@ -998,6 +1004,22 @@ func validateTopology(cfg BackendConfig, n optionNames) (warning string, err err
 	}
 	if cfg.Chunk < 0 {
 		return "", invalid("%s must be >= 0 (got %d)", n.chunk, cfg.Chunk)
+	}
+	if cfg.CacheMaxBytes < 0 {
+		return "", invalid("%s must be >= 0 (got %d)", n.cacheMaxBytes, cfg.CacheMaxBytes)
+	}
+	if !cfg.Cache && cfg.CacheStore == nil {
+		var orphaned []string
+		if len(cfg.CachePeers) > 0 {
+			orphaned = append(orphaned, n.cachePeers)
+		}
+		if cfg.CacheMaxBytes != 0 {
+			orphaned = append(orphaned, n.cacheMaxBytes)
+		}
+		if len(orphaned) > 0 {
+			return "", invalid("%s: only meaningful with %s (otherwise silently ignored); add %s or drop it",
+				strings.Join(orphaned, ", "), n.cache, n.cache)
+		}
 	}
 	autoscale := cfg.AutoscaleMin != 0 || cfg.AutoscaleMax != 0
 	if !cfg.Failover {
@@ -1130,6 +1152,19 @@ type BackendConfig struct {
 	// negative manual-only). All require autoscaling.
 	ScaleUpThreshold, ScaleDownThreshold float64
 	ScaleCooldown, ScaleInterval         time.Duration
+	// Cache enables the fleet-wide result cache: the dispatch front
+	// consults a content-addressed store before placing a job, so a hit
+	// short-circuits evaluation entirely (Worker -1). The store is a
+	// bounded local LRU (CacheMaxBytes, 0 selects the rescache default)
+	// fronting one /v1/cache client per CachePeers URL. CachePeers and
+	// CacheMaxBytes require Cache.
+	Cache         bool
+	CacheMaxBytes int64
+	CachePeers    []string
+	// CacheStore substitutes a pre-built store (serve passes its own
+	// tier here so the HTTP endpoints and the dispatch path share one
+	// cache); it implies Cache and ignores CacheMaxBytes/CachePeers.
+	CacheStore rescache.Cache
 }
 
 // NewBackend assembles the standard backend topology shared by art9.New
@@ -1149,6 +1184,22 @@ func NewBackend(localShards int, opts engine.Options, peers []string) (engine.Ev
 func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 	if _, err := ValidateConfig(cfg); err != nil {
 		return nil, err
+	}
+	// The result cache attaches to the dispatch FRONT only — the
+	// autoscaler or balancer when one fronts the topology, otherwise
+	// each local engine — so one lookup answers one job and hit/miss
+	// counters are not doubled by inner layers re-consulting the store.
+	var resultCache engine.ResultCache
+	if cfg.Cache || cfg.CacheStore != nil {
+		store := cfg.CacheStore
+		if store == nil {
+			tier, err := NewResultCache(cfg.CacheMaxBytes, cfg.CachePeers)
+			if err != nil {
+				return nil, err
+			}
+			store = tier
+		}
+		resultCache = bench.NewResultCache(store)
 	}
 	if cfg.AutoscaleMin != 0 || cfg.AutoscaleMax != 0 {
 		var standbys []engine.StandbyBackend
@@ -1178,6 +1229,7 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 			DownThreshold: cfg.ScaleDownThreshold,
 			Cooldown:      cfg.ScaleCooldown,
 			Interval:      cfg.ScaleInterval,
+			Cache:         resultCache,
 		}), nil
 	}
 	localShards := cfg.Shards
@@ -1189,6 +1241,11 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 	}
 	opts := cfg.Engine
 	opts.PrivateCaches = localShards+len(cfg.Peers) > 1
+	if resultCache != nil && !cfg.Failover {
+		// No front to attach the cache to: each local engine consults
+		// it before running a job (remote shards stay pass-through).
+		opts.Cache = resultCache
+	}
 	var backends []engine.Evaluator
 	for i := 0; i < localShards; i++ {
 		backends = append(backends, engine.New(opts))
@@ -1210,6 +1267,7 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 			MaxRetries:     cfg.MaxRetries,
 			HealthInterval: cfg.HealthInterval,
 			Chunk:          cfg.Chunk,
+			Cache:          resultCache,
 		}, backends...), nil
 	}
 	if len(backends) == 1 {

@@ -1,0 +1,335 @@
+// Package rescache is the fleet-wide result cache: a content-addressed
+// key/value store for finished job rows, shared between the dispatch
+// path of every evaluator front (engine, balancer, autoscaler) and the
+// /v1/cache wire tier that serve instances expose to their peers.
+//
+// The package is deliberately a leaf: keys are opaque strings (the
+// caller hashes its content-addressed identity with KeyOf) and values
+// are opaque bytes (internal/bench owns the row codec), so rescache
+// imports nothing above the standard library and every layer of the
+// stack can depend on it without cycles.
+//
+// Two stores compose into the per-process tier:
+//
+//   - LRU — a bounded in-process store with byte and entry accounting.
+//   - Tiered — local-first lookup over an LRU plus remote peers (the
+//     /v1/cache clients from internal/remote), with a singleflight
+//     guard so a thundering herd of identical misses turns into one
+//     peer round-trip and one local fill.
+package rescache
+
+import (
+	"container/list"
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxBytes bounds an LRU store when the caller passes 0: large
+// enough for tens of thousands of bench rows, small enough to be an
+// afterthought next to a serve instance's working set.
+const DefaultMaxBytes = 64 << 20
+
+// DefaultMaxEntries bounds an LRU store's entry count when the caller
+// passes 0 — a backstop against pathological tiny-value churn.
+const DefaultMaxEntries = 65536
+
+// Stats is a point-in-time snapshot of a cache tier. Local counters
+// (Hits..Bytes) describe the in-process store; Peer counters describe
+// the remote tier and stay zero for a bare LRU.
+type Stats struct {
+	// Hits and Misses count lookups answered and unanswered by the
+	// tier as a whole: a Tiered store counts a peer-answered lookup
+	// as one hit, not a local miss plus a peer hit.
+	Hits   uint64
+	Misses uint64
+	// Puts counts stores accepted; Evictions counts entries dropped
+	// to honour the byte or entry bound.
+	Puts      uint64
+	Evictions uint64
+	// Entries and Bytes describe the resident local store; MaxBytes
+	// is its configured bound.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+	// PeerHits/PeerMisses count lookups that reached the remote tier;
+	// PeerErrors counts transport failures (each degrades to a miss,
+	// never an error — a dead peer means compute, not failure).
+	PeerHits   uint64
+	PeerMisses uint64
+	PeerErrors uint64
+	// Coalesced counts lookups that piggybacked on an identical
+	// in-flight peer lookup instead of issuing their own.
+	Coalesced uint64
+}
+
+// Cache is the contract every tier implements: Get/Put never fail (a
+// broken tier degrades to a miss) and Stats is safe to call
+// concurrently with either.
+//
+// Values are owned by the cache once Put and by the caller once
+// returned from Get; neither side may mutate a slice after handing it
+// over.
+type Cache interface {
+	Get(ctx context.Context, key string) ([]byte, bool)
+	Put(ctx context.Context, key string, val []byte)
+	Stats() Stats
+}
+
+// KeyOf derives a cache key from the parts of a content-addressed
+// identity. Parts are length-prefixed before hashing so ("ab","c")
+// and ("a","bc") cannot collide.
+func KeyOf(parts ...string) string {
+	h := sha256.New()
+	var n [8]byte
+	for _, p := range parts {
+		binary.BigEndian.PutUint64(n[:], uint64(len(p)))
+		h.Write(n[:])
+		h.Write([]byte(p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// entry is one resident LRU value; cost is its accounted size.
+type entry struct {
+	key  string
+	val  []byte
+	cost int64
+}
+
+// LRU is the bounded in-process store: a map over a recency list with
+// byte and entry accounting, safe for concurrent use.
+type LRU struct {
+	mu         sync.Mutex
+	m          map[string]*list.Element
+	order      *list.List // front = most recently used
+	maxBytes   int64
+	maxEntries int
+	bytes      int64
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	puts      atomic.Uint64
+	evictions atomic.Uint64
+}
+
+// NewLRU builds a bounded store. maxBytes 0 selects DefaultMaxBytes
+// and maxEntries 0 selects DefaultMaxEntries; negative values leave
+// that dimension unbounded.
+func NewLRU(maxBytes int64, maxEntries int) *LRU {
+	if maxBytes == 0 {
+		maxBytes = DefaultMaxBytes
+	}
+	if maxEntries == 0 {
+		maxEntries = DefaultMaxEntries
+	}
+	return &LRU{
+		m:          make(map[string]*list.Element),
+		order:      list.New(),
+		maxBytes:   maxBytes,
+		maxEntries: maxEntries,
+	}
+}
+
+// Get returns the cached value and refreshes its recency.
+func (c *LRU) Get(_ context.Context, key string) ([]byte, bool) {
+	c.mu.Lock()
+	el, ok := c.m[key]
+	if !ok {
+		c.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	val := el.Value.(*entry).val
+	c.mu.Unlock()
+	c.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key, replacing any previous value, then evicts
+// from the cold end until the bounds hold again. A value larger than
+// the whole byte bound is refused outright rather than flushing the
+// store for one entry.
+func (c *LRU) Put(_ context.Context, key string, val []byte) {
+	cost := int64(len(key) + len(val))
+	if c.maxBytes > 0 && cost > c.maxBytes {
+		return
+	}
+	c.mu.Lock()
+	if el, ok := c.m[key]; ok {
+		e := el.Value.(*entry)
+		c.bytes += cost - e.cost
+		e.val, e.cost = val, cost
+		c.order.MoveToFront(el)
+	} else {
+		c.m[key] = c.order.PushFront(&entry{key: key, val: val, cost: cost})
+		c.bytes += cost
+	}
+	for (c.maxBytes > 0 && c.bytes > c.maxBytes) ||
+		(c.maxEntries > 0 && c.order.Len() > c.maxEntries) {
+		el := c.order.Back()
+		if el == nil || c.order.Len() == 1 {
+			break // never evict the entry just stored
+		}
+		e := c.order.Remove(el).(*entry)
+		delete(c.m, e.key)
+		c.bytes -= e.cost
+		c.evictions.Add(1)
+	}
+	c.mu.Unlock()
+	c.puts.Add(1)
+}
+
+// Stats snapshots the store's counters.
+func (c *LRU) Stats() Stats {
+	c.mu.Lock()
+	entries, bytes := c.order.Len(), c.bytes
+	c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Puts:      c.puts.Load(),
+		Evictions: c.evictions.Load(),
+		Entries:   entries,
+		Bytes:     bytes,
+		MaxBytes:  c.maxBytes,
+	}
+}
+
+// flight is one in-progress peer lookup; waiters block on done and
+// then read val/ok.
+type flight struct {
+	done chan struct{}
+	val  []byte
+	ok   bool
+}
+
+// Tiered is the per-process cache tier: a local store answered first,
+// then each peer in order, with a peer hit filled back into the local
+// store. Concurrent misses on the same key coalesce into a single
+// peer lookup (the singleflight guard), so a thundering herd of
+// identical jobs costs one round-trip.
+type Tiered struct {
+	local Cache
+	peers []Cache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	peerHits   atomic.Uint64
+	peerMisses atomic.Uint64
+	coalesced  atomic.Uint64
+}
+
+// NewTiered composes the local store and remote peers into one Cache.
+// With no peers it is a counting wrapper over local, so callers get
+// one Stats shape regardless of topology.
+func NewTiered(local Cache, peers ...Cache) *Tiered {
+	return &Tiered{
+		local:   local,
+		peers:   peers,
+		flights: make(map[string]*flight),
+	}
+}
+
+// Local returns the in-process store of the tier. The serve layer's
+// /v1/cache endpoints answer from it directly — never through the
+// tier — so two peers pointed at each other cannot loop a miss.
+func (t *Tiered) Local() Cache { return t.local }
+
+// Get answers from the local store, then from the peers; a peer hit
+// is filled into the local store before returning so the next lookup
+// stays in-process.
+func (t *Tiered) Get(ctx context.Context, key string) ([]byte, bool) {
+	if v, ok := t.local.Get(ctx, key); ok {
+		t.hits.Add(1)
+		return v, true
+	}
+	if len(t.peers) == 0 {
+		t.misses.Add(1)
+		return nil, false
+	}
+	v, ok := t.peerGet(ctx, key)
+	if ok {
+		t.hits.Add(1)
+		return v, true
+	}
+	t.misses.Add(1)
+	return nil, false
+}
+
+// peerGet performs the singleflight-guarded remote lookup: the first
+// caller for a key queries the peers and fills the local store; every
+// concurrent duplicate waits for that flight's answer.
+func (t *Tiered) peerGet(ctx context.Context, key string) ([]byte, bool) {
+	t.mu.Lock()
+	if f, inflight := t.flights[key]; inflight {
+		t.mu.Unlock()
+		t.coalesced.Add(1)
+		select {
+		case <-f.done:
+			return f.val, f.ok
+		case <-ctx.Done():
+			return nil, false
+		}
+	}
+	f := &flight{done: make(chan struct{})}
+	t.flights[key] = f
+	t.mu.Unlock()
+
+	for _, p := range t.peers {
+		if v, ok := p.Get(ctx, key); ok {
+			t.peerHits.Add(1)
+			t.local.Put(ctx, key, v)
+			f.val, f.ok = v, true
+			break
+		}
+	}
+	if !f.ok {
+		t.peerMisses.Add(1)
+	}
+
+	t.mu.Lock()
+	delete(t.flights, key)
+	t.mu.Unlock()
+	close(f.done)
+	return f.val, f.ok
+}
+
+// Put fills the local store and fans the entry out to every peer,
+// best-effort, so a row computed here answers the whole fleet's next
+// lookup. The fan-out is detached from the caller's context: a job
+// whose submitter has already moved on still deserves to seed the
+// tier.
+func (t *Tiered) Put(ctx context.Context, key string, val []byte) {
+	t.local.Put(ctx, key, val)
+	if len(t.peers) == 0 {
+		return
+	}
+	fill := context.WithoutCancel(ctx)
+	for _, p := range t.peers {
+		p.Put(fill, key, val)
+	}
+}
+
+// Stats merges the tier: its own hit/miss view, the local store's
+// occupancy and eviction counters, and every peer's transport
+// counters.
+func (t *Tiered) Stats() Stats {
+	st := t.local.Stats()
+	st.Hits = t.hits.Load()
+	st.Misses = t.misses.Load()
+	st.PeerHits = t.peerHits.Load()
+	st.PeerMisses = t.peerMisses.Load()
+	st.Coalesced = t.coalesced.Load()
+	for _, p := range t.peers {
+		st.PeerErrors += p.Stats().PeerErrors
+	}
+	return st
+}

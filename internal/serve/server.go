@@ -15,6 +15,11 @@
 //	GET  /v1/stats    per-shard engine counters + shared cache counters
 //	GET  /v1/capacity process-local free workers + queue depth (the
 //	                  fast path capacity-aware fronts poll)
+//	POST /v1/cache/lookup  result-cache keys in, NDJSON hit/miss rows
+//	                  out — answered from this instance's LOCAL store
+//	                  (Config.Cache; absent otherwise)
+//	POST /v1/cache/fill    sibling-computed result rows in, stored
+//	                  count out (Config.Cache; absent otherwise)
 //
 // Jobs are fanned out across an engine.Evaluator backend — a local
 // shard set by default, or (Config.Peers) a set fronting other
@@ -37,6 +42,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/engine"
 	"repro/internal/remote"
+	"repro/internal/rescache"
 	"repro/internal/xlate"
 )
 
@@ -51,13 +57,15 @@ const maxBody = 4 << 20
 // proportionally to its own size before any evaluation runs.
 const maxSuiteJobs = 1024
 
-// maxCachedPrograms caps the process-wide program cache. The bench jobs
-// memoize every distinct source through engine.SharedPrograms, which is
-// unbounded by design for the fixed suite — but a resident server feeds
-// it client-supplied sources, so it is purged wholesale whenever it
-// grows past this (coarse, but bounds memory; the fixed suite re-warms
-// in one request).
-const maxCachedPrograms = 4096
+// Caps for one /v1/cache request, mirrored by internal/remote's cache
+// client (redefined there to keep serve → remote a one-way dependency):
+// at most maxCacheKeys keys or entries per request, values no larger
+// than maxCacheValue bytes so one row always fits a client's NDJSON
+// line buffer.
+const (
+	maxCacheKeys  = 256
+	maxCacheValue = 1 << 20
+)
 
 // Config sizes the server's evaluation back end.
 type Config struct {
@@ -105,6 +113,16 @@ type Config struct {
 	ScaleDownThreshold float64
 	ScaleCooldown      time.Duration
 	ScaleInterval      time.Duration
+	// Cache enables the fleet-wide result cache: the dispatch path
+	// consults a content-addressed store before placing a job, and the
+	// /v1/cache/{lookup,fill} endpoints expose this instance's local
+	// store to sibling serve instances. CacheMaxBytes bounds the local
+	// store (0 selects the rescache default); CachePeers lists sibling
+	// base URLs whose /v1/cache tier is consulted on a local miss and
+	// filled on a local compute. Both require Cache.
+	Cache         bool
+	CacheMaxBytes int64
+	CachePeers    []string
 }
 
 // Server owns an Evaluator backend and serves the /v1 API. Create with
@@ -112,6 +130,11 @@ type Config struct {
 type Server struct {
 	backend engine.Evaluator
 	peers   int
+	// cache is the result-cache tier the dispatch path consults; its
+	// Local() store is what /v1/cache/{lookup,fill} serve to siblings.
+	// Nil when Config.Cache is off (the endpoints then 404, which cache
+	// clients treat as a standing miss).
+	cache *rescache.Tiered
 	// jobTimeout is Config.JobTimeout, stamped onto jobs that carry no
 	// bound of their own so the deadline rides the wire spec to peer
 	// backends — the engine option only covers local shards.
@@ -129,7 +152,7 @@ func New(cfg Config) (*Server, error) {
 	// remote.NewBackendWith owns the defaulting (one local shard unless
 	// peers make a proxy-only topology meaningful) and the failover
 	// composition.
-	backend, err := remote.NewBackendWith(remote.BackendConfig{
+	bc := remote.BackendConfig{
 		Shards: cfg.Shards,
 		Engine: engine.Options{
 			Workers:    cfg.Workers,
@@ -147,13 +170,34 @@ func New(cfg Config) (*Server, error) {
 		ScaleDownThreshold: cfg.ScaleDownThreshold,
 		ScaleCooldown:      cfg.ScaleCooldown,
 		ScaleInterval:      cfg.ScaleInterval,
-	})
+		Cache:              cfg.Cache,
+		CacheMaxBytes:      cfg.CacheMaxBytes,
+		CachePeers:         cfg.CachePeers,
+	}
+	// Validate before building the tier so an incoherent cache config
+	// fails with the shared rule set's diagnostic, not a partial build.
+	if _, err := remote.ValidateConfig(bc); err != nil {
+		return nil, err
+	}
+	var tier *rescache.Tiered
+	if cfg.Cache {
+		var err error
+		tier, err = remote.NewResultCache(cfg.CacheMaxBytes, cfg.CachePeers)
+		if err != nil {
+			return nil, err
+		}
+		// The server and its dispatch path share one tier: what the
+		// backend computes, /v1/cache/lookup can answer for siblings.
+		bc.CacheStore = tier
+	}
+	backend, err := remote.NewBackendWith(bc)
 	if err != nil {
 		return nil, err
 	}
 	s := NewWithBackend(backend)
 	s.peers = len(cfg.Peers)
 	s.jobTimeout = cfg.JobTimeout
+	s.cache = tier
 	return s, nil
 }
 
@@ -199,6 +243,13 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/capacity", s.handleCapacity)
 	mux.HandleFunc("/v1/eval", s.handleEval)
 	mux.HandleFunc("/v1/suite", s.handleSuite)
+	if s.cache != nil {
+		// Registered only when the cache is on: a cache-less instance
+		// answers 404, which remote cache clients count as a standing
+		// miss — mixed-version and mixed-config fleets stay healthy.
+		mux.HandleFunc("/v1/cache/lookup", s.handleCacheLookup)
+		mux.HandleFunc("/v1/cache/fill", s.handleCacheFill)
+	}
 	return mux
 }
 
@@ -245,6 +296,9 @@ type healthzReply struct {
 	// Autoscale reports whether an elastic Autoscaler fronts the
 	// backends; its scale state and scorecards live in /v1/stats.
 	Autoscale bool `json:"autoscale,omitempty"`
+	// Cache reports whether the result cache (and its /v1/cache
+	// endpoints) is enabled; its counters live in /v1/stats.
+	Cache bool `json:"cache,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
@@ -258,6 +312,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Shards:  s.shardCount(),
 		Workers: engine.LocalStats(s.backend).Workers,
 		Peers:   s.peers,
+		Cache:   s.cache != nil,
 	}
 	status := http.StatusOK
 	// A Balancer front answers with its tracked aggregate verdict — no
@@ -304,6 +359,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Cache:         bench.SharedCacheReport(),
 		Capacity:      engine.LocalCapacity(s.backend),
 	}
+	if s.cache != nil {
+		reply.Cache.Results = bench.ResultCacheReportFrom(s.cache.Stats())
+	}
 	switch front := s.backend.(type) {
 	case *engine.Balancer:
 		reply.Balancer = front.Health()
@@ -349,7 +407,6 @@ func (s *Server) handleEval(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	capSharedCaches()
 	jobs := bench.SuiteJobs([]bench.Workload{wl}, xlate.Options{})
 	// Forward the request's technologies and timeout on the job spec so
 	// a peer backend applies the same estimates and bounds the local
@@ -412,7 +469,6 @@ func (s *Server) handleSuite(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	bench.ApplyJobTimeout(jobs, s.jobTimeout)
-	capSharedCaches()
 
 	// Everything below is NDJSON: one JobReport line the moment each
 	// job completes, flushed so a slow suite trickles out instead of
@@ -474,13 +530,100 @@ type suiteAck struct {
 	Rows int    `json:"rows,omitempty"`
 }
 
-// capSharedCaches bounds the process-wide caches before a request's
-// jobs feed them. Only the program cache grows with client input — the
-// analysis cache is keyed by (fixed ART-9 netlist, technology).
-func capSharedCaches() {
-	if engine.SharedPrograms.Stats().Entries >= maxCachedPrograms {
-		engine.SharedPrograms.Purge()
+// cacheLookupRequest is the POST /v1/cache/lookup body. Mirrored by
+// internal/remote's cache client (redefined there to keep serve →
+// remote a one-way dependency), like suiteAck.
+type cacheLookupRequest struct {
+	Keys []string `json:"keys"`
+}
+
+// cacheRow is one NDJSON reply row of /v1/cache/lookup.
+type cacheRow struct {
+	Key   string          `json:"key"`
+	Found bool            `json:"found"`
+	Value json.RawMessage `json:"value,omitempty"`
+}
+
+// cacheFillEntry is one entry of the POST /v1/cache/fill body.
+type cacheFillEntry struct {
+	Key   string          `json:"key"`
+	Value json.RawMessage `json:"value"`
+}
+
+// cacheFillRequest is the POST /v1/cache/fill body.
+type cacheFillRequest struct {
+	Entries []cacheFillEntry `json:"entries"`
+}
+
+// cacheFillReply acknowledges a fill with the number of entries stored.
+type cacheFillReply struct {
+	Stored int `json:"stored"`
+}
+
+// handleCacheLookup answers sibling lookups from the LOCAL store only —
+// never through the tier — so two instances pointed at each other
+// cannot loop one miss forever. Rows stream as NDJSON in key order.
+func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
 	}
+	var req cacheLookupRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	if len(req.Keys) > maxCacheKeys {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("cache lookup: %d keys exceeds the per-request limit of %d", len(req.Keys), maxCacheKeys))
+		return
+	}
+	local := s.cache.Local()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	for _, k := range req.Keys {
+		row := cacheRow{Key: k}
+		if v, ok := local.Get(r.Context(), k); ok {
+			row.Found, row.Value = true, v
+		}
+		if err := enc.Encode(row); err != nil {
+			return
+		}
+	}
+}
+
+// handleCacheFill stores sibling-computed rows into the LOCAL store, so
+// this instance answers the fleet's next lookup without the fill ever
+// fanning back out. Unusable entries — empty keys, oversize or invalid
+// values — are skipped, not errors: a fill is best-effort by contract.
+func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	if r.Method != http.MethodPost {
+		methodNotAllowed(w, http.MethodPost)
+		return
+	}
+	var req cacheFillRequest
+	if err := readJSON(w, r, &req); err != nil {
+		writeError(w, bodyErrStatus(err), err)
+		return
+	}
+	if len(req.Entries) > maxCacheKeys {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("cache fill: %d entries exceeds the per-request limit of %d", len(req.Entries), maxCacheKeys))
+		return
+	}
+	local := s.cache.Local()
+	stored := 0
+	for _, e := range req.Entries {
+		if e.Key == "" || len(e.Value) == 0 || len(e.Value) > maxCacheValue || !json.Valid(e.Value) {
+			continue
+		}
+		local.Put(r.Context(), e.Key, e.Value)
+		stored++
+	}
+	writeJSON(w, http.StatusOK, cacheFillReply{Stored: stored})
 }
 
 // readBody reads a request body under the maxBody cap; oversize bodies

@@ -27,6 +27,9 @@ type evalConfig struct {
 	scaleDown      float64
 	scaleCooldown  time.Duration
 	scaleInterval  time.Duration
+	cache          bool
+	cacheMaxBytes  int64
+	cachePeers     []string
 }
 
 // WithWorkers sets the pool size of each local shard (0 selects
@@ -130,6 +133,30 @@ func WithScaleInterval(d time.Duration) Option {
 	return func(c *evalConfig) { c.scaleInterval = d }
 }
 
+// WithResultCache enables the fleet-wide result cache: before placing
+// a job, the dispatch front consults a content-addressed store keyed by
+// the job's spec (program source, iterations, technologies), and a hit
+// short-circuits evaluation entirely — the replayed result reports
+// Worker -1. Only spec-carrying jobs participate (SuiteJobs and the
+// manifest loader attach specs; File jobs and bare closures always
+// compute), and failed jobs are never cached. Bound the store with
+// WithCacheMaxBytes; share it across a fleet with WithCachePeers.
+func WithResultCache() Option { return func(c *evalConfig) { c.cache = true } }
+
+// WithCacheMaxBytes bounds the local result-cache store (0 selects the
+// default, 64 MiB); cold entries age out LRU-first. Only meaningful
+// with WithResultCache.
+func WithCacheMaxBytes(n int64) Option { return func(c *evalConfig) { c.cacheMaxBytes = n } }
+
+// WithCachePeers lists art9-serve base URLs whose /v1/cache tier is
+// consulted on a local miss and filled when a job computes here, so hot
+// jobs are evaluated once per fleet instead of once per process. A dead
+// or cache-less peer degrades to a miss, never a failure. Only
+// meaningful with WithResultCache.
+func WithCachePeers(urls ...string) Option {
+	return func(c *evalConfig) { c.cachePeers = append(c.cachePeers, urls...) }
+}
+
 // New builds an Evaluator from functional options — the one constructor
 // behind which every backend topology lives:
 //
@@ -154,9 +181,10 @@ func WithScaleInterval(d time.Duration) Option {
 // combinations — failover tuning (WithChunk, WithMaxRetries,
 // WithHealthInterval) without WithFailover, autoscale tuning or standby
 // peers without WithAutoscale, inverted autoscale bounds or thresholds,
-// WithAutoscale mixed with a fixed topology — with an error wrapping
-// the typed ErrInvalidOptions. The CLIs vet their flags through the
-// same rule set, so the diagnostics match.
+// WithAutoscale mixed with a fixed topology, cache tuning
+// (WithCachePeers, WithCacheMaxBytes) without WithResultCache — with an
+// error wrapping the typed ErrInvalidOptions. The CLIs vet their flags
+// through the same rule set, so the diagnostics match.
 func New(opts ...Option) (Evaluator, error) {
 	var cfg evalConfig
 	for _, o := range opts {
@@ -185,5 +213,8 @@ func New(opts ...Option) (Evaluator, error) {
 		ScaleDownThreshold: cfg.scaleDown,
 		ScaleCooldown:      cfg.scaleCooldown,
 		ScaleInterval:      cfg.scaleInterval,
+		Cache:              cfg.cache,
+		CacheMaxBytes:      cfg.cacheMaxBytes,
+		CachePeers:         cfg.cachePeers,
 	})
 }

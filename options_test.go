@@ -37,6 +37,15 @@ func TestNewRejectsInvalidOptionCombinations(t *testing.T) {
 		{name: "negative chunk",
 			opts: []art9.Option{art9.WithFailover(), art9.WithShards(2), art9.WithChunk(-1)},
 			want: "WithChunk must be >= 0"},
+		{name: "cache peers without result cache",
+			opts: []art9.Option{art9.WithCachePeers("http://h:1")},
+			want: "WithCachePeers"},
+		{name: "cache bound without result cache",
+			opts: []art9.Option{art9.WithCacheMaxBytes(1 << 20)},
+			want: "WithCacheMaxBytes"},
+		{name: "negative cache bound",
+			opts: []art9.Option{art9.WithResultCache(), art9.WithCacheMaxBytes(-1)},
+			want: "WithCacheMaxBytes must be >= 0"},
 		{name: "autoscale bounds inverted",
 			opts: []art9.Option{art9.WithAutoscale(4, 2)},
 			want: "bounds inverted"},
@@ -117,6 +126,12 @@ func TestNewAcceptsCoherentCombinations(t *testing.T) {
 			opts: []art9.Option{art9.WithAutoscale(1, 2), art9.WithWorkers(1),
 				art9.WithScaleThresholds(0.9, 0.2), art9.WithScaleCooldown(-1),
 				art9.WithScaleInterval(-1)}},
+		{name: "result cache over local pool",
+			opts: []art9.Option{art9.WithResultCache(), art9.WithWorkers(1)}},
+		{name: "tuned result cache over failover fleet",
+			opts: []art9.Option{art9.WithFailover(), art9.WithShards(2), art9.WithWorkers(1),
+				art9.WithResultCache(), art9.WithCacheMaxBytes(1 << 20),
+				art9.WithCachePeers("http://localhost:9")}},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {
