@@ -69,6 +69,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"time"
 
 	art9 "repro"
@@ -99,11 +100,13 @@ func main() {
 	cache := flag.Bool("cache", false, "consult the fleet-wide result cache before evaluating each job (hits replay with worker -1)")
 	cachePeers := flag.String("cache-peers", "", "comma-separated art9-serve base URLs whose /v1/cache tier answers local misses and receives local fills")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "local result-cache bound in bytes (0: 64 MiB)")
+	cacheEpoch := flag.Uint64("cache-epoch", 0, "cache invalidation generation: exchanges with peers on another epoch are standing misses (default: ART9_CACHE_EPOCH, else 0)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
 	standbyURLs := remote.SplitPeerList(*standbyPeers)
 	cachePeerURLs := remote.SplitPeerList(*cachePeers)
+	applyCacheEpochEnv(cacheEpoch, *cache)
 	warn, err := validateFleetFlags(remote.BackendConfig{
 		Shards:             *shards,
 		Peers:              peerURLs,
@@ -121,6 +124,7 @@ func main() {
 		Cache:              *cache,
 		CacheMaxBytes:      *cacheMaxBytes,
 		CachePeers:         cachePeerURLs,
+		CacheEpoch:         *cacheEpoch,
 	})
 	if err != nil {
 		fatal(err)
@@ -168,7 +172,8 @@ func main() {
 	if *cache {
 		opts = append(opts, art9.WithResultCache(),
 			art9.WithCachePeers(cachePeerURLs...),
-			art9.WithCacheMaxBytes(*cacheMaxBytes))
+			art9.WithCacheMaxBytes(*cacheMaxBytes),
+			art9.WithCacheEpoch(*cacheEpoch))
 	}
 	ev, err := art9.New(opts...)
 	if err != nil {
@@ -239,6 +244,28 @@ func emit(dest string, rep bench.Report, indent bool) error {
 		return err
 	}
 	return os.WriteFile(dest, raw, 0o644)
+}
+
+// applyCacheEpochEnv fills the -cache-epoch value from ART9_CACHE_EPOCH
+// when the flag was not set explicitly. The env var is the fleet-wide
+// invalidation lever — export it once and restart every member — so an
+// explicit flag always wins over it, and it is ignored entirely while
+// -cache is off so a site-wide export cannot trip the orphaned-flag
+// rule on cache-less runs. A malformed value is ignored rather than
+// fatal: the epoch degrades to 0, never blocks the batch.
+func applyCacheEpochEnv(epoch *uint64, cacheOn bool) {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == "cache-epoch" })
+	if set || !cacheOn {
+		return
+	}
+	v := os.Getenv("ART9_CACHE_EPOCH")
+	if v == "" {
+		return
+	}
+	if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+		*epoch = n
+	}
 }
 
 // validateFleetFlags applies the shared fleet rules

@@ -96,8 +96,13 @@ func TestValidateFleetFlags(t *testing.T) {
 		{name: "negative cache bound",
 			cfg:     remote.BackendConfig{Cache: true, CacheMaxBytes: -1},
 			wantErr: "-cache-max-bytes must be >= 0"},
+		{name: "cache epoch without cache",
+			cfg:     remote.BackendConfig{CacheEpoch: 7},
+			wantErr: "-cache-epoch"},
 		{name: "cached fleet",
 			cfg: remote.BackendConfig{Cache: true, CachePeers: fakePeers(2), CacheMaxBytes: 1 << 20}},
+		{name: "cached fleet on a bumped epoch",
+			cfg: remote.BackendConfig{Cache: true, CachePeers: fakePeers(2), CacheEpoch: 7}},
 		{name: "cached failover fleet",
 			cfg: remote.BackendConfig{Failover: true, Peers: fakePeers(2), Cache: true}},
 	}

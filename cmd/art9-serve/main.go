@@ -65,6 +65,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"syscall"
 	"time"
 
@@ -94,11 +95,13 @@ func main() {
 	cache := flag.Bool("cache", false, "enable the fleet-wide result cache and the /v1/cache endpoints")
 	cachePeers := flag.String("cache-peers", "", "comma-separated sibling art9-serve base URLs whose /v1/cache tier answers local misses and receives local fills")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "local result-cache bound in bytes (0: 64 MiB)")
+	cacheEpoch := flag.Uint64("cache-epoch", 0, "cache invalidation generation: exchanges with peers on another epoch are standing misses (default: ART9_CACHE_EPOCH, else 0)")
 	flag.Parse()
 
 	peerURLs := remote.SplitPeerList(*peers)
 	standbyURLs := remote.SplitPeerList(*standbyPeers)
 	cachePeerURLs := remote.SplitPeerList(*cachePeers)
+	applyCacheEpochEnv(cacheEpoch, *cache)
 	if *autoscaleMin != 0 || *autoscaleMax != 0 {
 		// The -shards default of 1 only describes the fixed topologies;
 		// an elastic pool owns its shard count, so the untouched default
@@ -126,6 +129,7 @@ func main() {
 		Cache:              *cache,
 		CacheMaxBytes:      *cacheMaxBytes,
 		CachePeers:         cachePeerURLs,
+		CacheEpoch:         *cacheEpoch,
 	})
 	if err != nil {
 		fatal(err)
@@ -152,6 +156,7 @@ func main() {
 		Cache:              *cache,
 		CacheMaxBytes:      *cacheMaxBytes,
 		CachePeers:         cachePeerURLs,
+		CacheEpoch:         *cacheEpoch,
 	})
 	if err != nil {
 		fatal(err)
@@ -184,6 +189,28 @@ func main() {
 	}
 	srv.Close() // handlers are done submitting; drain the engines
 	fmt.Fprintln(os.Stderr, "art9-serve: stopped")
+}
+
+// applyCacheEpochEnv fills the -cache-epoch value from ART9_CACHE_EPOCH
+// when the flag was not set explicitly. The env var is the fleet-wide
+// invalidation lever — export it once and restart every member — so an
+// explicit flag always wins over it, and it is ignored entirely while
+// -cache is off so a site-wide export cannot trip the orphaned-flag
+// rule on cache-less instances. A malformed value is ignored rather
+// than fatal: the epoch degrades to 0, never blocks startup.
+func applyCacheEpochEnv(epoch *uint64, cacheOn bool) {
+	set := false
+	flag.Visit(func(f *flag.Flag) { set = set || f.Name == "cache-epoch" })
+	if set || !cacheOn {
+		return
+	}
+	v := os.Getenv("ART9_CACHE_EPOCH")
+	if v == "" {
+		return
+	}
+	if n, err := strconv.ParseUint(v, 10, 64); err == nil {
+		*epoch = n
+	}
 }
 
 // validateFleetFlags applies the shared fleet rules

@@ -5,6 +5,9 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/engine"
@@ -186,18 +189,56 @@ func (m *Manifest) ResolveTechnologies() ([]*gate.Technology, error) {
 	return Technologies(m.Technologies)
 }
 
+// techModels is the technology registry: name → model constructor.
+// The built-ins are the paper's two implementation targets; tests (and,
+// eventually, pluggable scenario models) swap entries via
+// RegisterTechnology. Guarded by techModelsMu because the dispatch
+// path resolves names concurrently.
+var (
+	techModelsMu sync.RWMutex
+	techModels   = map[string]func() *gate.Technology{
+		"cntfet32": gate.CNTFET32,
+		"stratixv": gate.StratixVEmulation,
+	}
+)
+
+// RegisterTechnology binds name to a model constructor, replacing any
+// previous binding, and returns a function restoring the prior state.
+// This is how a test edits the technology table between runs — the
+// result cache must key on the model's content (Fingerprint), so the
+// edit must produce misses, never stale hits.
+func RegisterTechnology(name string, build func() *gate.Technology) (restore func()) {
+	techModelsMu.Lock()
+	prev, had := techModels[name]
+	techModels[name] = build
+	techModelsMu.Unlock()
+	return func() {
+		techModelsMu.Lock()
+		if had {
+			techModels[name] = prev
+		} else {
+			delete(techModels, name)
+		}
+		techModelsMu.Unlock()
+	}
+}
+
 // Technologies maps technology names to their models.
 func Technologies(names []string) ([]*gate.Technology, error) {
+	techModelsMu.RLock()
+	defer techModelsMu.RUnlock()
 	var techs []*gate.Technology
 	for _, n := range names {
-		switch n {
-		case "cntfet32":
-			techs = append(techs, gate.CNTFET32())
-		case "stratixv":
-			techs = append(techs, gate.StratixVEmulation())
-		default:
-			return nil, fmt.Errorf("unknown technology %q (want cntfet32 or stratixv)", n)
+		build, ok := techModels[n]
+		if !ok {
+			known := make([]string, 0, len(techModels))
+			for k := range techModels {
+				known = append(known, k)
+			}
+			sort.Strings(known)
+			return nil, fmt.Errorf("unknown technology %q (want %s)", n, strings.Join(known, " or "))
 		}
+		techs = append(techs, build())
 	}
 	return techs, nil
 }

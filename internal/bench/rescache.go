@@ -3,11 +3,14 @@ package bench
 import (
 	"context"
 	"encoding/json"
+	"io"
 	"strconv"
-	"strings"
+	"sync/atomic"
 
 	"repro/internal/engine"
+	"repro/internal/gate"
 	"repro/internal/rescache"
+	"repro/internal/sim"
 )
 
 // This file is the codec between the dispatch path and the fleet-wide
@@ -20,10 +23,12 @@ import (
 
 // ResultCache adapts a rescache store to engine.ResultCache: it keys
 // entries by the job's content-addressed identity (program source
-// text, iterations, technology names — never the display name, path,
-// or timeout) and encodes results as normalized report rows.
+// text, iterations, technology content fingerprints — never the
+// display name, path, or timeout) and encodes results as normalized
+// report rows.
 type ResultCache struct {
-	store rescache.Cache
+	store   rescache.Cache
+	corrupt atomic.Uint64
 }
 
 var _ engine.ResultCache = (*ResultCache)(nil)
@@ -34,13 +39,29 @@ func NewResultCache(store rescache.Cache) *ResultCache {
 	return &ResultCache{store: store}
 }
 
-// Stats exposes the underlying tier's counters for reports.
-func (c *ResultCache) Stats() rescache.Stats { return c.store.Stats() }
+// Stats exposes the underlying tier's counters for reports, folding in
+// the codec-level corrupt-entry count only this adapter can observe.
+func (c *ResultCache) Stats() rescache.Stats {
+	st := c.store.Stats()
+	st.Corrupt = c.corrupt.Load()
+	return st
+}
+
+// Close releases the underlying store if it holds resources — a Tiered
+// store drains its write-behind peer fills here. Fronts call it from
+// their own Close, so a short batch run still seeds the fleet.
+func (c *ResultCache) Close() error {
+	if cl, ok := c.store.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
+}
 
 // Lookup answers a job spec from the cache. Only specs the key
 // derivation can address hit; an entry that fails to decode (or was
-// somehow stored non-OK) is treated as a miss, so a corrupt cache
-// degrades to computing.
+// somehow stored non-OK) is treated as a miss AND deleted from the
+// store — left in place it would re-fail on every future lookup — and
+// counted in Stats().Corrupt.
 func (c *ResultCache) Lookup(ctx context.Context, spec any) (any, bool) {
 	key, ok := resultKey(jobSpecOf(spec))
 	if !ok {
@@ -52,6 +73,10 @@ func (c *ResultCache) Lookup(ctx context.Context, spec any) (any, bool) {
 	}
 	var jr JobReport
 	if err := json.Unmarshal(raw, &jr); err != nil || !jr.OK {
+		c.corrupt.Add(1)
+		if d, ok := c.store.(rescache.Deleter); ok {
+			d.Delete(ctx, key)
+		}
 		return nil, false
 	}
 	return &jr, true
@@ -93,11 +118,20 @@ func jobSpecOf(spec any) *JobSpec {
 
 // resultKey derives the content-addressed cache key for a job spec.
 // Only the fields that determine the computation participate: the
-// program (a built-in workload name or inline source — file jobs are
-// refused, a path is not content), the iteration count, and the
-// technology list in request order (it orders the implementations
-// row). Name and TimeoutMS are display/placement concerns and are
-// excluded, so renamed or re-bounded jobs still hit.
+// simulator semantics version, the program (a built-in workload name
+// or inline source — file jobs are refused, a path is not content),
+// the iteration count, and each requested technology as its own
+// name+fingerprint part pair (request order orders the implementations
+// row; the fingerprint covers every timing/energy/area number, so an
+// edited table can never replay a stale row). Name and TimeoutMS are
+// display/placement concerns and are excluded, so renamed or
+// re-bounded jobs still hit.
+//
+// Passing each technology as its own KeyOf part matters: the parts are
+// length-prefixed, so ["a\x00b"] and ["a","b"] — which a joined list
+// part would collapse — derive distinct keys. A technology name the
+// registry doesn't know makes the spec uncacheable rather than keying
+// on an unresolvable name.
 func resultKey(s *JobSpec) (string, bool) {
 	if s == nil {
 		return "", false
@@ -106,13 +140,22 @@ func resultKey(s *JobSpec) (string, bool) {
 	if j.File != "" || (j.Workload == "" && j.Source == "") {
 		return "", false
 	}
-	return rescache.KeyOf(
-		"art9/result/v1",
+	techs, err := Technologies(s.Technologies)
+	if err != nil {
+		return "", false
+	}
+	parts := make([]string, 0, 5+2*len(techs))
+	parts = append(parts,
+		"art9/result/v2",
+		sim.SemanticsVersion,
 		j.Workload,
 		j.Source,
 		strconv.Itoa(j.Iterations),
-		strings.Join(s.Technologies, "\x00"),
-	), true
+	)
+	for i, tech := range techs {
+		parts = append(parts, s.Technologies[i], tech.Fingerprint())
+	}
+	return rescache.KeyOf(parts...), true
 }
 
 // cacheRowOf renders one successful result value as the canonical
@@ -166,22 +209,41 @@ type ResultCacheReport struct {
 	// Coalesced counts lookups that piggybacked on an identical
 	// in-flight peer lookup — the singleflight guard at work.
 	Coalesced uint64 `json:"coalesced,omitempty"`
+	// Epoch is the tier's invalidation generation; ModelDigest names
+	// the compiled-in technology tables, so two fleet members with
+	// different digests were built from different numbers.
+	Epoch       uint64 `json:"epoch"`
+	ModelDigest string `json:"model_digest,omitempty"`
+	// Write-behind queue state: fills waiting, fills discarded (full
+	// queue or cut-short drain), and exchanges refused over an epoch
+	// disagreement.
+	FillQueue    int    `json:"fill_queue,omitempty"`
+	FillsDropped uint64 `json:"fills_dropped,omitempty"`
+	EpochRejects uint64 `json:"epoch_rejects,omitempty"`
+	// Corrupt counts entries that failed to decode and were evicted.
+	Corrupt uint64 `json:"corrupt,omitempty"`
 }
 
 // ResultCacheReportFrom renders a store snapshot as a report section.
 func ResultCacheReportFrom(st rescache.Stats) *ResultCacheReport {
 	return &ResultCacheReport{
-		Hits:       st.Hits,
-		Misses:     st.Misses,
-		Puts:       st.Puts,
-		Evictions:  st.Evictions,
-		Entries:    st.Entries,
-		Bytes:      st.Bytes,
-		MaxBytes:   st.MaxBytes,
-		PeerHits:   st.PeerHits,
-		PeerMisses: st.PeerMisses,
-		PeerErrors: st.PeerErrors,
-		Coalesced:  st.Coalesced,
+		Hits:         st.Hits,
+		Misses:       st.Misses,
+		Puts:         st.Puts,
+		Evictions:    st.Evictions,
+		Entries:      st.Entries,
+		Bytes:        st.Bytes,
+		MaxBytes:     st.MaxBytes,
+		PeerHits:     st.PeerHits,
+		PeerMisses:   st.PeerMisses,
+		PeerErrors:   st.PeerErrors,
+		Coalesced:    st.Coalesced,
+		Epoch:        st.Epoch,
+		ModelDigest:  gate.ModelDigest(),
+		FillQueue:    st.FillQueue,
+		FillsDropped: st.FillsDropped,
+		EpochRejects: st.EpochRejects,
+		Corrupt:      st.Corrupt,
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"repro/internal/engine"
+	"repro/internal/gate"
 	"repro/internal/rescache"
 	"repro/internal/xlate"
 )
@@ -128,6 +129,74 @@ func TestResultCacheKeying(t *testing.T) {
 	if _, ok := resultKey(nil); ok {
 		t.Error("nil spec keyed")
 	}
+
+	// An unresolvable technology name makes the spec uncacheable — the
+	// key covers model content, and there is no model to fingerprint.
+	unknown := *base
+	unknown.Technologies = []string{"no-such-tech"}
+	if _, ok := resultKey(&unknown); ok {
+		t.Error("spec with unknown technology keyed")
+	}
+}
+
+// TestResultKeyTechnologyListCollision is the regression test for the
+// \x00-join bug: ["a\x00b"] and ["a","b"] collapsed into one joined
+// key part and collided. Each technology is now its own
+// length-prefixed part pair, so the two lists must derive distinct
+// keys.
+func TestResultKeyTechnologyListCollision(t *testing.T) {
+	for _, name := range []string{"a", "b", "a\x00b"} {
+		t.Cleanup(RegisterTechnology(name, gate.CNTFET32))
+	}
+	spec := func(techs ...string) *JobSpec {
+		return &JobSpec{
+			Job:          ManifestJob{Source: "LDI T1, 1\nHALT", Iterations: 1},
+			Technologies: techs,
+		}
+	}
+	joined, ok1 := resultKey(spec("a\x00b"))
+	split, ok2 := resultKey(spec("a", "b"))
+	if !ok1 || !ok2 {
+		t.Fatal("collision specs did not key")
+	}
+	if joined == split {
+		t.Fatal(`["a\x00b"] and ["a","b"] derive the same key`)
+	}
+}
+
+// TestResultKeyCoversTechnologyContent pins the tentpole: editing one
+// number in a technology table — here a single cell DelayPs — must
+// change every key derived under that technology's name, so a stale
+// row can never replay as a hit.
+func TestResultKeyCoversTechnologyContent(t *testing.T) {
+	spec := &JobSpec{
+		Job:          ManifestJob{Source: "LDI T1, 1\nHALT", Iterations: 1},
+		Technologies: []string{"cntfet32"},
+	}
+	before, ok := resultKey(spec)
+	if !ok {
+		t.Fatal("spec did not key")
+	}
+	restore := RegisterTechnology("cntfet32", func() *gate.Technology {
+		tech := gate.CNTFET32()
+		props := make(map[gate.CellKind]gate.CellProps, len(tech.Props))
+		for k, v := range tech.Props {
+			props[k] = v
+		}
+		p := props[gate.TFA]
+		p.DelayPs++
+		props[gate.TFA] = p
+		tech.Props = props
+		return tech
+	})
+	defer restore()
+	after, ok := resultKey(spec)
+	if !ok {
+		t.Fatal("edited spec did not key")
+	}
+	if before == after {
+		t.Fatal("editing a DelayPs did not change the result key")
+	}
 }
 
 func TestResultCacheRejectsCorruptAndFailedEntries(t *testing.T) {
@@ -136,11 +205,32 @@ func TestResultCacheRejectsCorruptAndFailedEntries(t *testing.T) {
 	ctx := context.Background()
 	spec := &JobSpec{Job: ManifestJob{Source: "LDI T1, 1\nHALT", Iterations: 1}}
 
-	// Corrupt bytes under the right key degrade to a miss.
+	// Corrupt bytes under the right key degrade to a miss, are counted,
+	// and are evicted on first read — left in place they would re-fail
+	// on every lookup forever.
 	key, _ := resultKey(spec)
 	store.Put(ctx, key, []byte("not json"))
 	if _, ok := cache.Lookup(ctx, spec); ok {
 		t.Fatal("corrupt entry answered a lookup")
+	}
+	if _, ok := store.Get(ctx, key); ok {
+		t.Fatal("corrupt entry survived its first read")
+	}
+	if got := cache.Stats().Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+
+	// A stored-but-not-OK row is corrupt too: evicted and counted.
+	raw, _ := json.Marshal(&JobReport{OK: false})
+	store.Put(ctx, key, raw)
+	if _, ok := cache.Lookup(ctx, spec); ok {
+		t.Fatal("non-OK entry answered a lookup")
+	}
+	if _, ok := store.Get(ctx, key); ok {
+		t.Fatal("non-OK entry survived its first read")
+	}
+	if got := cache.Stats().Corrupt; got != 2 {
+		t.Fatalf("Corrupt = %d, want 2", got)
 	}
 
 	// Failed rows are refused at store time.

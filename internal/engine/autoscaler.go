@@ -627,8 +627,11 @@ func (a *Autoscaler) Probe(context.Context) error {
 }
 
 // Close stops the scale loop, wakes every waiter (their jobs resolve
-// with ErrClosed), waits for retirement drains, and closes every member
-// concurrently, joining their errors. Idempotent.
+// with ErrClosed), waits for retirement drains, closes every member
+// concurrently, and releases the attached result cache last (a tier
+// drains its queued peer fills there), joining every error. Idempotent.
+// Scale-down retirements never touch the cache: it is attached to the
+// front, not to the members.
 func (a *Autoscaler) Close() error {
 	var err error
 	a.stopOnce.Do(func() {
@@ -640,7 +643,7 @@ func (a *Autoscaler) Close() error {
 		close(a.stop)
 		a.cond.Broadcast()
 		a.drains.Wait()
-		errs := make([]error, len(members))
+		errs := make([]error, len(members), len(members)+1)
 		var wg sync.WaitGroup
 		for i, m := range members {
 			wg.Add(1)
@@ -650,6 +653,7 @@ func (a *Autoscaler) Close() error {
 			}(i, m.ev)
 		}
 		wg.Wait()
+		errs = append(errs, closeResultCache(a.cache))
 		err = errors.Join(errs...)
 	})
 	return err

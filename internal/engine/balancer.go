@@ -400,8 +400,9 @@ func (b *Balancer) Stats() Stats {
 func (b *Balancer) BackendStats() []Stats { return BackendStats(b) }
 
 // Close stops the health loop, wakes every dispatch waiting for a slot
-// (they resolve their jobs with ErrClosed), and closes every backend
-// concurrently, joining their errors. Idempotent.
+// (they resolve their jobs with ErrClosed), closes every backend
+// concurrently, and releases the attached result cache last (a tier
+// drains its queued peer fills there), joining every error. Idempotent.
 func (b *Balancer) Close() error {
 	var err error
 	b.stopOnce.Do(func() {
@@ -410,7 +411,7 @@ func (b *Balancer) Close() error {
 		b.mu.Unlock()
 		close(b.stop)
 		b.cond.Broadcast()
-		errs := make([]error, len(b.members))
+		errs := make([]error, len(b.members), len(b.members)+1)
 		var wg sync.WaitGroup
 		for i, m := range b.members {
 			wg.Add(1)
@@ -420,6 +421,7 @@ func (b *Balancer) Close() error {
 			}(i, m.ev)
 		}
 		wg.Wait()
+		errs = append(errs, closeResultCache(b.cache))
 		err = errors.Join(errs...)
 	})
 	return err

@@ -2,8 +2,6 @@ package engine
 
 import (
 	"container/list"
-	"fmt"
-	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -234,7 +232,7 @@ func NewAnalysisCacheSized(maxEntries int, maxBytes int64) *AnalysisCache {
 // the netlist and running the analyzer on first use. netlistKey must
 // uniquely name what build() constructs.
 func (c *AnalysisCache) Analyze(netlistKey string, build func() *gate.Netlist, tech *gate.Technology) *gate.Analysis {
-	key := netlistKey + "\x00" + techFingerprint(tech)
+	key := netlistKey + "\x00" + tech.Fingerprint()
 	c.mu.Lock()
 	e, ok := c.idx.get(key)
 	if !ok {
@@ -267,22 +265,6 @@ func (c *AnalysisCache) Purge() {
 	c.mu.Lock()
 	c.idx.purge()
 	c.mu.Unlock()
-}
-
-// techFingerprint derives a content key from every field the analyzer
-// reads, so two Technology values that would analyze identically share a
-// cache entry and a modified copy (even under the same Name) does not.
-func techFingerprint(t *gate.Technology) string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "%s|%g|%g|%g|%g|%g|%g|%g|%g",
-		t.Name, t.ClkQPs, t.SetupPs, t.Activity, t.StaticW, t.IOW,
-		t.MemReadEnergyFJ, t.MemWriteEnergyFJ, t.MemLeakageNWPerTrit)
-	for k := gate.CellKind(0); k < gate.NumCellKinds; k++ {
-		if p, ok := t.Props[k]; ok {
-			fmt.Fprintf(&b, "|%d:%g,%g,%g,%g", k, p.DelayPs, p.EnergyFJ, p.LeakNW, p.ALMs)
-		}
-	}
-	return b.String()
 }
 
 // The ART-9 pipelined-core netlist is immutable once built and the

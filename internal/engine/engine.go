@@ -234,10 +234,12 @@ func (e *Engine) Capacity(context.Context) (Capacity, error) {
 // drain jobs already sitting in the dispatch queue before exiting; any
 // task still undispatched when the pool is gone — plus everything
 // submitted afterwards — resolves with ErrClosed. Every Submit channel
-// resolves exactly once; Close never strands a waiter. Idempotent, and
-// always returns nil — the error is the Evaluator interface's, for
-// backends whose teardown can fail.
+// resolves exactly once; Close never strands a waiter. Idempotent. An
+// attached result cache is released last (a tier drains its queued
+// peer fills there), and its close verdict is the only error Close can
+// return.
 func (e *Engine) Close() error {
+	var err error
 	e.once.Do(func() {
 		e.mu.Lock()
 		e.closed = true
@@ -249,17 +251,19 @@ func (e *Engine) Close() error {
 		// final and the sweep below sound.
 		e.submitters.Wait()
 		e.wg.Wait()
+	sweep:
 		for {
 			select {
 			case t := <-e.jobs:
 				e.rejected.Add(1)
 				t.done <- Result{ID: t.job.ID, Err: ErrClosed, Worker: -1}
 			default:
-				return
+				break sweep
 			}
 		}
+		err = closeResultCache(e.cache)
 	})
-	return nil
+	return err
 }
 
 // Stats returns a snapshot of the lifetime counters.

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"context"
+	"io"
 	"sync"
 )
 
@@ -197,6 +198,19 @@ type ResultCache interface {
 // tier's counters without knowing the topology.
 type ResultCached interface {
 	ResultCache() ResultCache
+}
+
+// closeResultCache releases a result cache attached to a front, when
+// it holds resources to release — a tiered store drains its queued
+// write-behind peer fills here, which is what lets a short-lived batch
+// run still seed the fleet before exit. Safe on nil and on caches
+// without teardown; safe to call from several fronts sharing one
+// adapter (the tier's own Close is idempotent).
+func closeResultCache(c ResultCache) error {
+	if cl, ok := c.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
 }
 
 // ResultCacheOf walks ev for the result cache consulted on its

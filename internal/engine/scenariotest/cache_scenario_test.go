@@ -127,7 +127,10 @@ func TestScenarioCachePeerDiesMidSuite(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	dying := &dyingCachePeer{inner: backendPeer.Handler(), healthy: 2}
+	// A budget of one: the cold run's first peer lookup succeeds, and
+	// everything after — including the write-behind fill flushes, which
+	// batch into far fewer requests than there are jobs — is severed.
+	dying := &dyingCachePeer{inner: backendPeer.Handler(), healthy: 1}
 	ts := httptest.NewServer(dying)
 	t.Cleanup(func() {
 		ts.Close()
@@ -156,9 +159,6 @@ func TestScenarioCachePeerDiesMidSuite(t *testing.T) {
 		t.Fatal("no result cache reachable from the topology")
 	}
 	st := adapter.Stats()
-	if st.PeerErrors == 0 {
-		t.Errorf("cache stats %+v: the dying peer never surfaced as PeerErrors", st)
-	}
 
 	// The tier stays usable after the peer's death: a warm re-run
 	// answers from the local store, still byte-identical.
@@ -172,6 +172,17 @@ func TestScenarioCachePeerDiesMidSuite(t *testing.T) {
 	}
 	if after := adapter.Stats(); after.Hits <= st.Hits {
 		t.Errorf("warm run after peer death never hit the local store: %+v -> %+v", st, after)
+	}
+
+	// Peer fills are write-behind, so the transport failures against
+	// the severed peer are only guaranteed visible once Close drains
+	// the queue. The drain itself must not error: a dead peer degrades,
+	// never fails.
+	if err := ev.Close(); err != nil {
+		t.Fatalf("Close with a dead cache peer: %v", err)
+	}
+	if after := adapter.Stats(); after.PeerErrors == 0 {
+		t.Errorf("cache stats %+v: the dying peer never surfaced as PeerErrors", after)
 	}
 }
 

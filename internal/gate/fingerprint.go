@@ -1,0 +1,96 @@
+package gate
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"io"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// This file gives every Technology a canonical content identity. The
+// fleet-wide result cache (internal/rescache via internal/bench) folds
+// these digests into its keys, so an edited timing/energy table — the
+// very numbers the Tables II–V evaluation exists to produce — can never
+// replay a stale metric as a cache hit, and the engine's analysis
+// memoization distinguishes two models that merely share a Name.
+
+// fingerprintVersion names the serialization layout below. Bump it when
+// Technology gains a field or the rendering changes, so digests from
+// different layouts can never collide.
+const fingerprintVersion = "art9-tech/v1"
+
+// Fingerprint returns a stable content digest of the technology model:
+// every delay, energy, area and memory field the analyzer and the
+// power/timing estimators read, serialized in a fixed field order and
+// hashed. Two Technology values with identical tables share a
+// fingerprint; changing any single number — one cell's DelayPs, a
+// leakage, a memory energy — changes it.
+func (t *Technology) Fingerprint() string {
+	h := sha256.New()
+	io.WriteString(h, t.canonical())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// canonical renders the serialization behind Fingerprint: the version
+// tag, the scalar fields in declaration order, then each present cell
+// kind in numeric order with its four properties. Floats render with
+// strconv's shortest round-trippable form, so the text is identical
+// across platforms for identical values; absent cell kinds are omitted
+// (the kind index prefixes each group, so absence cannot be confused
+// with zero-valued presence).
+func (t *Technology) canonical() string {
+	var b strings.Builder
+	f := func(v float64) {
+		b.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+		b.WriteByte('|')
+	}
+	b.WriteString(fingerprintVersion)
+	b.WriteByte('|')
+	b.WriteString(t.Name)
+	b.WriteByte('|')
+	f(t.ClkQPs)
+	f(t.SetupPs)
+	f(t.Activity)
+	f(t.StaticW)
+	f(t.IOW)
+	f(t.MemReadEnergyFJ)
+	f(t.MemWriteEnergyFJ)
+	f(t.MemLeakageNWPerTrit)
+	for k := CellKind(0); k < NumCellKinds; k++ {
+		p, ok := t.Props[k]
+		if !ok {
+			continue
+		}
+		b.WriteString(strconv.Itoa(int(k)))
+		b.WriteByte(':')
+		f(p.DelayPs)
+		f(p.EnergyFJ)
+		f(p.LeakNW)
+		f(p.ALMs)
+	}
+	return b.String()
+}
+
+var modelDigest struct {
+	once sync.Once
+	hex  string
+}
+
+// ModelDigest returns one digest covering every built-in technology
+// model — the package-level version of Fingerprint, memoized. It names
+// the compiled-in state of the gate-level timing/energy tables;
+// /v1/stats and BENCH reports surface it so operators can tell at a
+// glance whether two fleet members were built from the same tables.
+func ModelDigest() string {
+	modelDigest.once.Do(func() {
+		h := sha256.New()
+		for _, t := range []*Technology{CNTFET32(), StratixVEmulation()} {
+			io.WriteString(h, t.canonical())
+			h.Write([]byte{0})
+		}
+		modelDigest.hex = hex.EncodeToString(h.Sum(nil))
+	})
+	return modelDigest.hex
+}

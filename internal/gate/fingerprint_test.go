@@ -1,0 +1,117 @@
+package gate
+
+import (
+	"regexp"
+	"testing"
+)
+
+// TestFingerprintStable pins determinism and shape: the digest is a
+// 64-hex sha256, identical across calls and across independently
+// constructed copies of the same model.
+func TestFingerprintStable(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		build func() *Technology
+	}{
+		{"cntfet32", CNTFET32},
+		{"stratixv", StratixVEmulation},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			a, b := tc.build().Fingerprint(), tc.build().Fingerprint()
+			if a != b {
+				t.Fatalf("fingerprint unstable: %s != %s", a, b)
+			}
+			if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(a) {
+				t.Fatalf("fingerprint %q is not a sha256 hex digest", a)
+			}
+		})
+	}
+	if CNTFET32().Fingerprint() == StratixVEmulation().Fingerprint() {
+		t.Fatal("distinct technologies share a fingerprint")
+	}
+}
+
+// TestFingerprintFieldSensitivity flips each field class once and
+// asserts the digest moves — the property the result cache's
+// invalidation contract rests on.
+func TestFingerprintFieldSensitivity(t *testing.T) {
+	base := CNTFET32().Fingerprint()
+	for _, tc := range []struct {
+		name string
+		edit func(*Technology)
+	}{
+		{"name", func(t *Technology) { t.Name = "CNTFET-32nm-edited" }},
+		{"cell-delay", func(t *Technology) {
+			p := t.Props[TFA]
+			p.DelayPs++
+			t.Props[TFA] = p
+		}},
+		{"cell-energy", func(t *Technology) {
+			p := t.Props[TXOR]
+			p.EnergyFJ += 0.01
+			t.Props[TXOR] = p
+		}},
+		{"cell-leakage", func(t *Technology) {
+			p := t.Props[TNAND]
+			p.LeakNW += 0.1
+			t.Props[TNAND] = p
+		}},
+		{"cell-alms", func(t *Technology) {
+			p := t.Props[STI]
+			p.ALMs += 0.5
+			t.Props[STI] = p
+		}},
+		{"clkq", func(t *Technology) { t.ClkQPs++ }},
+		{"setup", func(t *Technology) { t.SetupPs++ }},
+		{"activity", func(t *Technology) { t.Activity += 0.01 }},
+		{"static-w", func(t *Technology) { t.StaticW += 0.01 }},
+		{"io-w", func(t *Technology) { t.IOW += 0.01 }},
+		{"mem-read", func(t *Technology) { t.MemReadEnergyFJ++ }},
+		{"mem-write", func(t *Technology) { t.MemWriteEnergyFJ++ }},
+		{"mem-leak", func(t *Technology) { t.MemLeakageNWPerTrit += 0.1 }},
+		{"drop-cell", func(t *Technology) { delete(t.Props, TBUF) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			edited := CNTFET32()
+			// Copy the props map so the edit cannot alias another case.
+			props := make(map[CellKind]CellProps, len(edited.Props))
+			for k, v := range edited.Props {
+				props[k] = v
+			}
+			edited.Props = props
+			tc.edit(edited)
+			if got := edited.Fingerprint(); got == base {
+				t.Fatalf("editing %s did not change the fingerprint", tc.name)
+			}
+		})
+	}
+}
+
+// TestFingerprintDistinguishesAbsentFromZero pins the presence
+// encoding: a cell kind with all-zero properties is not the same model
+// as one missing that kind entirely.
+func TestFingerprintDistinguishesAbsentFromZero(t *testing.T) {
+	absent := CNTFET32()
+	delete(absent.Props, TBUF)
+	zero := CNTFET32()
+	zero.Props[TBUF] = CellProps{}
+	if absent.Fingerprint() == zero.Fingerprint() {
+		t.Fatal("absent cell kind and zero-valued cell kind share a fingerprint")
+	}
+}
+
+// TestModelDigest pins the package digest: stable, hex, memoized, and
+// derived from the built-in models (so it differs from any single
+// model's own fingerprint).
+func TestModelDigest(t *testing.T) {
+	d := ModelDigest()
+	if d != ModelDigest() {
+		t.Fatal("ModelDigest unstable across calls")
+	}
+	if !regexp.MustCompile(`^[0-9a-f]{64}$`).MatchString(d) {
+		t.Fatalf("ModelDigest %q is not a sha256 hex digest", d)
+	}
+	if d == CNTFET32().Fingerprint() || d == StratixVEmulation().Fingerprint() {
+		t.Fatal("ModelDigest collides with a single model fingerprint")
+	}
+}

@@ -18,14 +18,21 @@ import (
 
 // The /v1/cache wire protocol between serve instances:
 //
-//	POST /v1/cache/lookup  {"keys":["<hex>", ...]}
-//	  -> NDJSON rows {"key":"<hex>","found":true,"value":{...}}
-//	POST /v1/cache/fill    {"entries":[{"key":"<hex>","value":{...}}, ...]}
-//	  -> {"stored":N}
+//	POST /v1/cache/lookup  {"keys":["<hex>", ...], "epoch":E}
+//	  -> NDJSON rows {"key":"<hex>","found":true,"value":{...},"epoch":E}
+//	POST /v1/cache/fill    {"entries":[{"key":"<hex>","value":{...}}, ...], "epoch":E}
+//	  -> {"stored":N,"rejected":M,"epoch":E}
 //
 // Both sides cap a request at maxCacheKeysPerRequest keys/entries and a
 // value at maxRow bytes; a peer answers lookups from its LOCAL store
 // only, so two peers pointed at each other cannot loop a miss.
+//
+// Every exchange carries the sender's cache epoch and every reply row
+// the server's. A disagreement — including against a peer predating
+// the field, whose epoch reads as 0 — is a standing miss on lookup and
+// a rejected entry on fill, never an error, so a mixed-epoch (or
+// mixed-version) fleet degrades to computing instead of replaying
+// another generation's rows.
 const maxCacheKeysPerRequest = 256
 
 // cacheOpTimeout bounds one cache round-trip. The cache is an
@@ -35,16 +42,19 @@ const cacheOpTimeout = 2 * time.Second
 
 // cacheLookupRequest is the body of POST /v1/cache/lookup.
 type cacheLookupRequest struct {
-	Keys []string `json:"keys"`
+	Keys  []string `json:"keys"`
+	Epoch uint64   `json:"epoch,omitempty"`
 }
 
 // cacheRow is one NDJSON reply row of /v1/cache/lookup. Value is kept
 // raw: the cache stores opaque bytes and only internal/bench knows the
-// row codec.
+// row codec. Epoch is the answering server's generation; a found row
+// from another epoch is discarded client-side.
 type cacheRow struct {
 	Key   string          `json:"key"`
 	Found bool            `json:"found"`
 	Value json.RawMessage `json:"value,omitempty"`
+	Epoch uint64          `json:"epoch,omitempty"`
 }
 
 // cacheFillEntry is one entry of POST /v1/cache/fill.
@@ -56,11 +66,15 @@ type cacheFillEntry struct {
 // cacheFillRequest is the body of POST /v1/cache/fill.
 type cacheFillRequest struct {
 	Entries []cacheFillEntry `json:"entries"`
+	Epoch   uint64           `json:"epoch,omitempty"`
 }
 
-// cacheFillReply acknowledges a fill with the number of entries stored.
+// cacheFillReply acknowledges a fill: entries stored, entries refused
+// over an epoch disagreement, and the server's own epoch.
 type cacheFillReply struct {
-	Stored int `json:"stored"`
+	Stored   int    `json:"stored"`
+	Rejected int    `json:"rejected,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // scanCacheRows consumes the NDJSON reply of /v1/cache/lookup, invoking
@@ -96,18 +110,30 @@ type CacheClient struct {
 	base    string
 	hc      *http.Client
 	timeout time.Duration
+	epoch   uint64
 
-	peerHits   atomic.Uint64
-	peerMisses atomic.Uint64
-	peerErrors atomic.Uint64
+	peerHits     atomic.Uint64
+	peerMisses   atomic.Uint64
+	peerErrors   atomic.Uint64
+	epochRejects atomic.Uint64
 }
 
-var _ rescache.Cache = (*CacheClient)(nil)
+var (
+	_ rescache.Cache       = (*CacheClient)(nil)
+	_ rescache.BatchFiller = (*CacheClient)(nil)
+)
 
-// NewCacheClient builds a cache client for one art9-serve base URL,
-// validated eagerly like New so a misconfigured fleet fails at
-// construction, not at the first lookup.
+// NewCacheClient builds a cache client for one art9-serve base URL at
+// epoch 0, validated eagerly like New so a misconfigured fleet fails
+// at construction, not at the first lookup.
 func NewCacheClient(baseURL string) (*CacheClient, error) {
+	return NewCacheClientWith(baseURL, 0)
+}
+
+// NewCacheClientWith builds a cache client pinned to one cache epoch:
+// every exchange is stamped with it and every reply row from a
+// different epoch is discarded as a standing miss.
+func NewCacheClientWith(baseURL string, epoch uint64) (*CacheClient, error) {
 	u, err := url.Parse(strings.TrimSpace(baseURL))
 	if err != nil {
 		return nil, fmt.Errorf("remote: cache peer url %q: %w", baseURL, err)
@@ -122,6 +148,7 @@ func NewCacheClient(baseURL string) (*CacheClient, error) {
 		base:    strings.TrimRight(u.String(), "/"),
 		hc:      &http.Client{},
 		timeout: cacheOpTimeout,
+		epoch:   epoch,
 	}, nil
 }
 
@@ -131,7 +158,7 @@ func (c *CacheClient) Peer() string { return c.base }
 // Get looks key up on the peer. Any transport or protocol failure
 // degrades to a miss.
 func (c *CacheClient) Get(ctx context.Context, key string) ([]byte, bool) {
-	body, err := json.Marshal(cacheLookupRequest{Keys: []string{key}})
+	body, err := json.Marshal(cacheLookupRequest{Keys: []string{key}, Epoch: c.epoch})
 	if err != nil {
 		c.peerErrors.Add(1)
 		return nil, false
@@ -155,9 +182,16 @@ func (c *CacheClient) Get(ctx context.Context, key string) ([]byte, bool) {
 		return nil, false
 	}
 	var val []byte
-	found := false
+	found, rejected := false, false
 	err = scanCacheRows(io.LimitReader(resp.Body, maxRow+1), func(r cacheRow) bool {
 		if r.Key == key && r.Found && len(r.Value) > 0 {
+			// A found row from another generation — including a
+			// pre-epoch peer, whose rows read as epoch 0 — is a
+			// standing miss: never replay across epochs.
+			if r.Epoch != c.epoch {
+				rejected = true
+				return false
+			}
 			val = append([]byte(nil), r.Value...)
 			found = true
 			return false
@@ -166,6 +200,11 @@ func (c *CacheClient) Get(ctx context.Context, key string) ([]byte, bool) {
 	})
 	if err != nil {
 		c.peerErrors.Add(1)
+		return nil, false
+	}
+	if rejected {
+		c.epochRejects.Add(1)
+		c.peerMisses.Add(1)
 		return nil, false
 	}
 	if !found {
@@ -180,12 +219,35 @@ func (c *CacheClient) Get(ctx context.Context, key string) ([]byte, bool) {
 // JSON are dropped (the wire carries JSON rows), as is anything over
 // the per-row bound.
 func (c *CacheClient) Put(ctx context.Context, key string, val []byte) {
-	if len(val) == 0 || len(val) > maxRow || !json.Valid(val) {
-		return
+	c.PutBatch(ctx, []rescache.Entry{{Key: key, Val: val}})
+}
+
+// PutBatch fills many entries in as few wire rounds as possible — one
+// POST per maxCacheKeysPerRequest chunk — which is how the write-behind
+// worker drains its queue. Entries the wire cannot carry (empty,
+// oversized, or non-JSON values) are skipped; a fill the server
+// rejects over an epoch disagreement is counted, not retried.
+func (c *CacheClient) PutBatch(ctx context.Context, entries []rescache.Entry) {
+	wire := make([]cacheFillEntry, 0, len(entries))
+	for _, e := range entries {
+		if len(e.Val) == 0 || len(e.Val) > maxRow || !json.Valid(e.Val) {
+			continue
+		}
+		wire = append(wire, cacheFillEntry{Key: e.Key, Value: json.RawMessage(e.Val)})
 	}
-	body, err := json.Marshal(cacheFillRequest{
-		Entries: []cacheFillEntry{{Key: key, Value: json.RawMessage(val)}},
-	})
+	for len(wire) > 0 {
+		chunk := wire
+		if len(chunk) > maxCacheKeysPerRequest {
+			chunk = chunk[:maxCacheKeysPerRequest]
+		}
+		wire = wire[len(chunk):]
+		c.fill(ctx, chunk)
+	}
+}
+
+// fill issues one /v1/cache/fill round for a bounded chunk.
+func (c *CacheClient) fill(ctx context.Context, chunk []cacheFillEntry) {
+	body, err := json.Marshal(cacheFillRequest{Entries: chunk, Epoch: c.epoch})
 	if err != nil {
 		c.peerErrors.Add(1)
 		return
@@ -195,19 +257,36 @@ func (c *CacheClient) Put(ctx context.Context, key string, val []byte) {
 		c.peerErrors.Add(1)
 		return
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusNotFound {
-		c.peerErrors.Add(1)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+		return
 	}
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
+		c.peerErrors.Add(1)
+		return
+	}
+	var reply cacheFillReply
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxRow)).Decode(&reply); err == nil {
+		if reply.Rejected > 0 {
+			c.epochRejects.Add(uint64(reply.Rejected))
+		}
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, maxRow))
 }
+
+// Epoch returns the cache epoch this client stamps onto every
+// exchange — the rescache.Epoched hook the Tiered store consults.
+func (c *CacheClient) Epoch() uint64 { return c.epoch }
 
 // Stats reports the remote-tier counters; occupancy lives on the peer.
 func (c *CacheClient) Stats() rescache.Stats {
 	return rescache.Stats{
-		PeerHits:   c.peerHits.Load(),
-		PeerMisses: c.peerMisses.Load(),
-		PeerErrors: c.peerErrors.Load(),
+		PeerHits:     c.peerHits.Load(),
+		PeerMisses:   c.peerMisses.Load(),
+		PeerErrors:   c.peerErrors.Load(),
+		EpochRejects: c.epochRejects.Load(),
 	}
 }
 
@@ -225,21 +304,50 @@ func (c *CacheClient) post(ctx context.Context, path string, body []byte) (*http
 	return c.hc.Do(req)
 }
 
+// ResultCacheConfig assembles a result-cache tier; every zero field
+// selects the package or rescache default.
+type ResultCacheConfig struct {
+	// MaxBytes bounds the local LRU (0 → rescache.DefaultMaxBytes,
+	// negative → unbounded).
+	MaxBytes int64
+	// Peers lists the /v1/cache base URLs of the remote tier.
+	Peers []string
+	// Epoch is the fleet-wide invalidation generation: stamped onto
+	// every wire exchange and reported in Stats.
+	Epoch uint64
+	// FillQueue and DrainTimeout configure the write-behind queue
+	// (see rescache.TieredConfig).
+	FillQueue    int
+	DrainTimeout time.Duration
+}
+
 // NewResultCache assembles the per-process result-cache tier the
 // BackendConfig.Cache knob selects: a bounded local LRU (maxBytes 0
 // selects rescache.DefaultMaxBytes, negative unbounded) fronting one
 // CacheClient per peer URL, composed behind the singleflight Tiered
-// store. With no peers the tier is local-only but keeps the same Stats
-// shape.
+// store at epoch 0. With no peers the tier is local-only but keeps the
+// same Stats shape.
 func NewResultCache(maxBytes int64, peerURLs []string) (*rescache.Tiered, error) {
-	local := rescache.NewLRU(maxBytes, 0)
+	return NewResultCacheWith(ResultCacheConfig{MaxBytes: maxBytes, Peers: peerURLs})
+}
+
+// NewResultCacheWith assembles a tier from an explicit configuration —
+// the epoch-aware entry point serve and the CLIs use.
+func NewResultCacheWith(cfg ResultCacheConfig) (*rescache.Tiered, error) {
+	local := rescache.NewLRU(cfg.MaxBytes, 0)
 	var peers []rescache.Cache
-	for _, p := range peerURLs {
-		cc, err := NewCacheClient(p)
+	for _, p := range cfg.Peers {
+		cc, err := NewCacheClientWith(p, cfg.Epoch)
 		if err != nil {
 			return nil, err
 		}
 		peers = append(peers, cc)
 	}
-	return rescache.NewTiered(local, peers...), nil
+	return rescache.NewTieredWith(rescache.TieredConfig{
+		Local:        local,
+		Peers:        peers,
+		Epoch:        cfg.Epoch,
+		FillQueue:    cfg.FillQueue,
+		DrainTimeout: cfg.DrainTimeout,
+	}), nil
 }

@@ -185,10 +185,15 @@ func TestNewResultCacheTier(t *testing.T) {
 		t.Fatal("second lookup went back to the peer")
 	}
 
-	// A local Put fans out so the peer can answer the rest of the fleet.
+	// A local Put fans out write-behind so the peer can answer the rest
+	// of the fleet; Close drains the queue, so the fill has landed once
+	// it returns.
 	tier.Put(ctx, "fresh", []byte(`{"ok":true}`))
+	if err := tier.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	if _, ok := peer.store.Get(ctx, "fresh"); !ok {
-		t.Fatal("Put did not fan out to the peer")
+		t.Fatal("Put did not reach the peer after drain")
 	}
 	st := tier.Stats()
 	if st.Hits != 2 || st.PeerHits != 1 || st.PeerErrors != 0 {

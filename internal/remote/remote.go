@@ -948,7 +948,7 @@ type optionNames struct {
 	failover, chunk, maxRetries, healthInterval   string
 	autoscale, standbyPeers, shards, peers        string
 	scaleThresholds, scaleCooldown, scaleInterval string
-	cache, cachePeers, cacheMaxBytes              string
+	cache, cachePeers, cacheMaxBytes, cacheEpoch  string
 }
 
 var libraryNames = optionNames{
@@ -959,7 +959,7 @@ var libraryNames = optionNames{
 	scaleThresholds: "WithScaleThresholds",
 	scaleCooldown:   "WithScaleCooldown", scaleInterval: "WithScaleInterval",
 	cache: "WithResultCache", cachePeers: "WithCachePeers",
-	cacheMaxBytes: "WithCacheMaxBytes",
+	cacheMaxBytes: "WithCacheMaxBytes", cacheEpoch: "WithCacheEpoch",
 }
 
 var flagNames = optionNames{
@@ -970,7 +970,7 @@ var flagNames = optionNames{
 	scaleThresholds: "-scale-up/-scale-down",
 	scaleCooldown:   "-scale-cooldown", scaleInterval: "-scale-interval",
 	cache: "-cache", cachePeers: "-cache-peers",
-	cacheMaxBytes: "-cache-max-bytes",
+	cacheMaxBytes: "-cache-max-bytes", cacheEpoch: "-cache-epoch",
 }
 
 // ValidateConfig vets a BackendConfig's option coherence with library
@@ -1015,6 +1015,9 @@ func validateTopology(cfg BackendConfig, n optionNames) (warning string, err err
 		}
 		if cfg.CacheMaxBytes != 0 {
 			orphaned = append(orphaned, n.cacheMaxBytes)
+		}
+		if cfg.CacheEpoch != 0 {
+			orphaned = append(orphaned, n.cacheEpoch)
 		}
 		if len(orphaned) > 0 {
 			return "", invalid("%s: only meaningful with %s (otherwise silently ignored); add %s or drop it",
@@ -1161,9 +1164,16 @@ type BackendConfig struct {
 	Cache         bool
 	CacheMaxBytes int64
 	CachePeers    []string
+	// CacheEpoch is the fleet-wide invalidation generation: it is
+	// stamped onto every /v1/cache exchange and folded into the tier,
+	// so bumping it abandons every previously cached row without
+	// touching peers still on the old generation (their rows become
+	// standing misses). Requires Cache.
+	CacheEpoch uint64
 	// CacheStore substitutes a pre-built store (serve passes its own
 	// tier here so the HTTP endpoints and the dispatch path share one
-	// cache); it implies Cache and ignores CacheMaxBytes/CachePeers.
+	// cache); it implies Cache and ignores CacheMaxBytes/CachePeers/
+	// CacheEpoch.
 	CacheStore rescache.Cache
 }
 
@@ -1193,7 +1203,11 @@ func NewBackendWith(cfg BackendConfig) (engine.Evaluator, error) {
 	if cfg.Cache || cfg.CacheStore != nil {
 		store := cfg.CacheStore
 		if store == nil {
-			tier, err := NewResultCache(cfg.CacheMaxBytes, cfg.CachePeers)
+			tier, err := NewResultCacheWith(ResultCacheConfig{
+				MaxBytes: cfg.CacheMaxBytes,
+				Peers:    cfg.CachePeers,
+				Epoch:    cfg.CacheEpoch,
+			})
 			if err != nil {
 				return nil, err
 			}

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestKeyOfBoundaries(t *testing.T) {
@@ -138,6 +139,15 @@ func (c *countingCache) Put(ctx context.Context, key string, val []byte) {
 
 func (c *countingCache) Stats() Stats { return Stats{PeerErrors: c.errs} }
 
+// get reads the backing map under the lock — for asserting on fills
+// delivered by the write-behind worker.
+func (c *countingCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[key]
+	return v, ok
+}
+
 func TestTieredPeerHitFillsLocal(t *testing.T) {
 	ctx := context.Background()
 	peer := newCountingCache()
@@ -176,14 +186,27 @@ func TestTieredMissCountsOnce(t *testing.T) {
 }
 
 func TestTieredPutFansOutToPeers(t *testing.T) {
+	// Peer fills are write-behind: the contract is that they have
+	// landed once Close's drain returns, not synchronously with Put.
 	ctx := context.Background()
 	p1, p2 := newCountingCache(), newCountingCache()
 	tier := NewTiered(NewLRU(0, 0), p1, p2)
 	tier.Put(ctx, "k", []byte("v"))
+	if err := tier.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
 	for i, p := range []*countingCache{p1, p2} {
-		if v, ok := p.m["k"]; !ok || string(v) != "v" {
-			t.Fatalf("peer %d not filled", i+1)
+		if v, ok := p.get("k"); !ok || string(v) != "v" {
+			t.Fatalf("peer %d not filled after drain", i+1)
 		}
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	// Put after Close must not panic; the peer fill is dropped.
+	tier.Put(ctx, "late", []byte("x"))
+	if _, ok := p1.get("late"); ok {
+		t.Fatal("fill delivered after Close")
 	}
 }
 
@@ -231,5 +254,181 @@ func TestTieredStatsSumsPeerErrors(t *testing.T) {
 	tier := NewTiered(NewLRU(0, 0), p1, p2)
 	if st := tier.Stats(); st.PeerErrors != 5 {
 		t.Fatalf("peer errors = %d, want 5", st.PeerErrors)
+	}
+}
+
+func TestLRUDelete(t *testing.T) {
+	ctx := context.Background()
+	c := NewLRU(0, 0)
+	c.Put(ctx, "k", []byte("v"))
+	c.Delete(ctx, "k")
+	if _, ok := c.Get(ctx, "k"); ok {
+		t.Fatal("deleted entry still present")
+	}
+	if st := c.Stats(); st.Entries != 0 || st.Bytes != 0 || st.Evictions != 0 {
+		t.Fatalf("stats after delete = %+v", st)
+	}
+	c.Delete(ctx, "absent") // must be a no-op, not a panic
+}
+
+// epochedCache wraps countingCache with a fixed epoch, standing in for
+// a /v1/cache client whose server runs a different generation.
+type epochedCache struct {
+	*countingCache
+	epoch uint64
+}
+
+func (c *epochedCache) Epoch() uint64 { return c.epoch }
+
+func TestTieredSkipsEpochMismatchedPeers(t *testing.T) {
+	ctx := context.Background()
+	stale := &epochedCache{countingCache: newCountingCache(), epoch: 1}
+	stale.m["k"] = []byte("stale")
+	fresh := &epochedCache{countingCache: newCountingCache(), epoch: 2}
+	fresh.m["k"] = []byte("fresh")
+	tier := NewTieredWith(TieredConfig{
+		Local: NewLRU(0, 0),
+		Peers: []Cache{stale, fresh},
+		Epoch: 2,
+	})
+	defer tier.Close()
+
+	v, ok := tier.Get(ctx, "k")
+	if !ok || string(v) != "fresh" {
+		t.Fatalf("Get = %q, %v; want fresh hit past the stale peer", v, ok)
+	}
+	if stale.gets.Load() != 0 {
+		t.Fatal("epoch-mismatched peer was queried")
+	}
+	if st := tier.Stats(); st.EpochRejects == 0 || st.Epoch != 2 {
+		t.Fatalf("stats = %+v; want EpochRejects > 0, Epoch 2", st)
+	}
+
+	// Fills skip the mismatched peer too.
+	tier.Put(ctx, "new", []byte("v"))
+	if err := tier.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, ok := stale.get("new"); ok {
+		t.Fatal("fill delivered to epoch-mismatched peer")
+	}
+	if _, ok := fresh.get("new"); !ok {
+		t.Fatal("fill not delivered to same-epoch peer")
+	}
+}
+
+// batchCache records PutBatch calls to prove the worker prefers the
+// batched path over per-entry Puts.
+type batchCache struct {
+	*countingCache
+	batches atomic.Int64
+	puts    atomic.Int64
+}
+
+func (c *batchCache) Put(ctx context.Context, key string, val []byte) {
+	c.puts.Add(1)
+	c.countingCache.Put(ctx, key, val)
+}
+
+func (c *batchCache) PutBatch(ctx context.Context, entries []Entry) {
+	c.batches.Add(1)
+	for _, e := range entries {
+		c.countingCache.Put(ctx, e.Key, e.Val)
+	}
+}
+
+func TestTieredFillWorkerBatches(t *testing.T) {
+	ctx := context.Background()
+	peer := &batchCache{countingCache: newCountingCache()}
+	tier := NewTiered(NewLRU(0, 0), peer)
+	const n = 32
+	for i := 0; i < n; i++ {
+		tier.Put(ctx, fmt.Sprintf("k%d", i), []byte("v"))
+	}
+	if err := tier.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := peer.get(fmt.Sprintf("k%d", i)); !ok {
+			t.Fatalf("entry k%d not delivered", i)
+		}
+	}
+	if peer.puts.Load() != 0 {
+		t.Fatalf("worker used %d per-entry Puts on a BatchFiller", peer.puts.Load())
+	}
+	if b := peer.batches.Load(); b < 1 || b > n {
+		t.Fatalf("batches = %d", b)
+	}
+}
+
+func TestTieredFullQueueDropsNotBlocks(t *testing.T) {
+	ctx := context.Background()
+	// Hold the worker inside a peer Put so the queue stays occupied.
+	blocking := &gatedPutCache{countingCache: newCountingCache(), gate: make(chan struct{})}
+	tier := NewTieredWith(TieredConfig{
+		Local:     NewLRU(0, 0),
+		Peers:     []Cache{blocking},
+		FillQueue: 1,
+		FillBatch: 1,
+	})
+	// First put: worker picks it up and blocks in the peer's Put.
+	tier.Put(ctx, "a", []byte("1"))
+	for blocking.started.Load() == 0 {
+		runtime.Gosched()
+	}
+	// Second put fills the 1-slot queue; third must drop, not block.
+	tier.Put(ctx, "b", []byte("2"))
+	tier.Put(ctx, "c", []byte("3"))
+	if st := tier.Stats(); st.FillsDropped == 0 {
+		t.Fatalf("expected a dropped fill, stats = %+v", st)
+	}
+	close(blocking.gate)
+	if err := tier.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// gatedPutCache blocks Put until its gate closes, standing in for an
+// unreachable peer the write-behind worker is stuck on.
+type gatedPutCache struct {
+	*countingCache
+	gate    chan struct{}
+	started atomic.Int64
+}
+
+func (c *gatedPutCache) Put(ctx context.Context, key string, val []byte) {
+	c.started.Add(1)
+	select {
+	case <-c.gate:
+	case <-ctx.Done():
+		return
+	}
+	c.countingCache.Put(ctx, key, val)
+}
+
+func TestTieredCloseDrainDeadline(t *testing.T) {
+	ctx := context.Background()
+	stuck := &gatedPutCache{countingCache: newCountingCache(), gate: make(chan struct{})}
+	defer close(stuck.gate)
+	tier := NewTieredWith(TieredConfig{
+		Local:        NewLRU(0, 0),
+		Peers:        []Cache{stuck},
+		FillBatch:    1,
+		DrainTimeout: 50 * time.Millisecond,
+	})
+	tier.Put(ctx, "a", []byte("1"))
+	tier.Put(ctx, "b", []byte("2"))
+	done := make(chan error, 1)
+	go func() { done <- tier.Close() }()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("Close returned nil despite a stuck peer; want drain-deadline error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close blocked past the drain deadline")
+	}
+	if st := tier.Stats(); st.FillsDropped == 0 {
+		t.Fatalf("cut-off drain recorded no dropped fills: %+v", st)
 	}
 }

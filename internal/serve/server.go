@@ -119,10 +119,15 @@ type Config struct {
 	// store to sibling serve instances. CacheMaxBytes bounds the local
 	// store (0 selects the rescache default); CachePeers lists sibling
 	// base URLs whose /v1/cache tier is consulted on a local miss and
-	// filled on a local compute. Both require Cache.
+	// filled on a local compute. CacheEpoch is the fleet-wide
+	// invalidation generation: every /v1/cache exchange carries it and
+	// a disagreement is a standing miss (lookup) or a rejected entry
+	// (fill), so restarting with a bumped epoch abandons every
+	// previously cached row fleet-wide. All three require Cache.
 	Cache         bool
 	CacheMaxBytes int64
 	CachePeers    []string
+	CacheEpoch    uint64
 }
 
 // Server owns an Evaluator backend and serves the /v1 API. Create with
@@ -141,6 +146,10 @@ type Server struct {
 	jobTimeout time.Duration
 	started    time.Time
 	requests   atomic.Uint64
+	// cacheEpochRejects counts wire exchanges this server refused over
+	// an epoch disagreement — the server-side half of the invalidation
+	// picture (the tier's own Stats carry the client-side half).
+	cacheEpochRejects atomic.Uint64
 }
 
 // New starts the evaluation back end: local engine shards, remote
@@ -173,6 +182,7 @@ func New(cfg Config) (*Server, error) {
 		Cache:              cfg.Cache,
 		CacheMaxBytes:      cfg.CacheMaxBytes,
 		CachePeers:         cfg.CachePeers,
+		CacheEpoch:         cfg.CacheEpoch,
 	}
 	// Validate before building the tier so an incoherent cache config
 	// fails with the shared rule set's diagnostic, not a partial build.
@@ -182,7 +192,11 @@ func New(cfg Config) (*Server, error) {
 	var tier *rescache.Tiered
 	if cfg.Cache {
 		var err error
-		tier, err = remote.NewResultCache(cfg.CacheMaxBytes, cfg.CachePeers)
+		tier, err = remote.NewResultCacheWith(remote.ResultCacheConfig{
+			MaxBytes: cfg.CacheMaxBytes,
+			Peers:    cfg.CachePeers,
+			Epoch:    cfg.CacheEpoch,
+		})
 		if err != nil {
 			return nil, err
 		}
@@ -361,6 +375,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.cache != nil {
 		reply.Cache.Results = bench.ResultCacheReportFrom(s.cache.Stats())
+		reply.Cache.Results.EpochRejects += s.cacheEpochRejects.Load()
 	}
 	switch front := s.backend.(type) {
 	case *engine.Balancer:
@@ -532,16 +547,20 @@ type suiteAck struct {
 
 // cacheLookupRequest is the POST /v1/cache/lookup body. Mirrored by
 // internal/remote's cache client (redefined there to keep serve →
-// remote a one-way dependency), like suiteAck.
+// remote a one-way dependency), like suiteAck. Epoch is the caller's
+// cache generation; a disagreement answers every key as a miss.
 type cacheLookupRequest struct {
-	Keys []string `json:"keys"`
+	Keys  []string `json:"keys"`
+	Epoch uint64   `json:"epoch,omitempty"`
 }
 
-// cacheRow is one NDJSON reply row of /v1/cache/lookup.
+// cacheRow is one NDJSON reply row of /v1/cache/lookup, stamped with
+// this server's epoch so the client can refuse cross-generation rows.
 type cacheRow struct {
 	Key   string          `json:"key"`
 	Found bool            `json:"found"`
 	Value json.RawMessage `json:"value,omitempty"`
+	Epoch uint64          `json:"epoch,omitempty"`
 }
 
 // cacheFillEntry is one entry of the POST /v1/cache/fill body.
@@ -553,16 +572,23 @@ type cacheFillEntry struct {
 // cacheFillRequest is the POST /v1/cache/fill body.
 type cacheFillRequest struct {
 	Entries []cacheFillEntry `json:"entries"`
+	Epoch   uint64           `json:"epoch,omitempty"`
 }
 
-// cacheFillReply acknowledges a fill with the number of entries stored.
+// cacheFillReply acknowledges a fill: entries stored, entries refused
+// over an epoch disagreement, and this server's epoch.
 type cacheFillReply struct {
-	Stored int `json:"stored"`
+	Stored   int    `json:"stored"`
+	Rejected int    `json:"rejected,omitempty"`
+	Epoch    uint64 `json:"epoch,omitempty"`
 }
 
 // handleCacheLookup answers sibling lookups from the LOCAL store only —
 // never through the tier — so two instances pointed at each other
-// cannot loop one miss forever. Rows stream as NDJSON in key order.
+// cannot loop one miss forever. Rows stream as NDJSON in key order. A
+// caller on a different epoch gets a full set of miss rows stamped with
+// this server's epoch — a standing miss, never an error, so
+// mixed-generation fleets degrade to computing.
 func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
@@ -579,12 +605,25 @@ func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("cache lookup: %d keys exceeds the per-request limit of %d", len(req.Keys), maxCacheKeys))
 		return
 	}
+	epoch := s.cache.Epoch()
+	if req.Epoch != epoch {
+		s.cacheEpochRejects.Add(uint64(len(req.Keys)))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		enc := json.NewEncoder(w)
+		for _, k := range req.Keys {
+			if err := enc.Encode(cacheRow{Key: k, Epoch: epoch}); err != nil {
+				return
+			}
+		}
+		return
+	}
 	local := s.cache.Local()
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
 	for _, k := range req.Keys {
-		row := cacheRow{Key: k}
+		row := cacheRow{Key: k, Epoch: epoch}
 		if v, ok := local.Get(r.Context(), k); ok {
 			row.Found, row.Value = true, v
 		}
@@ -598,6 +637,9 @@ func (s *Server) handleCacheLookup(w http.ResponseWriter, r *http.Request) {
 // this instance answers the fleet's next lookup without the fill ever
 // fanning back out. Unusable entries — empty keys, oversize or invalid
 // values — are skipped, not errors: a fill is best-effort by contract.
+// A fill from another epoch is rejected whole (acknowledged, counted,
+// stored nowhere): another generation's rows must never enter this
+// store.
 func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
 	s.requests.Add(1)
 	if r.Method != http.MethodPost {
@@ -614,6 +656,12 @@ func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("cache fill: %d entries exceeds the per-request limit of %d", len(req.Entries), maxCacheKeys))
 		return
 	}
+	epoch := s.cache.Epoch()
+	if req.Epoch != epoch {
+		s.cacheEpochRejects.Add(uint64(len(req.Entries)))
+		writeJSON(w, http.StatusOK, cacheFillReply{Rejected: len(req.Entries), Epoch: epoch})
+		return
+	}
 	local := s.cache.Local()
 	stored := 0
 	for _, e := range req.Entries {
@@ -623,7 +671,7 @@ func (s *Server) handleCacheFill(w http.ResponseWriter, r *http.Request) {
 		local.Put(r.Context(), e.Key, e.Value)
 		stored++
 	}
-	writeJSON(w, http.StatusOK, cacheFillReply{Stored: stored})
+	writeJSON(w, http.StatusOK, cacheFillReply{Stored: stored, Epoch: epoch})
 }
 
 // readBody reads a request body under the maxBody cap; oversize bodies

@@ -27,6 +27,15 @@ import (
 // space. The FPGA prototype of Table V uses 256-word memories instead.
 const DefaultMemWords = tmem.MaxWords
 
+// SemanticsVersion names the observable semantics of the simulators:
+// the architectural behaviour of Table I, the pipeline's stall/flush
+// accounting, and every counter a run result reports. The fleet-wide
+// result cache folds it into its keys, so bump it whenever a simulator
+// change can alter any reported metric for an unchanged program —
+// otherwise peers built before and after the change would share keys
+// and replay stale results into each other.
+const SemanticsVersion = "art9-sim/v1"
+
 // Config sizes a machine.
 type Config struct {
 	TIMWords int // instruction memory words; 0 → DefaultMemWords

@@ -30,6 +30,7 @@ type evalConfig struct {
 	cache          bool
 	cacheMaxBytes  int64
 	cachePeers     []string
+	cacheEpoch     uint64
 }
 
 // WithWorkers sets the pool size of each local shard (0 selects
@@ -157,6 +158,20 @@ func WithCachePeers(urls ...string) Option {
 	return func(c *evalConfig) { c.cachePeers = append(c.cachePeers, urls...) }
 }
 
+// WithCacheEpoch sets the fleet-wide cache invalidation generation.
+// The cache key already covers everything that determines a result —
+// program content, iterations, the technology model's fingerprint —
+// so the epoch exists for what keys cannot express: operator-driven
+// invalidation ("abandon everything cached before today") and fencing
+// off fleet members whose build differs in ways the key does not
+// capture. Every /v1/cache exchange carries the epoch; a disagreement
+// is a standing miss (lookup) or a rejected fill, never an error, so
+// a mixed-epoch fleet degrades to computing instead of replaying
+// another generation's rows. Only meaningful with WithResultCache.
+func WithCacheEpoch(epoch uint64) Option {
+	return func(c *evalConfig) { c.cacheEpoch = epoch }
+}
+
 // New builds an Evaluator from functional options — the one constructor
 // behind which every backend topology lives:
 //
@@ -182,8 +197,8 @@ func WithCachePeers(urls ...string) Option {
 // WithHealthInterval) without WithFailover, autoscale tuning or standby
 // peers without WithAutoscale, inverted autoscale bounds or thresholds,
 // WithAutoscale mixed with a fixed topology, cache tuning
-// (WithCachePeers, WithCacheMaxBytes) without WithResultCache — with an
-// error wrapping the typed ErrInvalidOptions. The CLIs vet their flags
+// (WithCachePeers, WithCacheMaxBytes, WithCacheEpoch) without
+// WithResultCache — with an error wrapping the typed ErrInvalidOptions. The CLIs vet their flags
 // through the same rule set, so the diagnostics match.
 func New(opts ...Option) (Evaluator, error) {
 	var cfg evalConfig
@@ -216,5 +231,6 @@ func New(opts ...Option) (Evaluator, error) {
 		Cache:              cfg.cache,
 		CacheMaxBytes:      cfg.cacheMaxBytes,
 		CachePeers:         cfg.cachePeers,
+		CacheEpoch:         cfg.cacheEpoch,
 	})
 }
