@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test test-quick lint bench batch serve clean
+.PHONY: all build test test-quick lint bench bench-gate batch serve clean
 
 all: build lint test
 
@@ -33,6 +33,15 @@ lint:
 ## bench: one pass over every benchmark (smoke; use -benchtime=10x locally)
 bench:
 	$(GO) test -run=NONE -bench=. -benchtime=1x ./...
+
+## bench-gate: the packed-kernel benchmark regression gate — re-times every
+## packed kernel against its trit-serial reference (fails below the 3×
+## aggregate floor, writes the ns/op table to BENCH_kernels.json) and takes
+## the end-to-end simulator throughput figures for the same artifact set
+bench-gate:
+	ART9_BENCH_GATE=1 ART9_BENCH_GATE_OUT=$(CURDIR)/BENCH_kernels.json \
+		$(GO) test -run TestPackedKernelSpeedupGate -v ./internal/ternary/
+	$(GO) test -run=NONE -bench=BenchmarkSimulatorThroughput -benchtime=1s .
 
 ## batch: run the example manifest through the engine, emit BENCH_report.json
 batch:

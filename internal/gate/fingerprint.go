@@ -18,8 +18,8 @@ import (
 
 // fingerprintVersion names the serialization layout below. Bump it when
 // Technology gains a field or the rendering changes, so digests from
-// different layouts can never collide.
-const fingerprintVersion = "art9-tech/v1"
+// different layouts can never collide. v2: added VoltageV.
+const fingerprintVersion = "art9-tech/v2"
 
 // Fingerprint returns a stable content digest of the technology model:
 // every delay, energy, area and memory field the analyzer and the
@@ -50,6 +50,7 @@ func (t *Technology) canonical() string {
 	b.WriteByte('|')
 	b.WriteString(t.Name)
 	b.WriteByte('|')
+	f(t.VoltageV)
 	f(t.ClkQPs)
 	f(t.SetupPs)
 	f(t.Activity)

@@ -61,6 +61,7 @@ func TestFingerprintFieldSensitivity(t *testing.T) {
 			p.ALMs += 0.5
 			t.Props[STI] = p
 		}},
+		{"voltage", func(t *Technology) { t.VoltageV += 0.1 }},
 		{"clkq", func(t *Technology) { t.ClkQPs++ }},
 		{"setup", func(t *Technology) { t.SetupPs++ }},
 		{"activity", func(t *Technology) { t.Activity += 0.01 }},

@@ -11,6 +11,9 @@ type Technology struct {
 	Name string
 	// Props per cell kind.
 	Props map[CellKind]CellProps
+	// VoltageV is the nominal supply voltage the delay/energy tables are
+	// calibrated at; Tables IV/V quote it per technology.
+	VoltageV float64
 	// ClkQPs and SetupPs are the sequential overheads added to every
 	// register-to-register path.
 	ClkQPs  float64
@@ -66,6 +69,7 @@ func CNTFET32() *Technology {
 			TDFF:  {DelayPs: 0, EnergyFJ: 2.4, LeakNW: 32.8},
 			TBUF:  {DelayPs: 35, EnergyFJ: 0.35, LeakNW: 4.8},
 		},
+		VoltageV:            0.9,
 		ClkQPs:              120,
 		SetupPs:             80,
 		Activity:            0.08,
@@ -101,6 +105,7 @@ func StratixVEmulation() *Technology {
 			TDFF:  {DelayPs: 0, EnergyFJ: 14e3, LeakNW: 260, ALMs: 0},
 			TBUF:  {DelayPs: 120, EnergyFJ: 7e3, LeakNW: 120, ALMs: 0.5},
 		},
+		VoltageV:            0.9,
 		ClkQPs:              300,
 		SetupPs:             200,
 		Activity:            0.12,

@@ -32,12 +32,18 @@ var rMinor = map[Op]int{
 	XOR: 1, ADD: 2, SUB: 3, SR: 4, SL: 5, COMP: 6,
 }
 
-var rMinorRev = func() map[int]Op {
-	m := make(map[int]Op, len(rMinor))
-	for op, v := range rMinor {
-		m[v] = op
+// rMinorTab is the decode table for the 3-trit R-type minor field,
+// indexed by minor+13 (the field ranges over [−13, 13]); −1 marks an
+// illegal minor. An array lookup keeps the fetch/decode hot path free of
+// map hashing.
+var rMinorTab = func() (t [27]int8) {
+	for i := range t {
+		t[i] = -1
 	}
-	return m
+	for op, v := range rMinor {
+		t[v+13] = int8(op)
+	}
+	return
 }()
 
 // Encode encodes i into its 9-trit machine word. It returns an error if
@@ -124,15 +130,21 @@ func MustEncode(i Inst) ternary.Word {
 // Decode decodes a 9-trit machine word into an instruction. Words that do
 // not correspond to any of the 24 instructions return an error (the
 // hardware raises an illegal-instruction condition).
-func Decode(w ternary.Word) (Inst, error) {
+func Decode(w ternary.Word) (Inst, error) { return DecodePacked(ternary.Pack(w)) }
+
+// DecodePacked is Decode over the bit-plane form — the simulator fetch path
+// decodes straight from packed instruction memory without unpacking. The
+// two render identically, so error text is unchanged.
+func DecodePacked(w ternary.Packed) (Inst, error) {
 	switch w.Field(7, 8) {
 	case majR:
-		op, ok := rMinorRev[w.Field(4, 6)]
-		if !ok {
-			return Inst{}, fmt.Errorf("isa: illegal R-type minor %d in %v", w.Field(4, 6), w)
+		minor := w.Field(4, 6)
+		op := rMinorTab[minor+13]
+		if op < 0 {
+			return Inst{}, fmt.Errorf("isa: illegal R-type minor %d in %v", minor, w)
 		}
 		return Inst{
-			Op: op,
+			Op: Op(op),
 			Ta: regFromField(w.Field(2, 3)),
 			Tb: regFromField(w.Field(0, 1)),
 		}, nil

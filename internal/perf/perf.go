@@ -80,7 +80,7 @@ func Estimate(an *gate.Analysis, tech *gate.Technology, freqMHz, cyclesPerIter f
 	p := an.PowerW(tech, freqMHz, memTrits, memAccessPerCycle)
 	return Implementation{
 		Tech:      an.Tech,
-		VoltageV:  0.9,
+		VoltageV:  tech.VoltageV,
 		FreqMHz:   freqMHz,
 		Gates:     an.Gates,
 		ALMs:      an.ALMs,

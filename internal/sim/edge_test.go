@@ -172,7 +172,7 @@ func TestPipelineTraceHook(t *testing.T) {
 		t.Fatal("trace hook never called")
 	}
 	joined := strings.Join(lines, "\n")
-	for _, want := range []string{"IF:", "ID:", "EX:", "WB:"} {
+	for _, want := range []string{"IF:", "ID:", "EX:", "MEM:", "WB:"} {
 		if !strings.Contains(joined, want) {
 			t.Errorf("trace missing %s column", want)
 		}
@@ -235,8 +235,17 @@ func TestCategoriesCounted(t *testing.T) {
 		LOAD T2, T0, 5    ; M
 		HALT
 	`)
+	// CatB counts the BEQ and the halt (a retired JAL): every retired
+	// instruction lands in exactly one category.
 	if res.ByCategory[isa.CatR] != 1 || res.ByCategory[isa.CatI] != 1 ||
-		res.ByCategory[isa.CatB] != 1 || res.ByCategory[isa.CatM] != 2 {
+		res.ByCategory[isa.CatB] != 2 || res.ByCategory[isa.CatM] != 2 {
 		t.Errorf("category counts = %v", res.ByCategory)
+	}
+	var sum uint64
+	for _, n := range res.ByCategory {
+		sum += n
+	}
+	if sum != res.Retired {
+		t.Errorf("ΣByCategory = %d, want Retired = %d", sum, res.Retired)
 	}
 }

@@ -23,17 +23,17 @@ func NewFunctional(cfg Config) *Functional {
 // retires a halt (jump-to-self).
 func (f *Functional) Step(res *Result) (done bool, err error) {
 	s := f.S
-	w, err := s.TIM.Read(s.PC.UIndex())
+	w, err := s.TIM.ReadP(s.PC.UIndex())
 	if err != nil {
 		return false, fmt.Errorf("sim: fetch at PC=%d: %w", s.PC.Int(), err)
 	}
-	in, err := isa.Decode(w)
+	in, err := isa.DecodePacked(w)
 	if err != nil {
 		return false, fmt.Errorf("sim: at PC=%d: %w", s.PC.Int(), err)
 	}
 	e := evaluate(in, s.PC, s.TRF[in.Ta], s.TRF[in.Tb])
 	if e.isLoad {
-		v, err := s.TDM.ReadWord(e.addr)
+		v, err := s.TDM.ReadP(e.addr.UIndex())
 		if err != nil {
 			return false, fmt.Errorf("sim: at PC=%d: %w", s.PC.Int(), err)
 		}
@@ -41,7 +41,7 @@ func (f *Functional) Step(res *Result) (done bool, err error) {
 		res.Loads++
 	}
 	if e.isStore {
-		if err := s.TDM.WriteWord(e.addr, e.store); err != nil {
+		if err := s.TDM.WriteP(e.addr.UIndex(), e.store); err != nil {
 			return false, fmt.Errorf("sim: at PC=%d: %w", s.PC.Int(), err)
 		}
 		res.Stores++
@@ -50,6 +50,11 @@ func (f *Functional) Step(res *Result) (done bool, err error) {
 		res.HaltPC = s.PC.UIndex()
 		res.Cycles++
 		res.Retired++
+		// The halt retires like any other instruction, so its opcode
+		// counts toward the mix — otherwise ΣOpMix < 1 and the
+		// switching-activity profile under-reports the datapath.
+		res.ByCategory[in.Op.Category()]++
+		res.ByOp[in.Op]++
 		return true, nil
 	}
 	if e.writesReg {

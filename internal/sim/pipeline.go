@@ -39,17 +39,17 @@ func NewPipeline(cfg Config) *Pipeline {
 // latchIFID carries a fetched instruction into decode.
 type latchIFID struct {
 	valid bool
-	pc    ternary.Word
+	pc    ternary.Packed
 	inst  isa.Inst
 }
 
 // latchIDEX carries a decoded instruction with resolved operands.
 type latchIDEX struct {
 	valid  bool
-	pc     ternary.Word
+	pc     ternary.Packed
 	inst   isa.Inst
-	ta, tb ternary.Word // forwarded operand values
-	halt   bool         // this instruction is the halt transfer
+	ta, tb ternary.Packed // forwarded operand values
+	halt   bool           // this instruction is the halt transfer
 }
 
 // latchEXMEM carries the computed effect.
@@ -85,13 +85,21 @@ func (p *Pipeline) Run() (Result, error) {
 	for cycle := 0; cycle < p.cfg.MaxSteps; cycle++ {
 		res.Cycles++
 
+		// Pre-shift snapshots: the instruction each stage is working on
+		// THIS cycle, for the trace line rendered at the cycle's end.
+		idS, exS, memS, wbS := ifid, idex, exmem, memwb
+
 		// ---- WB: retire memwb (first half of cycle: write TRF).
 		if memwb.valid {
 			e := memwb.eff
 			if memwb.halt {
 				// The halt idiom has no architectural effect beyond
-				// parking the PC at its own address.
+				// parking the PC at its own address, but it retires
+				// like any other instruction, so its opcode counts
+				// toward the mix (ΣOpMix must reach 1).
 				res.Retired++
+				res.ByCategory[memwb.inst.Op.Category()]++
+				res.ByOp[memwb.inst.Op]++
 				p.S.PC = e.nextPC
 				res.HaltPC = e.nextPC.UIndex()
 				return res, nil
@@ -118,7 +126,7 @@ func (p *Pipeline) Run() (Result, error) {
 		if exmem.valid {
 			e := exmem.eff
 			if e.isLoad {
-				v, err := p.S.TDM.ReadWord(e.addr)
+				v, err := p.S.TDM.ReadP(e.addr.UIndex())
 				if err != nil {
 					return res, fmt.Errorf("sim: MEM: %w", err)
 				}
@@ -126,7 +134,7 @@ func (p *Pipeline) Run() (Result, error) {
 				res.Loads++
 			}
 			if e.isStore {
-				if err := p.S.TDM.WriteWord(e.addr, e.store); err != nil {
+				if err := p.S.TDM.WriteP(e.addr.UIndex(), e.store); err != nil {
 					return res, fmt.Errorf("sim: MEM: %w", err)
 				}
 				res.Stores++
@@ -144,7 +152,7 @@ func (p *Pipeline) Run() (Result, error) {
 
 		// ---- ID: hazard detection, forwarding, branch resolution.
 		redirect := false
-		var redirectPC ternary.Word
+		var redirectPC ternary.Packed
 		stalled := false
 		if ifid.valid {
 			in := ifid.inst
@@ -175,6 +183,7 @@ func (p *Pipeline) Run() (Result, error) {
 		}
 
 		// ---- IF: fetch into ifid unless stalled or draining.
+		var ifS latchIFID // what IF fetched this cycle (for the trace)
 		if stalled {
 			// ifid retained; the bubble naturally flows from idex being
 			// empty next cycle.
@@ -184,20 +193,21 @@ func (p *Pipeline) Run() (Result, error) {
 		} else if stopFetch {
 			ifid = latchIFID{}
 		} else {
-			w, err := p.S.TIM.Read(fetchPC.UIndex())
+			w, err := p.S.TIM.ReadP(fetchPC.UIndex())
 			if err != nil {
 				return res, fmt.Errorf("sim: IF at PC=%d: %w", fetchPC.Int(), err)
 			}
-			in, err := isa.Decode(w)
+			in, err := isa.DecodePacked(w)
 			if err != nil {
 				return res, fmt.Errorf("sim: IF at PC=%d: %w", fetchPC.Int(), err)
 			}
 			ifid = latchIFID{valid: true, pc: fetchPC, inst: in}
-			fetchPC = ternary.Inc(fetchPC)
+			fetchPC = fetchPC.Inc()
+			ifS = ifid
 		}
 
 		if p.Trace != nil {
-			p.Trace(res.Cycles, p.traceLine(ifid, idex, exmem, memwb, stalled, redirect))
+			p.Trace(res.Cycles, p.traceLine(ifS, idS, exS, memS, wbS, stalled, redirect))
 		}
 	}
 	return res, ErrNoHalt{p.cfg.MaxSteps}
@@ -207,7 +217,7 @@ func (p *Pipeline) Run() (Result, error) {
 // ID: the newest in-flight producer wins (EX this cycle, then MEM, then
 // WB); otherwise the register file. The load-use stall rule guarantees
 // that an EX-stage LOAD is never selected here.
-func (p *Pipeline) forward(r isa.Reg, exmem latchEXMEM, memwb latchMEMWB) ternary.Word {
+func (p *Pipeline) forward(r isa.Reg, exmem latchEXMEM, memwb latchMEMWB) ternary.Packed {
 	if exmem.valid && exmem.eff.writesReg && exmem.eff.reg == r && !exmem.eff.isLoad {
 		return exmem.eff.val
 	}
@@ -217,7 +227,12 @@ func (p *Pipeline) forward(r isa.Reg, exmem latchEXMEM, memwb latchMEMWB) ternar
 	return p.S.TRF[r]
 }
 
-func (p *Pipeline) traceLine(ifid latchIFID, idex latchIDEX, exmem latchEXMEM, memwb latchMEMWB, stalled, redirect bool) string {
+// traceLine renders one cycle of the schedule. Every column shows the
+// instruction the stage worked on during this cycle — the pre-shift latch
+// contents snapshotted at the top of the loop, plus the instruction IF
+// fetched — so the five columns line up with the textbook pipeline diagram
+// rather than trailing a stage behind.
+func (p *Pipeline) traceLine(ifS latchIFID, idS latchIFID, exS latchIDEX, memS latchEXMEM, wbS latchMEMWB, stalled, redirect bool) string {
 	stage := func(valid bool, in isa.Inst) string {
 		if !valid {
 			return "-"
@@ -231,7 +246,8 @@ func (p *Pipeline) traceLine(ifid latchIFID, idex latchIDEX, exmem latchEXMEM, m
 	if redirect {
 		flags += " [redirect]"
 	}
-	return fmt.Sprintf("IF:%-18s ID:%-18s EX:%-18s WB:%-18s%s",
-		stage(ifid.valid, ifid.inst), stage(idex.valid, idex.inst),
-		stage(exmem.valid, exmem.inst), stage(memwb.valid, memwb.inst), flags)
+	return fmt.Sprintf("IF:%-18s ID:%-18s EX:%-18s MEM:%-18s WB:%-18s%s",
+		stage(ifS.valid, ifS.inst), stage(idS.valid, idS.inst),
+		stage(exS.valid, exS.inst), stage(memS.valid, memS.inst),
+		stage(wbS.valid, wbS.inst), flags)
 }

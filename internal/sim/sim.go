@@ -57,10 +57,12 @@ func (c Config) withDefaults() Config {
 }
 
 // State is the architectural state of an ART-9 core: the program counter,
-// the nine-entry ternary register file, and the two memories.
+// the nine-entry ternary register file, and the two memories. PC and TRF
+// hold the bit-plane form (ternary.Packed) so the datapath never converts
+// per trit; Reg/SetReg expose the Word view at the boundary.
 type State struct {
-	PC  ternary.Word
-	TRF [isa.NumRegs]ternary.Word
+	PC  ternary.Packed
+	TRF [isa.NumRegs]ternary.Packed
 	TIM *tmem.Memory
 	TDM *tmem.Memory
 }
@@ -75,22 +77,27 @@ func NewState(cfg Config) *State {
 }
 
 // Load initialises TIM and TDM from an assembled program and resets PC.
+// Both memories are Reset first, so reloading over a previously used State
+// neither leaks words beyond the new image nor carries stale access counts
+// into the power model.
 func (s *State) Load(p *asm.Program) error {
+	s.TIM.Reset()
+	s.TDM.Reset()
 	if err := s.TIM.LoadImage(p.Words); err != nil {
 		return err
 	}
 	if err := s.TDM.SetAll(p.Data); err != nil {
 		return err
 	}
-	s.PC = ternary.Word{}
+	s.PC = ternary.Packed{}
 	return nil
 }
 
 // Reg returns TRF[r].
-func (s *State) Reg(r isa.Reg) ternary.Word { return s.TRF[r] }
+func (s *State) Reg(r isa.Reg) ternary.Word { return s.TRF[r].Unpack() }
 
 // SetReg sets TRF[r].
-func (s *State) SetReg(r isa.Reg, w ternary.Word) { s.TRF[r] = w }
+func (s *State) SetReg(r isa.Reg, w ternary.Word) { s.TRF[r] = ternary.Pack(w) }
 
 // Result summarises a run.
 type Result struct {
@@ -144,92 +151,100 @@ func (e ErrNoHalt) Error() string {
 type effect struct {
 	writesReg bool
 	reg       isa.Reg
-	val       ternary.Word // value to write (for LOAD: filled by caller)
+	val       ternary.Packed // value to write (for LOAD: filled by caller)
 
 	isLoad  bool
 	isStore bool
-	addr    ternary.Word // memory address for LOAD/STORE
-	store   ternary.Word // value to store
+	addr    ternary.Packed // memory address for LOAD/STORE
+	store   ternary.Packed // value to store
 
-	nextPC ternary.Word
+	nextPC ternary.Packed
 	taken  bool // control transfer redirected away from PC+1
 	branch bool // conditional branch (for taken/not-taken stats)
 }
 
+// liLoMask covers the 5 low trit positions replaced by LI.
+const liLoMask = 1<<5 - 1
+
 // evaluate computes the effect of in executed at pc with register read
 // values ta and tb (already forwarded by the caller as appropriate).
-func evaluate(in isa.Inst, pc, ta, tb ternary.Word) effect {
-	seq := ternary.Inc(pc)
+// Everything runs in the bit-plane form; each kernel is differentially
+// pinned to the trit-serial reference in internal/ternary, so the
+// architectural semantics of Table I are unchanged.
+func evaluate(in isa.Inst, pc, ta, tb ternary.Packed) effect {
+	seq := pc.Inc()
 	e := effect{nextPC: seq}
 	switch in.Op {
 	case isa.MV:
 		e.writesReg, e.reg, e.val = true, in.Ta, tb
 	case isa.PTI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Pti(tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, tb.Pti()
 	case isa.NTI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Nti(tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, tb.Nti()
 	case isa.STI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Sti(tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, tb.Sti()
 	case isa.AND:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.And(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.And(tb)
 	case isa.OR:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Or(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Or(tb)
 	case isa.XOR:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Xor(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Xor(tb)
 	case isa.ADD:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.AddWord(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Add(tb)
 	case isa.SUB:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.SubWord(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Sub(tb)
 	case isa.SR:
 		n := ternary.ShiftAmount(tb.Field(0, 1))
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftRight(ta, n)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.ShiftRight(n)
 	case isa.SL:
 		n := ternary.ShiftAmount(tb.Field(0, 1))
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftLeft(ta, n)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.ShiftLeft(n)
 	case isa.COMP:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.CompWord(ta, tb)
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Comp(tb)
 	case isa.ANDI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.And(ta, ternary.FromInt(in.Imm))
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.And(ternary.PackedFromInt(in.Imm))
 	case isa.ADDI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.AddWord(ta, ternary.FromInt(in.Imm))
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.Add(ternary.PackedFromInt(in.Imm))
 	case isa.SRI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftRight(ta, ternary.ShiftAmount(in.Imm))
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.ShiftRight(ternary.ShiftAmount(in.Imm))
 	case isa.SLI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.ShiftLeft(ta, ternary.ShiftAmount(in.Imm))
+		e.writesReg, e.reg, e.val = true, in.Ta, ta.ShiftLeft(ternary.ShiftAmount(in.Imm))
 	case isa.LUI:
-		e.writesReg, e.reg, e.val = true, in.Ta, ternary.Word{}.SetField(5, 8, in.Imm)
+		// imm fits in 4 trits, so its packed form occupies bits 0..3;
+		// shifting by 5 lands it in the upper field with zero fill.
+		e.writesReg, e.reg, e.val = true, in.Ta, ternary.PackedFromInt(in.Imm).ShiftLeft(5)
 	case isa.LI:
-		v := ta // keep TRF[Ta][8:5]
-		low := ternary.Word{}.SetField(0, 4, in.Imm)
-		for k := 0; k < 5; k++ {
-			v[k] = low[k]
+		low := ternary.PackedFromInt(in.Imm) // 5-trit imm: bits 0..4 only
+		v := ternary.Packed{                 // keep TRF[Ta][8:5], replace [4:0]
+			N: ta.N&^liLoMask | low.N,
+			P: ta.P&^liLoMask | low.P,
 		}
 		e.writesReg, e.reg, e.val = true, in.Ta, v
 	case isa.BEQ, isa.BNE:
 		e.branch = true
-		cond := tb[0] == in.B
+		cond := tb.Trit(0) == in.B
 		if in.Op == isa.BNE {
 			cond = !cond
 		}
 		if cond {
-			e.nextPC = ternary.AddWord(pc, ternary.FromInt(in.Imm))
+			e.nextPC = pc.Add(ternary.PackedFromInt(in.Imm))
 			e.taken = true
 		}
 	case isa.JAL:
 		e.writesReg, e.reg, e.val = true, in.Ta, seq
-		e.nextPC = ternary.AddWord(pc, ternary.FromInt(in.Imm))
+		e.nextPC = pc.Add(ternary.PackedFromInt(in.Imm))
 		e.taken = true
 	case isa.JALR:
 		e.writesReg, e.reg, e.val = true, in.Ta, seq
-		e.nextPC = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+		e.nextPC = tb.Add(ternary.PackedFromInt(in.Imm))
 		e.taken = true
 	case isa.LOAD:
 		e.isLoad = true
 		e.writesReg, e.reg = true, in.Ta
-		e.addr = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+		e.addr = tb.Add(ternary.PackedFromInt(in.Imm))
 	case isa.STORE:
 		e.isStore = true
-		e.addr = ternary.AddWord(tb, ternary.FromInt(in.Imm))
+		e.addr = tb.Add(ternary.PackedFromInt(in.Imm))
 		e.store = ta
 	}
 	return e
@@ -238,6 +253,6 @@ func evaluate(in isa.Inst, pc, ta, tb ternary.Word) effect {
 // isHalt reports whether the effect is a jump to the instruction's own
 // address — the HALT idiom the assembler emits (JAL x, 0 or an absolute
 // JALR to self).
-func (e effect) isHalt(pc ternary.Word) bool {
+func (e effect) isHalt(pc ternary.Packed) bool {
 	return e.taken && e.nextPC == pc
 }

@@ -1,0 +1,342 @@
+package ternary
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Packed is the word-parallel form of a 9-trit balanced word: two bit-planes
+// in one machine word each. Bit i of N is set iff trit i is −1; bit i of P is
+// set iff trit i is +1; a zero trit has neither bit set. The encoding follows
+// the binary-vs-ternary cost analyses (Etiemble; Tekum — see PAPERS.md):
+// trit-wise logic (min/max/product, the STI/NTI/PTI inverters) collapses to a
+// handful of bitwise operations over whole planes, and addition becomes a
+// plane-parallel carry ripple that converges in a few rounds instead of nine
+// serial full-adder steps.
+//
+// Invariants (checked by Valid, preserved by every kernel here):
+//
+//	N & P == 0                 — a trit cannot be −1 and +1 at once
+//	N|P has no bits ≥ WordTrits — planes cover exactly the 9 architected trits
+//
+// The zero value is the word 0. Packed is comparable, and the mapping
+// Word ↔ Packed is a bijection, so == on Packed agrees with == on Word.
+// Word stays the source of truth for tests and wire formats; Packed is the
+// in-memory hot-path form used by the simulator datapath.
+type Packed struct {
+	N uint32 // negative-trit mask
+	P uint32 // positive-trit mask
+}
+
+// PlaneMask covers the 9 architected trit positions of one plane.
+const PlaneMask = 1<<WordTrits - 1
+
+// pow3Plane maps a 9-bit plane mask to Σ_{i∈mask} 3^i, so a packed word's
+// balanced value is one table subtraction: pow3Plane[P] − pow3Plane[N].
+var pow3Plane [1 << WordTrits]int32
+
+// packLo and packHi map the low five / high four standard base-3 digits of
+// the offset value v+MaxInt to their bit-planes; FromInt becomes two table
+// lookups (the offset turns balanced digits b into standard digits b+1).
+var (
+	packLo [243]Packed // digits 0..4 of v+MaxInt
+	packHi [81]Packed  // digits 5..8 of v+MaxInt
+)
+
+func init() {
+	for m := range pow3Plane {
+		v, p := int32(0), int32(1)
+		for i := 0; i < WordTrits; i++ {
+			if m&(1<<i) != 0 {
+				v += p
+			}
+			p *= 3
+		}
+		pow3Plane[m] = v
+	}
+	fill := func(tab []Packed, first, digits int) {
+		for u := range tab {
+			x, q := u, Packed{}
+			for k := 0; k < digits; k++ {
+				switch x % 3 {
+				case 0: // standard digit 0 ⇔ balanced digit −1
+					q.N |= 1 << (first + k)
+				case 2: // standard digit 2 ⇔ balanced digit +1
+					q.P |= 1 << (first + k)
+				}
+				x /= 3
+			}
+			tab[u] = q
+		}
+	}
+	fill(packLo[:], 0, 5)
+	fill(packHi[:], 5, 4)
+}
+
+// Pack converts a trit-serial word to its bit-plane form. Trits outside
+// {−1, 0, +1} fold by sign, so Pack of any Valid word is exact.
+func Pack(w Word) Packed {
+	var q Packed
+	for i := 0; i < WordTrits; i++ {
+		switch {
+		case w[i] < Zero:
+			q.N |= 1 << i
+		case w[i] > Zero:
+			q.P |= 1 << i
+		}
+	}
+	return q
+}
+
+// Unpack converts back to the trit-serial form.
+func (q Packed) Unpack() Word {
+	var w Word
+	for i := 0; i < WordTrits; i++ {
+		b := uint32(1) << i
+		if q.N&b != 0 {
+			w[i] = Neg
+		} else if q.P&b != 0 {
+			w[i] = Pos
+		}
+	}
+	return w
+}
+
+// Valid reports whether the planes are disjoint and confined to the 9
+// architected positions — the representation invariant of every kernel.
+func (q Packed) Valid() bool {
+	return q.N&q.P == 0 && (q.N|q.P)&^uint32(PlaneMask) == 0
+}
+
+// PackedFromInt returns the packed word encoding v, wrapping modulo 3^9
+// exactly like FromInt.
+func PackedFromInt(v int) Packed {
+	v %= WordStates
+	if v > MaxInt {
+		v -= WordStates
+	} else if v < MinInt {
+		v += WordStates
+	}
+	u := v + MaxInt
+	lo, hi := packLo[u%243], packHi[u/243]
+	return Packed{N: lo.N | hi.N, P: lo.P | hi.P}
+}
+
+// Int returns the balanced integer value, in [MinInt, MaxInt].
+func (q Packed) Int() int {
+	return int(pow3Plane[q.P]) - int(pow3Plane[q.N])
+}
+
+// UIndex returns the unsigned (addressing) interpretation of §II-A.
+func (q Packed) UIndex() int {
+	v := q.Int()
+	if v < 0 {
+		v += WordStates
+	}
+	return v
+}
+
+// IsZero reports whether q encodes 0.
+func (q Packed) IsZero() bool { return q.N|q.P == 0 }
+
+// Trit returns the trit at position i (0 = LST). It panics if i is out of
+// range, matching Word.Trit.
+func (q Packed) Trit(i int) Trit {
+	if i < 0 || i >= WordTrits {
+		panic(fmt.Sprintf("ternary: trit index %d out of range", i))
+	}
+	b := uint32(1) << i
+	switch {
+	case q.N&b != 0:
+		return Neg
+	case q.P&b != 0:
+		return Pos
+	}
+	return Zero
+}
+
+// Sign returns the sign of the balanced value: the most significant nonzero
+// trit, found with one leading-bit scan over the merged planes.
+func (q Packed) Sign() Trit {
+	u := q.N | q.P
+	if u == 0 {
+		return Zero
+	}
+	if q.P&(1<<(bits.Len32(u)-1)) != 0 {
+		return Pos
+	}
+	return Neg
+}
+
+// CountNonZero returns the number of nonzero trits (one popcount).
+func (q Packed) CountNonZero() int { return bits.OnesCount32(q.N | q.P) }
+
+// Field extracts the balanced value of the trit subfield [lo..hi]
+// (inclusive) with two shifted table lookups; it panics on an invalid
+// range, matching Word.Field.
+func (q Packed) Field(lo, hi int) int {
+	if lo < 0 || hi >= WordTrits || lo > hi {
+		panic(fmt.Sprintf("ternary: invalid field [%d..%d]", lo, hi))
+	}
+	m := uint32(1)<<(hi-lo+1) - 1
+	return int(pow3Plane[(q.P>>lo)&m]) - int(pow3Plane[(q.N>>lo)&m])
+}
+
+// String renders the word exactly like Word.String (most significant trit
+// first), so packed values drop into existing messages unchanged.
+func (q Packed) String() string { return q.Unpack().String() }
+
+// And is the trit-wise minimum: −1 wherever either operand is −1, +1 only
+// where both are.
+func (a Packed) And(b Packed) Packed {
+	return Packed{N: a.N | b.N, P: a.P & b.P}
+}
+
+// Or is the trit-wise maximum.
+func (a Packed) Or(b Packed) Packed {
+	return Packed{N: a.N & b.N, P: a.P | b.P}
+}
+
+// Xor is the trit-wise −(a·b): −1 where the signs agree, +1 where they
+// differ, 0 wherever an operand is 0.
+func (a Packed) Xor(b Packed) Packed {
+	return Packed{
+		N: (a.P & b.P) | (a.N & b.N),
+		P: (a.P & b.N) | (a.N & b.P),
+	}
+}
+
+// Sti is the standard ternary inverter x ↦ −x: a plane swap.
+func (q Packed) Sti() Packed { return Packed{N: q.P, P: q.N} }
+
+// Neg returns −q (identical to Sti; kept as the arithmetic-unit name).
+func (q Packed) Neg() Packed { return q.Sti() }
+
+// Nti is the negative ternary inverter: +1 where the input is −1, −1
+// everywhere else.
+func (q Packed) Nti() Packed {
+	return Packed{N: PlaneMask &^ q.N, P: q.N}
+}
+
+// Pti is the positive ternary inverter: −1 where the input is +1, +1
+// everywhere else.
+func (q Packed) Pti() Packed {
+	return Packed{N: q.P, P: PlaneMask &^ q.P}
+}
+
+// AddCarry returns a+b and the carry out of the most significant trit,
+// matching the trit-serial Add. Each round performs one word-parallel
+// balanced half-add — digit planes for the carry-free sum, carry planes
+// shifted up one position — and the loop runs until no carries remain.
+// Two random words converge in two or three rounds; the planes are kept
+// one position wider than the word during the ripple so the carry out
+// falls out of bit 9.
+func (a Packed) AddCarry(b Packed) (Packed, Trit) {
+	an, ap := a.N, a.P
+	bn, bp := b.N, b.P
+	for bn|bp != 0 {
+		az, bz := ^(an | ap), ^(bn | bp)
+		sn := (an & bz) | (az & bn) | (ap & bp) // −1+0, 0+(−1), and the (+1)+(+1) wrap
+		sp := (ap & bz) | (az & bp) | (an & bn) // +1+0, 0+(+1), and the (−1)+(−1) wrap
+		bn, bp = (an&bn)<<1, (ap&bp)<<1         // carries into the next position
+		an, ap = sn, sp
+	}
+	carry := Zero
+	const out = 1 << WordTrits
+	if an&out != 0 {
+		carry = Neg
+	} else if ap&out != 0 {
+		carry = Pos
+	}
+	return Packed{N: an & PlaneMask, P: ap & PlaneMask}, carry
+}
+
+// Add returns a+b, discarding the carry (the ADD datapath).
+func (a Packed) Add(b Packed) Packed {
+	s, _ := a.AddCarry(b)
+	return s
+}
+
+// SubCarry returns a−b and the carry out, computed as a + STI(b) exactly
+// like the SUB datapath.
+func (a Packed) SubCarry(b Packed) (Packed, Trit) { return a.AddCarry(b.Sti()) }
+
+// Sub returns a−b, discarding the carry.
+func (a Packed) Sub(b Packed) Packed {
+	d, _ := a.AddCarry(b.Sti())
+	return d
+}
+
+// Cmp returns the sign of a−b as a trit. The planes are XORed to find the
+// most significant differing trit, which decides the order directly in
+// balanced representation.
+func (a Packed) Cmp(b Packed) Trit {
+	d := (a.N ^ b.N) | (a.P ^ b.P)
+	if d == 0 {
+		return Zero
+	}
+	bit := uint32(1) << (bits.Len32(d) - 1)
+	switch {
+	case a.P&bit != 0: // a is +1 where b is 0 or −1
+		return Pos
+	case a.N&bit != 0:
+		return Neg
+	case b.N&bit != 0: // a is 0 where b is −1
+		return Pos
+	}
+	return Neg // a is 0 where b is +1
+}
+
+// Comp materialises the COMP result word: sign(a−b) in the least
+// significant trit.
+func (a Packed) Comp(b Packed) Packed {
+	switch a.Cmp(b) {
+	case Pos:
+		return Packed{P: 1}
+	case Neg:
+		return Packed{N: 1}
+	}
+	return Packed{}
+}
+
+// ShiftLeft shifts by n trit positions, filling with zeros: one shift per
+// plane.
+func (q Packed) ShiftLeft(n int) Packed {
+	if n <= 0 {
+		return q
+	}
+	if n >= WordTrits {
+		return Packed{}
+	}
+	return Packed{N: (q.N << n) & PlaneMask, P: (q.P << n) & PlaneMask}
+}
+
+// ShiftRight shifts right by n trit positions, filling with zeros.
+func (q Packed) ShiftRight(n int) Packed {
+	if n <= 0 {
+		return q
+	}
+	if n >= WordTrits {
+		return Packed{}
+	}
+	return Packed{N: q.N >> n, P: q.P >> n}
+}
+
+// Mul returns the low 9 trits of a×b by balanced shift-add over b's nonzero
+// trits, matching the trit-serial Mul.
+func (a Packed) Mul(b Packed) Packed {
+	var acc Packed
+	for u := b.N | b.P; u != 0; u &= u - 1 {
+		i := bits.TrailingZeros32(u)
+		if b.P&(1<<i) != 0 {
+			acc = acc.Add(a.ShiftLeft(i))
+		} else {
+			acc = acc.Sub(a.ShiftLeft(i))
+		}
+	}
+	return acc
+}
+
+// Inc returns q+1 and Dec returns q−1 — the PC-increment datapaths.
+func (q Packed) Inc() Packed { return q.Add(Packed{P: 1}) }
+func (q Packed) Dec() Packed { return q.Sub(Packed{P: 1}) }

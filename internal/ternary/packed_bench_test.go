@@ -1,0 +1,281 @@
+package ternary
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// benchWords is a fixed pseudo-random operand set shared by every kernel
+// benchmark, large enough to defeat branch prediction on data-dependent
+// paths and small enough to stay L1-resident in both representations.
+const benchN = 1024
+
+func benchOperands() ([]Word, []Packed) {
+	rng := rand.New(rand.NewSource(77))
+	ws := make([]Word, benchN)
+	qs := make([]Packed, benchN)
+	for i := range ws {
+		for k := range ws[i] {
+			ws[i][k] = Trit(rng.Intn(3) - 1)
+		}
+		qs[i] = Pack(ws[i])
+	}
+	return ws, qs
+}
+
+var sinkWord Word
+var sinkPacked Packed
+var sinkInt int
+var sinkTrit Trit
+
+func benchSerialBinary(b *testing.B, op func(Word, Word) Word) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkWord = op(ws[i%benchN], ws[(i+1)%benchN])
+	}
+}
+
+func benchPackedBinary(b *testing.B, op func(Packed, Packed) Packed) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPacked = op(qs[i%benchN], qs[(i+1)%benchN])
+	}
+}
+
+func BenchmarkAndSerial(b *testing.B) { benchSerialBinary(b, And) }
+func BenchmarkAndPacked(b *testing.B) { benchPackedBinary(b, Packed.And) }
+func BenchmarkOrSerial(b *testing.B)  { benchSerialBinary(b, Or) }
+func BenchmarkOrPacked(b *testing.B)  { benchPackedBinary(b, Packed.Or) }
+func BenchmarkXorSerial(b *testing.B) { benchSerialBinary(b, Xor) }
+func BenchmarkXorPacked(b *testing.B) { benchPackedBinary(b, Packed.Xor) }
+func BenchmarkAddSerial(b *testing.B) { benchSerialBinary(b, AddWord) }
+func BenchmarkAddPacked(b *testing.B) { benchPackedBinary(b, Packed.Add) }
+func BenchmarkSubSerial(b *testing.B) { benchSerialBinary(b, SubWord) }
+func BenchmarkSubPacked(b *testing.B) { benchPackedBinary(b, Packed.Sub) }
+func BenchmarkMulSerial(b *testing.B) { benchSerialBinary(b, Mul) }
+func BenchmarkMulPacked(b *testing.B) { benchPackedBinary(b, Packed.Mul) }
+
+func BenchmarkStiSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkWord = Sti(ws[i%benchN])
+	}
+}
+
+func BenchmarkStiPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPacked = qs[i%benchN].Sti()
+	}
+}
+
+func BenchmarkNtiSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkWord = Nti(ws[i%benchN])
+	}
+}
+
+func BenchmarkNtiPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPacked = qs[i%benchN].Nti()
+	}
+}
+
+func BenchmarkPtiSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkWord = Pti(ws[i%benchN])
+	}
+}
+
+func BenchmarkPtiPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPacked = qs[i%benchN].Pti()
+	}
+}
+
+func BenchmarkCmpSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkTrit = Cmp(ws[i%benchN], ws[(i+1)%benchN])
+	}
+}
+
+func BenchmarkCmpPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkTrit = qs[i%benchN].Cmp(qs[(i+1)%benchN])
+	}
+}
+
+func BenchmarkShiftLeftSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkWord = ShiftLeft(ws[i%benchN], i%WordTrits)
+	}
+}
+
+func BenchmarkShiftLeftPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkPacked = qs[i%benchN].ShiftLeft(i % WordTrits)
+	}
+}
+
+func BenchmarkIntSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = ws[i%benchN].Int()
+	}
+}
+
+func BenchmarkIntPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = qs[i%benchN].Int()
+	}
+}
+
+func BenchmarkFromIntSerial(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkWord = FromInt(i%WordStates - MaxInt)
+	}
+}
+
+func BenchmarkFromIntPacked(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sinkPacked = PackedFromInt(i%WordStates - MaxInt)
+	}
+}
+
+func BenchmarkCountNonZeroSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = ws[i%benchN].CountNonZero()
+	}
+}
+
+func BenchmarkCountNonZeroPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = qs[i%benchN].CountNonZero()
+	}
+}
+
+func BenchmarkFieldSerial(b *testing.B) {
+	ws, _ := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = ws[i%benchN].Field(0, 4)
+	}
+}
+
+func BenchmarkFieldPacked(b *testing.B) {
+	_, qs := benchOperands()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = qs[i%benchN].Field(0, 4)
+	}
+}
+
+// TestPackedKernelSpeedupGate is the CI benchmark regression gate for the
+// packed kernels: it re-times each serial/packed pair in-process and fails
+// if the aggregate speedup drops below 3×. It runs only when ART9_BENCH_GATE
+// is set (benchmarking under `go test` noise is pointless on laps that don't
+// ask for it); when ART9_BENCH_GATE_OUT names a path, the per-kernel ns/op
+// figures are written there as JSON for the BENCH artifact.
+func TestPackedKernelSpeedupGate(t *testing.T) {
+	if os.Getenv("ART9_BENCH_GATE") == "" {
+		t.Skip("set ART9_BENCH_GATE=1 to run the kernel speedup gate")
+	}
+	kernels := []struct {
+		name           string
+		serial, packed func(b *testing.B)
+	}{
+		{"And", BenchmarkAndSerial, BenchmarkAndPacked},
+		{"Or", BenchmarkOrSerial, BenchmarkOrPacked},
+		{"Xor", BenchmarkXorSerial, BenchmarkXorPacked},
+		{"Add", BenchmarkAddSerial, BenchmarkAddPacked},
+		{"Sub", BenchmarkSubSerial, BenchmarkSubPacked},
+		{"Cmp", BenchmarkCmpSerial, BenchmarkCmpPacked},
+		{"ShiftLeft", BenchmarkShiftLeftSerial, BenchmarkShiftLeftPacked},
+		{"Int", BenchmarkIntSerial, BenchmarkIntPacked},
+		{"FromInt", BenchmarkFromIntSerial, BenchmarkFromIntPacked},
+		{"CountNonZero", BenchmarkCountNonZeroSerial, BenchmarkCountNonZeroPacked},
+		{"Field", BenchmarkFieldSerial, BenchmarkFieldPacked},
+		{"Sti", BenchmarkStiSerial, BenchmarkStiPacked},
+		{"Nti", BenchmarkNtiSerial, BenchmarkNtiPacked},
+		{"Pti", BenchmarkPtiSerial, BenchmarkPtiPacked},
+	}
+	type row struct {
+		Kernel      string  `json:"kernel"`
+		SerialNsOp  float64 `json:"serial_ns_op"`
+		PackedNsOp  float64 `json:"packed_ns_op"`
+		Speedup     float64 `json:"speedup"`
+		SerialAlloc int64   `json:"serial_allocs_op"`
+		PackedAlloc int64   `json:"packed_allocs_op"`
+	}
+	var rows []row
+	var serialTotal, packedTotal float64
+	for _, k := range kernels {
+		sr := testing.Benchmark(k.serial)
+		pr := testing.Benchmark(k.packed)
+		sNs := float64(sr.NsPerOp())
+		pNs := float64(pr.NsPerOp())
+		if pNs <= 0 {
+			pNs = 0.5 // sub-ns kernels round to 0; count as half a ns
+		}
+		rows = append(rows, row{
+			Kernel:      k.name,
+			SerialNsOp:  sNs,
+			PackedNsOp:  pNs,
+			Speedup:     sNs / pNs,
+			SerialAlloc: sr.AllocsPerOp(),
+			PackedAlloc: pr.AllocsPerOp(),
+		})
+		serialTotal += sNs
+		packedTotal += pNs
+		t.Logf("%-12s serial %8.2f ns/op  packed %8.2f ns/op  speedup %5.1f×",
+			k.name, sNs, pNs, sNs/pNs)
+	}
+	agg := serialTotal / packedTotal
+	t.Logf("aggregate: serial %.2f ns packed %.2f ns speedup %.1f×", serialTotal, packedTotal, agg)
+	if out := os.Getenv("ART9_BENCH_GATE_OUT"); out != "" {
+		blob, err := json.MarshalIndent(struct {
+			Aggregate float64 `json:"aggregate_speedup"`
+			Kernels   []row   `json:"kernels"`
+		}{agg, rows}, "", "  ")
+		if err != nil {
+			t.Fatalf("marshal bench rows: %v", err)
+		}
+		if err := os.WriteFile(out, append(blob, '\n'), 0o644); err != nil {
+			t.Fatalf("write %s: %v", out, err)
+		}
+		fmt.Printf("kernel bench table written to %s\n", out)
+	}
+	if agg < 3.0 {
+		t.Fatalf("packed kernels regressed: aggregate speedup %.2f× < 3× floor", agg)
+	}
+}

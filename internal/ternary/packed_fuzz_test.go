@@ -1,0 +1,107 @@
+package ternary
+
+import "testing"
+
+// FuzzPackedVsSerial differentially checks every packed kernel against the
+// trit-serial reference. The fuzzer drives two integer word values (wrapped
+// into range like FromInt) plus a shift amount, so the engine explores the
+// full Word × Word space through a representation-independent seam.
+func FuzzPackedVsSerial(f *testing.F) {
+	f.Add(0, 0, 0)
+	f.Add(1, -1, 1)
+	f.Add(MaxInt, MaxInt, 4)
+	f.Add(MinInt, MinInt, 8)
+	f.Add(MaxInt, MinInt, 9)
+	f.Add(4521, -7777, 2)
+	f.Add(-3, 9840, 40)
+	f.Fuzz(func(t *testing.T, av, bv, n int) {
+		a, b := FromInt(av), FromInt(bv)
+		qa, qb := Pack(a), Pack(b)
+
+		if !qa.Valid() || !qb.Valid() {
+			t.Fatalf("Pack produced invalid planes: %+v %+v", qa, qb)
+		}
+		if qa.Unpack() != a {
+			t.Fatalf("round trip broke %v", a)
+		}
+		if got, want := PackedFromInt(av), qa; got != want {
+			t.Fatalf("PackedFromInt(%d) = %v, want %v", av, got, want)
+		}
+		if got, want := qa.Int(), a.Int(); got != want {
+			t.Fatalf("Int: %d vs %d", got, want)
+		}
+		if got, want := qa.UIndex(), a.UIndex(); got != want {
+			t.Fatalf("UIndex: %d vs %d", got, want)
+		}
+		if got, want := qa.Sign(), a.Sign(); got != want {
+			t.Fatalf("Sign: %v vs %v", got, want)
+		}
+		if got, want := qa.CountNonZero(), a.CountNonZero(); got != want {
+			t.Fatalf("CountNonZero: %d vs %d", got, want)
+		}
+
+		type bin struct {
+			name   string
+			packed func(Packed, Packed) Packed
+			serial func(Word, Word) Word
+		}
+		for _, op := range []bin{
+			{"And", Packed.And, And},
+			{"Or", Packed.Or, Or},
+			{"Xor", Packed.Xor, Xor},
+			{"Add", Packed.Add, AddWord},
+			{"Sub", Packed.Sub, SubWord},
+			{"Comp", Packed.Comp, CompWord},
+			{"Mul", Packed.Mul, Mul},
+		} {
+			got := op.packed(qa, qb)
+			if !got.Valid() {
+				t.Fatalf("%s(%v, %v) invalid planes %+v", op.name, a, b, got)
+			}
+			if want := Pack(op.serial(a, b)); got != want {
+				t.Fatalf("%s(%v, %v) = %v, want %v", op.name, a, b, got, want)
+			}
+		}
+		type un struct {
+			name   string
+			packed func(Packed) Packed
+			serial func(Word) Word
+		}
+		for _, op := range []un{
+			{"Sti", Packed.Sti, Sti},
+			{"Nti", Packed.Nti, Nti},
+			{"Pti", Packed.Pti, Pti},
+			{"Inc", Packed.Inc, Inc},
+			{"Dec", Packed.Dec, Dec},
+		} {
+			if got, want := op.packed(qa), Pack(op.serial(a)); got != want {
+				t.Fatalf("%s(%v) = %v, want %v", op.name, a, got, want)
+			}
+		}
+
+		gs, gc := qa.AddCarry(qb)
+		wsum, wc := Add(a, b)
+		if gs != Pack(wsum) || gc != wc {
+			t.Fatalf("AddCarry(%v, %v) = (%v, %v), want (%v, %v)", a, b, gs, gc, wsum, wc)
+		}
+		if got, want := qa.Cmp(qb), Cmp(a, b); got != want {
+			t.Fatalf("Cmp(%v, %v) = %v, want %v", a, b, got, want)
+		}
+
+		s := ShiftAmount(n)
+		if got, want := qa.ShiftLeft(s), Pack(ShiftLeft(a, s)); got != want {
+			t.Fatalf("ShiftLeft(%v, %d) = %v, want %v", a, s, got, want)
+		}
+		if got, want := qa.ShiftRight(s), Pack(ShiftRight(a, s)); got != want {
+			t.Fatalf("ShiftRight(%v, %d) = %v, want %v", a, s, got, want)
+		}
+
+		for lo := 0; lo < WordTrits; lo++ {
+			for hi := lo; hi < WordTrits; hi++ {
+				if got, want := qa.Field(lo, hi), a.Field(lo, hi); got != want {
+					t.Fatalf("Field(%d,%d) on %v: %d vs %d", lo, hi, a, got, want)
+				}
+			}
+		}
+	})
+}

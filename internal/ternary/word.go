@@ -173,19 +173,16 @@ func (w Word) String() string {
 	return b.String()
 }
 
-// ParseWord parses a word in the notation emitted by String: exactly 9
-// trit characters, most significant first, optionally prefixed with "0t".
-// Shorter strings are sign-extended with zeros.
+// ParseWord parses a word in the notation emitted by String: up to 9 trit
+// characters, most significant first, optionally prefixed with "0t".
+// Shorter strings fill the upper positions with zeros (balanced words carry
+// sign in the digits, so no sign extension is involved).
 func ParseWord(s string) (Word, error) {
-	s = strings.TrimPrefix(s, "0t")
-	if len(s) == 0 || len(s) > WordTrits {
+	runes := []rune(strings.TrimPrefix(s, "0t"))
+	if len(runes) == 0 || len(runes) > WordTrits {
 		return Word{}, fmt.Errorf("ternary: word literal %q must have 1..%d trits", s, WordTrits)
 	}
 	var w Word
-	runes := []rune(s)
-	if len(runes) > WordTrits {
-		return Word{}, fmt.Errorf("ternary: word literal %q must have 1..%d trits", s, WordTrits)
-	}
 	for i, r := range runes {
 		t, err := TritFromRune(r)
 		if err != nil {

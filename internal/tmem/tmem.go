@@ -15,10 +15,13 @@ import (
 // space, 3^9 words.
 const MaxWords = ternary.WordStates
 
-// Memory is a word-addressed ternary memory.
+// Memory is a word-addressed ternary memory. Cells are stored in the
+// bit-plane form (ternary.Packed) so the simulator hot path reads and
+// writes without per-trit conversion; the Word-typed accessors convert at
+// the boundary and remain the canonical interface for tests and tools.
 type Memory struct {
 	name  string
-	words []ternary.Word
+	words []ternary.Packed
 
 	reads  uint64
 	writes uint64
@@ -30,7 +33,7 @@ func New(name string, size int) *Memory {
 	if size <= 0 || size > MaxWords {
 		panic(fmt.Sprintf("tmem: invalid size %d for %s (max %d)", size, name, MaxWords))
 	}
-	return &Memory{name: name, words: make([]ternary.Word, size)}
+	return &Memory{name: name, words: make([]ternary.Packed, size)}
 }
 
 // Name returns the memory's name ("TIM"/"TDM" conventionally).
@@ -46,25 +49,36 @@ func (m *Memory) Cells() int { return len(m.words) * ternary.WordTrits }
 // binary-encoded ternary cells (2 bits per trit), the Table V accounting.
 func (m *Memory) EncodedBits() int { return m.Cells() * ternary.BitsPerTrit }
 
-// Read returns the word at index addr. Addressing beyond the physical size
-// is an access fault, surfaced as an error exactly like the hardware's
-// out-of-space condition.
-func (m *Memory) Read(addr int) (ternary.Word, error) {
+// ReadP returns the packed word at index addr — the simulator hot path.
+// Addressing beyond the physical size is an access fault, surfaced as an
+// error exactly like the hardware's out-of-space condition.
+func (m *Memory) ReadP(addr int) (ternary.Packed, error) {
 	if addr < 0 || addr >= len(m.words) {
-		return ternary.Word{}, fmt.Errorf("tmem: %s read at %d out of range [0,%d)", m.name, addr, len(m.words))
+		return ternary.Packed{}, fmt.Errorf("tmem: %s read at %d out of range [0,%d)", m.name, addr, len(m.words))
 	}
 	m.reads++
 	return m.words[addr], nil
 }
 
-// Write stores w at index addr, with the same bounds behaviour as Read.
-func (m *Memory) Write(addr int, w ternary.Word) error {
+// WriteP stores q at index addr, with the same bounds behaviour as ReadP.
+func (m *Memory) WriteP(addr int, q ternary.Packed) error {
 	if addr < 0 || addr >= len(m.words) {
 		return fmt.Errorf("tmem: %s write at %d out of range [0,%d)", m.name, addr, len(m.words))
 	}
 	m.writes++
-	m.words[addr] = w
+	m.words[addr] = q
 	return nil
+}
+
+// Read returns the word at index addr (ReadP through the Word boundary).
+func (m *Memory) Read(addr int) (ternary.Word, error) {
+	q, err := m.ReadP(addr)
+	return q.Unpack(), err
+}
+
+// Write stores w at index addr, with the same bounds behaviour as Read.
+func (m *Memory) Write(addr int, w ternary.Word) error {
+	return m.WriteP(addr, ternary.Pack(w))
 }
 
 // ReadWord is Read addressed by a 9-trit word using the unsigned
@@ -84,7 +98,9 @@ func (m *Memory) LoadImage(img []ternary.Word) error {
 	if len(img) > len(m.words) {
 		return fmt.Errorf("tmem: %s image of %d words exceeds size %d", m.name, len(img), len(m.words))
 	}
-	copy(m.words, img)
+	for i, w := range img {
+		m.words[i] = ternary.Pack(w)
+	}
 	return nil
 }
 
@@ -95,7 +111,7 @@ func (m *Memory) SetAll(init map[int]ternary.Word) error {
 		if a < 0 || a >= len(m.words) {
 			return fmt.Errorf("tmem: %s init at %d out of range [0,%d)", m.name, a, len(m.words))
 		}
-		m.words[a] = w
+		m.words[a] = ternary.Pack(w)
 	}
 	return nil
 }
@@ -103,7 +119,7 @@ func (m *Memory) SetAll(init map[int]ternary.Word) error {
 // Reset zeroes contents and statistics.
 func (m *Memory) Reset() {
 	for i := range m.words {
-		m.words[i] = ternary.Word{}
+		m.words[i] = ternary.Packed{}
 	}
 	m.reads, m.writes = 0, 0
 }
@@ -115,6 +131,8 @@ func (m *Memory) Accesses() (reads, writes uint64) { return m.reads, m.writes }
 // Snapshot returns a copy of the memory contents (for test comparison).
 func (m *Memory) Snapshot() []ternary.Word {
 	s := make([]ternary.Word, len(m.words))
-	copy(s, m.words)
+	for i, q := range m.words {
+		s[i] = q.Unpack()
+	}
 	return s
 }
